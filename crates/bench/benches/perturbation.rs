@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: per-window cost of each Butterfly scheme
+//! as the number of published FECs grows (the quantity that dominates the
+//! optimized variants — see Fig 8's analysis).
+
+use bfly_common::ItemSet;
+use bfly_core::{BiasScheme, PrivacySpec, Publisher};
+use bfly_mining::FrequentItemsets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A mining result with roughly `n` FECs (supports drawn deterministically
+/// with quadratic spacing so FEC density resembles real windows: clustered
+/// low supports, sparse high ones).
+fn synthetic_output(n_itemsets: usize) -> FrequentItemsets {
+    FrequentItemsets::new((0..n_itemsets).map(|i| {
+        let support = 25 + ((i * i) / n_itemsets.max(1)) as u64 + (i % 7) as u64;
+        (ItemSet::from_ids([i as u32]), support)
+    }))
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
+    let mut group = c.benchmark_group("publish");
+    for &n in &[50usize, 200, 800] {
+        let output = synthetic_output(n);
+        for scheme in BiasScheme::paper_variants(2) {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name().replace(' ', "_"), n),
+                &output,
+                |b, output| {
+                    let mut publisher = Publisher::new(spec, scheme, 7);
+                    b.iter(|| {
+                        // Reset the pin cache so every iteration pays the
+                        // full perturbation cost.
+                        publisher.reset();
+                        std::hint::black_box(publisher.publish(output))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_order_dp_gamma(c: &mut Criterion) {
+    use bfly_core::fec::partition_into_fecs;
+    use bfly_core::order::order_preserving_biases;
+    let spec = PrivacySpec::new(25, 5, 0.4, 1.0); // roomy budget → wide grids
+    let output = synthetic_output(300);
+    let fecs = partition_into_fecs(&output);
+    let mut group = c.benchmark_group("order_dp");
+    for gamma in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &g| {
+            b.iter(|| std::hint::black_box(order_preserving_biases(&fecs, &spec, g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_order_dp_gamma);
+criterion_main!(benches);

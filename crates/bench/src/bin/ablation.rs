@@ -1,0 +1,330 @@
+//! Ablation experiments beyond the paper's figures, exercising the design
+//! choices DESIGN.md calls out:
+//!
+//! 1. **Breach prevalence** — how many vulnerable patterns leak per window
+//!    from *unprotected* output (the paper's §IV motivation, quantified).
+//! 2. **Republication rule** — the averaging attack's error with Butterfly's
+//!    pinned republication vs naive fresh-noise redrawing (Prior Knowledge 2).
+//! 3. **Incremental optimizer** — per-window cost and hit rates of the
+//!    incremental order-preserving patcher vs the window-based DP (the
+//!    paper's stated future work).
+//! 4. **Rule-confidence preservation** — the downstream measure motivating
+//!    ratio preservation (§VI-B), per scheme.
+//! 5. **Residual thresholding attack** — precision/recall of an adversary
+//!    who still claims breaches from sanitized output.
+//! 6. **Laplace-DP baseline** — what a generic differential-privacy release
+//!    costs in utility relative to Butterfly's targeted contract.
+//!
+//! Run: `cargo run --release -p bfly-bench --bin ablation` (`--quick`).
+
+use bfly_bench::{figure_config, write_csv, Table};
+use bfly_common::{ItemSet, SlidingWindow};
+use bfly_core::{BiasScheme, PrivacySpec, Publisher};
+use bfly_datagen::DatasetProfile;
+use bfly_inference::adversary::averaging_attack;
+use bfly_inference::attack::{find_inter_window_breaches, find_intra_window_breaches};
+use bfly_mining::closed::expand_closed;
+use bfly_mining::rules::{confidence_preservation_rate, generate_rules};
+use bfly_mining::{FrequentItemsets, MomentMiner, WindowMiner};
+use std::time::{Duration, Instant};
+
+fn main() {
+    breach_prevalence();
+    republication_ablation();
+    incremental_ablation();
+    confidence_preservation();
+    residual_attack();
+    dp_baseline();
+}
+
+/// Count intra-/inter-window breaches per window on raw output.
+fn breach_prevalence() {
+    let mut table = Table::new(
+        "Ablation 1: vulnerable patterns inferable per window from RAW output",
+        &["dataset", "windows", "intra_total", "inter_total", "per_window"],
+    );
+    for profile in DatasetProfile::all() {
+        let cfg = figure_config(profile);
+        let mut source = profile.source(cfg.seed);
+        let mut window = SlidingWindow::new(cfg.window);
+        let mut miner = MomentMiner::new(cfg.c);
+        for _ in 0..cfg.window - 1 {
+            miner.apply(&window.slide(source.next_transaction()));
+        }
+        let (mut intra_total, mut inter_total) = (0usize, 0usize);
+        let mut prev: Option<FrequentItemsets> = None;
+        for _ in 0..cfg.windows {
+            miner.apply(&window.slide(source.next_transaction()));
+            let full = expand_closed(&miner.closed_frequent());
+            intra_total += find_intra_window_breaches(full.as_map(), cfg.k).len();
+            if let Some(p) = &prev {
+                inter_total +=
+                    find_inter_window_breaches(p.as_map(), full.as_map(), cfg.c, 1, cfg.k)
+                        .len();
+            }
+            prev = Some(full);
+        }
+        table.row(vec![
+            profile.name().to_string(),
+            cfg.windows.to_string(),
+            intra_total.to_string(),
+            inter_total.to_string(),
+            format!("{:.1}", (intra_total + inter_total) as f64 / cfg.windows as f64),
+        ]);
+    }
+    table.print();
+    write_csv(&table, "ablation_breach_prevalence");
+}
+
+/// Averaging-attack error: pinned republication vs fresh redraw.
+fn republication_ablation() {
+    let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
+    let truth = 40u64;
+    let frequent = FrequentItemsets::new(vec![("ab".parse::<ItemSet>().unwrap(), truth)]);
+    let observations = 200usize;
+
+    let mut table = Table::new(
+        "Ablation 2: averaging attack vs republication (|mean − truth| after N windows)",
+        &["variant", "N", "abs_error"],
+    );
+    // Butterfly: pinned.
+    let mut p = Publisher::new(spec, BiasScheme::Basic, 7);
+    let pinned: Vec<i64> = (0..observations)
+        .map(|_| {
+            p.publish(&frequent)
+                .get(&"ab".parse().unwrap())
+                .unwrap()
+                .sanitized
+        })
+        .collect();
+    // Naive: fresh noise each window (publisher reset defeats the pin).
+    let mut q = Publisher::new(spec, BiasScheme::Basic, 7);
+    let fresh: Vec<i64> = (0..observations)
+        .map(|_| {
+            q.reset();
+            q.publish(&frequent)
+                .get(&"ab".parse().unwrap())
+                .unwrap()
+                .sanitized
+        })
+        .collect();
+    for n in [10usize, 50, 200] {
+        table.row(vec![
+            "pinned (Butterfly)".into(),
+            n.to_string(),
+            format!("{:.3}", (averaging_attack(&pinned[..n]) - truth as f64).abs()),
+        ]);
+        table.row(vec![
+            "fresh redraw (naive)".into(),
+            n.to_string(),
+            format!("{:.3}", (averaging_attack(&fresh[..n]) - truth as f64).abs()),
+        ]);
+    }
+    table.print();
+    write_csv(&table, "ablation_republication");
+}
+
+/// Incremental vs window-based order-preserving publisher on a live stream.
+fn incremental_ablation() {
+    let profile = DatasetProfile::WebView1;
+    let cfg = figure_config(profile);
+    let spec = PrivacySpec::new(cfg.c, cfg.k, 0.04, 1.0);
+    let scheme = BiasScheme::OrderPreserving { gamma: 2 };
+
+    let mut table = Table::new(
+        "Ablation 3: incremental vs window-based order-preserving optimizer",
+        &["variant", "ms_per_window", "full_reuse", "patches", "full_solves"],
+    );
+    for incremental in [false, true] {
+        let mut source = profile.source(cfg.seed);
+        let mut window = SlidingWindow::new(cfg.window);
+        let mut miner = MomentMiner::new(cfg.c);
+        for _ in 0..cfg.window - 1 {
+            miner.apply(&window.slide(source.next_transaction()));
+        }
+        let mut publisher = if incremental {
+            Publisher::new_incremental(spec, scheme, 3)
+        } else {
+            Publisher::new(spec, scheme, 3)
+        };
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..cfg.windows {
+            miner.apply(&window.slide(source.next_transaction()));
+            let closed = miner.closed_frequent();
+            let start = Instant::now();
+            let _ = publisher.publish(&closed);
+            elapsed += start.elapsed();
+        }
+        let (reuse, patches, solves) = publisher.incremental_stats().unwrap_or((0, 0, 0));
+        table.row(vec![
+            if incremental { "incremental".into() } else { "window-based".to_string() },
+            format!("{:.3}", elapsed.as_secs_f64() * 1000.0 / cfg.windows as f64),
+            reuse.to_string(),
+            patches.to_string(),
+            solves.to_string(),
+        ]);
+    }
+    table.print();
+    write_csv(&table, "ablation_incremental");
+}
+
+/// Laplace-mechanism baseline vs Butterfly: utility (pred/ropp/rrpp) and
+/// privacy (prig over the same breach set) at several per-window DP budgets.
+fn dp_baseline() {
+    use bfly_core::metrics::{avg_pred, avg_prig, ropp, rrpp};
+    use bfly_core::DpPublisher;
+    let profile = DatasetProfile::WebView1;
+    let cfg = figure_config(profile);
+    let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, 0.04, 1.0);
+
+    // One representative window and its inferable vulnerable patterns.
+    let mut source = profile.source(cfg.seed);
+    let mut window = SlidingWindow::new(cfg.window);
+    let mut miner = MomentMiner::new(cfg.c);
+    for _ in 0..cfg.window {
+        miner.apply(&window.slide(source.next_transaction()));
+    }
+    let full = expand_closed(&miner.closed_frequent());
+    let breaches = find_intra_window_breaches(full.as_map(), cfg.k);
+
+    let mut table = Table::new(
+        "Ablation 6: Laplace-DP baseline vs Butterfly (one window, mean of 20 draws)",
+        &["variant", "avg_pred", "avg_prig", "ropp", "rrpp"],
+    );
+    let trials = 20u64;
+    let mut add_row = |name: String, mut publish: Box<dyn FnMut(u64) -> bfly_core::SanitizedRelease>| {
+        let (mut pred, mut prig, mut o, mut r, mut prig_n) = (0.0, 0.0, 0.0, 0.0, 0u64);
+        for seed in 0..trials {
+            let release = publish(seed);
+            pred += avg_pred(&release);
+            o += ropp(&release);
+            r += rrpp(&release, 0.95);
+            if let Some(p) = avg_prig(&breaches, &release.view(), None) {
+                prig += p;
+                prig_n += 1;
+            }
+        }
+        table.row(vec![
+            name,
+            format!("{:.5}", pred / trials as f64),
+            if prig_n > 0 {
+                format!("{:.2}", prig / prig_n as f64)
+            } else {
+                "n/a".into()
+            },
+            format!("{:.3}", o / trials as f64),
+            format!("{:.3}", r / trials as f64),
+        ]);
+    };
+    for eps_w in [0.5f64, 2.0, 10.0] {
+        let full_ref = full.clone();
+        add_row(
+            format!("Laplace ε_w={eps_w}"),
+            Box::new(move |seed| DpPublisher::new(eps_w, seed).publish(&full_ref)),
+        );
+    }
+    for scheme in [BiasScheme::Basic, BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }] {
+        let full_ref = full.clone();
+        add_row(
+            format!("Butterfly {}", scheme.name()),
+            Box::new(move |seed| Publisher::new(spec, scheme, seed).publish(&full_ref)),
+        );
+    }
+    table.print();
+    write_csv(&table, "ablation_dp_baseline");
+}
+
+/// Residual attack: precision/recall of a thresholding adversary who claims
+/// every pattern whose sanitized estimate lands in [0.5, K+0.5].
+fn residual_attack() {
+    use bfly_inference::residual::{claim_breaches, score_claims};
+    let profile = DatasetProfile::WebView1;
+    let cfg = figure_config(profile);
+    let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, 0.04, 1.0);
+
+    // One representative window.
+    let mut source = profile.source(cfg.seed);
+    let mut window = SlidingWindow::new(cfg.window);
+    let mut miner = MomentMiner::new(cfg.c);
+    for _ in 0..cfg.window {
+        miner.apply(&window.slide(source.next_transaction()));
+    }
+    let db = window.database();
+    let full = expand_closed(&miner.closed_frequent());
+    let spans: Vec<bfly_common::ItemSet> = full.as_map().keys().cloned().collect();
+
+    let mut table = Table::new(
+        "Ablation 5: residual thresholding attack after sanitization (one window)",
+        &["variant", "claims", "precision", "recall"],
+    );
+    // Baseline: raw output.
+    let raw_claims = claim_breaches(full.as_map(), &spans, cfg.k, 10);
+    let raw = score_claims(&raw_claims, &db, &spans, cfg.k, 10);
+    table.row(vec![
+        "raw (no protection)".into(),
+        raw_claims.len().to_string(),
+        format!("{:.3}", raw.precision()),
+        format!("{:.3}", raw.recall()),
+    ]);
+    for scheme in BiasScheme::paper_variants(2) {
+        // Average the attack over repeated perturbations.
+        let trials = 10;
+        let (mut p_sum, mut r_sum, mut n_claims) = (0.0, 0.0, 0usize);
+        for seed in 0..trials {
+            let mut publisher = Publisher::new(spec, scheme, seed);
+            let release = publisher.publish(&full);
+            let claims = claim_breaches(&release.view(), &spans, cfg.k, 10);
+            let score = score_claims(&claims, &db, &spans, cfg.k, 10);
+            p_sum += score.precision();
+            r_sum += score.recall();
+            n_claims += claims.len();
+        }
+        table.row(vec![
+            scheme.name(),
+            (n_claims / trials as usize).to_string(),
+            format!("{:.3}", p_sum / trials as f64),
+            format!("{:.3}", r_sum / trials as f64),
+        ]);
+    }
+    table.print();
+    write_csv(&table, "ablation_residual_attack");
+}
+
+/// Association-rule confidence preservation per scheme (tolerance 5%).
+fn confidence_preservation() {
+    let profile = DatasetProfile::Pos;
+    let cfg = figure_config(profile);
+    let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, 0.4, 0.4);
+
+    // One representative window.
+    let mut source = profile.source(cfg.seed);
+    let mut window = SlidingWindow::new(cfg.window);
+    let mut miner = MomentMiner::new(cfg.c);
+    for _ in 0..cfg.window {
+        miner.apply(&window.slide(source.next_transaction()));
+    }
+    let full = expand_closed(&miner.closed_frequent());
+    let rules = generate_rules(&full, 0.5);
+
+    let mut table = Table::new(
+        "Ablation 4: association-rule confidence preservation (±5%), by scheme",
+        &["scheme", "rules", "preserved_rate"],
+    );
+    for scheme in BiasScheme::paper_variants(2) {
+        // Average over repeated draws to smooth noise.
+        let mut total = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut p = Publisher::new(spec, scheme, seed);
+            let release = p.publish(&full);
+            total += confidence_preservation_rate(&rules, &release.view(), 0.05);
+        }
+        table.row(vec![
+            scheme.name(),
+            rules.len().to_string(),
+            format!("{:.3}", total / trials as f64),
+        ]);
+    }
+    table.print();
+    write_csv(&table, "ablation_rule_confidence");
+}

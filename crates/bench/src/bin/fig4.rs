@@ -1,0 +1,63 @@
+//! Figure 4: average privacy guarantee (`avg_prig`) vs δ, and average
+//! precision degradation (`avg_pred`) vs ε, at fixed ppr ε/δ = 0.04, for the
+//! four Butterfly variants over both datasets.
+//!
+//! Expected shape (paper §VII-B): every variant's `avg_prig` sits above the
+//! δ diagonal, every variant's `avg_pred` sits below the ε diagonal, and the
+//! basic scheme shows the lowest precision loss.
+//!
+//! Run: `cargo run --release -p bfly-bench --bin fig4` (add `--quick` for a
+//! smoke-scale sweep).
+
+use bfly_bench::{collect_truths, evaluate_scheme, figure_config, write_csv, Table};
+use bfly_core::{BiasScheme, PrivacySpec};
+use bfly_datagen::DatasetProfile;
+
+fn main() {
+    const PPR: f64 = 0.04;
+    let deltas = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let schemes = BiasScheme::paper_variants(2);
+
+    for profile in DatasetProfile::all() {
+        let cfg = figure_config(profile);
+        eprintln!(
+            "[fig4] {}: collecting ground truth over {} windows ...",
+            profile.name(),
+            cfg.windows
+        );
+        let truths = collect_truths(&cfg);
+        let total_breaches: usize = truths.iter().map(|t| t.breaches.len()).sum();
+        eprintln!(
+            "[fig4] {}: {} inferable vulnerable patterns across the run",
+            profile.name(),
+            total_breaches
+        );
+
+        let mut prig = Table::new(
+            &format!("Fig 4 (top) avg_prig vs δ — {} (ppr = {PPR})", profile.name()),
+            &["delta", "epsilon", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
+        );
+        let mut pred = Table::new(
+            &format!("Fig 4 (bottom) avg_pred vs ε — {} (ppr = {PPR})", profile.name()),
+            &["epsilon", "delta", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
+        );
+        for &delta in &deltas {
+            let epsilon = PPR * delta;
+            let spec = PrivacySpec::new(cfg.c, cfg.k, epsilon, delta);
+            let mut prig_cells = vec![format!("{delta:.1}"), format!("{epsilon:.3}")];
+            let mut pred_cells = vec![format!("{epsilon:.3}"), format!("{delta:.1}")];
+            for (i, scheme) in schemes.iter().enumerate() {
+                let r = evaluate_scheme(&truths, spec, *scheme, 100 + i as u64);
+                prig_cells.push(format!("{:.3}", r.avg_prig));
+                pred_cells.push(format!("{:.5}", r.avg_pred));
+            }
+            prig.row(prig_cells);
+            pred.row(pred_cells);
+        }
+        prig.print();
+        pred.print();
+        let p1 = write_csv(&prig, &format!("fig4_prig_{}", profile.name()));
+        let p2 = write_csv(&pred, &format!("fig4_pred_{}", profile.name()));
+        eprintln!("[fig4] wrote {} and {}", p1.display(), p2.display());
+    }
+}

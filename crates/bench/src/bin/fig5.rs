@@ -1,0 +1,50 @@
+//! Figure 5: average order preservation (`avg_ropp`) and ratio preservation
+//! (`avg_rrpp`) vs the precision–privacy ratio ε/δ at fixed δ = 0.4, for the
+//! four Butterfly variants over both datasets (γ = 2, k = 0.95).
+//!
+//! Expected shape: order-preserving (λ=1) wins on ropp, ratio-preserving
+//! (λ=0) wins on rrpp and order-preserving is *worst* on rrpp; the hybrid
+//! λ=0.4 is second-best on both; both rates rise with ε/δ (more bias room).
+//!
+//! Run: `cargo run --release -p bfly-bench --bin fig5` (`--quick` to smoke).
+
+use bfly_bench::{collect_truths, evaluate_scheme, figure_config, write_csv, Table};
+use bfly_core::{BiasScheme, PrivacySpec};
+use bfly_datagen::DatasetProfile;
+
+fn main() {
+    const DELTA: f64 = 0.4;
+    let pprs = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let schemes = BiasScheme::paper_variants(2);
+
+    for profile in DatasetProfile::all() {
+        let cfg = figure_config(profile);
+        eprintln!("[fig5] {}: collecting ground truth ...", profile.name());
+        let truths = collect_truths(&cfg);
+
+        let mut ropp_t = Table::new(
+            &format!("Fig 5 (top) avg_ropp vs ε/δ — {} (δ = {DELTA})", profile.name()),
+            &["ppr", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
+        );
+        let mut rrpp_t = Table::new(
+            &format!("Fig 5 (bottom) avg_rrpp vs ε/δ — {} (δ = {DELTA})", profile.name()),
+            &["ppr", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
+        );
+        for &ppr in &pprs {
+            let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, ppr, DELTA);
+            let mut o = vec![format!("{ppr:.1}")];
+            let mut r = vec![format!("{ppr:.1}")];
+            for (i, scheme) in schemes.iter().enumerate() {
+                let res = evaluate_scheme(&truths, spec, *scheme, 500 + i as u64);
+                o.push(format!("{:.4}", res.avg_ropp));
+                r.push(format!("{:.4}", res.avg_rrpp));
+            }
+            ropp_t.row(o);
+            rrpp_t.row(r);
+        }
+        ropp_t.print();
+        rrpp_t.print();
+        write_csv(&ropp_t, &format!("fig5_ropp_{}", profile.name()));
+        write_csv(&rrpp_t, &format!("fig5_rrpp_{}", profile.name()));
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 7: the order-vs-ratio preservation tradeoff frontier — `avg_rrpp`
+//! against `avg_ropp` as the hybrid weight λ sweeps {0.2..1.0}, one curve
+//! per precision–privacy ratio ε/δ ∈ {0.3, 0.6, 0.9}, over both datasets.
+//!
+//! Expected shape: each curve slopes down-right (more order preservation
+//! costs ratio preservation); larger ε/δ curves dominate (more bias room);
+//! λ = 0.4 sits near the knee.
+//!
+//! Run: `cargo run --release -p bfly-bench --bin fig7` (`--quick` to smoke).
+
+use bfly_bench::{collect_truths, evaluate_scheme, figure_config, write_csv, Table};
+use bfly_core::{BiasScheme, PrivacySpec};
+use bfly_datagen::DatasetProfile;
+
+fn main() {
+    const DELTA: f64 = 0.4;
+    let pprs = [0.3, 0.6, 0.9];
+    let lambdas = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+    for profile in DatasetProfile::all() {
+        let cfg = figure_config(profile);
+        eprintln!("[fig7] {}: collecting ground truth ...", profile.name());
+        let truths = collect_truths(&cfg);
+
+        let mut table = Table::new(
+            &format!("Fig 7 rrpp vs ropp tradeoff — {} (δ = {DELTA})", profile.name()),
+            &["ppr", "lambda", "avg_ropp", "avg_rrpp"],
+        );
+        for &ppr in &pprs {
+            let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, ppr, DELTA);
+            for &lambda in &lambdas {
+                let r = evaluate_scheme(
+                    &truths,
+                    spec,
+                    BiasScheme::Hybrid { lambda, gamma: 2 },
+                    (ppr * 1000.0) as u64 + (lambda * 10.0) as u64,
+                );
+                table.row(vec![
+                    format!("{ppr:.1}"),
+                    format!("{lambda:.1}"),
+                    format!("{:.4}", r.avg_ropp),
+                    format!("{:.4}", r.avg_rrpp),
+                ]);
+            }
+        }
+        table.print();
+        write_csv(&table, &format!("fig7_tradeoff_{}", profile.name()));
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment harness regenerating the Butterfly paper's evaluation
+//! (Figures 4–8). Each `fig*` binary sweeps the same parameters as the
+//! paper, prints the series as a text table, and writes CSV under
+//! `target/figures/`.
+//!
+//! The harness separates **ground truth collection** (mine each window once,
+//! enumerate its inferable vulnerable patterns — independent of scheme and
+//! noise level) from **scheme evaluation** (publish the same truth under
+//! each scheme/contract and measure), so the expensive attack analysis is
+//! amortized across the whole sweep.
+
+pub mod runner;
+pub mod table;
+pub mod tuning;
+
+pub use runner::{collect_truths, evaluate_scheme, EvalResult, ExperimentConfig, WindowTruth};
+pub use table::{write_csv, Table};
+pub use tuning::{tune_gamma, tune_lambda};
+
+/// `--quick` on a figure binary's command line shrinks the sweep (smaller
+/// windows, fewer of them) for smoke runs; default is the paper-scale
+/// setting.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The experiment configuration for a profile, honouring `--quick`.
+pub fn figure_config(profile: bfly_datagen::DatasetProfile) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(profile);
+    if quick_mode() {
+        cfg.window = 600;
+        cfg.windows = 20;
+        cfg.c = 15;
+        cfg.k = 3;
+    }
+    cfg
+}

@@ -1,0 +1,242 @@
+//! Dense bitmap itemsets for bounded universes.
+//!
+//! The sorted-vector [`ItemSet`] is the right default: the
+//! universes here are sparse (a basket holds 2–7 of ~500–1700 items). But
+//! the inner loops of support counting — "is this itemset a subset of that
+//! transaction?" — are branchy merges on it. For hot paths over a *bounded*
+//! universe, [`DenseItemSet`] packs membership into `u64` words so a subset
+//! test is a handful of `AND`/compare instructions regardless of sizes; the
+//! `dense_subset` Criterion bench quantifies the tradeoff.
+//!
+//! Conversions are explicit and checked, so the two representations cannot
+//! be silently mixed across different universes.
+
+use crate::{Item, ItemSet};
+
+/// A fixed-universe bitmap itemset. Two values are only comparable when
+/// created with the same universe size (enforced by debug assertions in the
+/// binary operations).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DenseItemSet {
+    universe: u32,
+    words: Vec<u64>,
+}
+
+impl DenseItemSet {
+    /// The empty set over a universe of `universe` items (ids `0..universe`).
+    pub fn empty(universe: u32) -> Self {
+        DenseItemSet {
+            universe,
+            words: vec![0; universe.div_ceil(64) as usize],
+        }
+    }
+
+    /// Convert from a sparse itemset.
+    ///
+    /// # Panics
+    /// If any item id is outside the universe.
+    pub fn from_itemset(itemset: &ItemSet, universe: u32) -> Self {
+        let mut out = Self::empty(universe);
+        for item in itemset.iter() {
+            out.insert(item);
+        }
+        out
+    }
+
+    /// The universe size this set was created with.
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Insert an item.
+    ///
+    /// # Panics
+    /// If the id is outside the universe.
+    pub fn insert(&mut self, item: Item) {
+        assert!(
+            item.0 < self.universe,
+            "item {item:?} outside universe of {}",
+            self.universe
+        );
+        self.words[(item.0 / 64) as usize] |= 1u64 << (item.0 % 64);
+    }
+
+    /// Remove an item (no-op when absent or out of universe).
+    pub fn remove(&mut self, item: Item) {
+        if item.0 < self.universe {
+            self.words[(item.0 / 64) as usize] &= !(1u64 << (item.0 % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: Item) -> bool {
+        item.0 < self.universe
+            && self.words[(item.0 / 64) as usize] & (1u64 << (item.0 % 64)) != 0
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no item is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Subset test — the hot-path operation: `self ⊆ other` iff every word
+    /// of `self` is covered by the corresponding word of `other`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &DenseItemSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Union.
+    pub fn union(&self, other: &DenseItemSet) -> DenseItemSet {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        DenseItemSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Intersection.
+    pub fn intersection(&self, other: &DenseItemSet) -> DenseItemSet {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        DenseItemSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Difference `self \ other`.
+    pub fn difference(&self, other: &DenseItemSet) -> DenseItemSet {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        DenseItemSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Convert back to the sparse representation.
+    pub fn to_itemset(&self) -> ItemSet {
+        let mut items = Vec::with_capacity(self.len());
+        for (w_idx, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                items.push(Item(w_idx as u32 * 64 + bit));
+                w &= w - 1;
+            }
+        }
+        ItemSet::from_sorted(items).expect("bit order is ascending")
+    }
+
+    /// Iterate items in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Item> + '_ {
+        self.words.iter().enumerate().flat_map(|(w_idx, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(Item(w_idx as u32 * 64 + bit))
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_matches_sparse() {
+        for s in ["abc", "a", "∅"] {
+            let sparse: ItemSet = s.parse().unwrap();
+            let d = DenseItemSet::from_itemset(&sparse, 100);
+            assert_eq!(d.to_itemset(), sparse);
+            assert_eq!(d.len(), sparse.len());
+        }
+        // Multi-word universes (items above bit 64).
+        let big = ItemSet::from_ids([3, 64, 65, 199]);
+        let d = DenseItemSet::from_itemset(&big, 200);
+        assert_eq!(d.to_itemset(), big);
+        assert_eq!(d.iter().collect::<Vec<_>>(), big.items());
+    }
+
+    #[test]
+    fn operations_agree_with_sparse() {
+        let cases = [("abc", "bcd"), ("a", "a"), ("abc", "xyz"), ("", "ab")];
+        for (x, y) in cases {
+            let sx: ItemSet = x.parse().unwrap();
+            let sy: ItemSet = y.parse().unwrap();
+            let dx = DenseItemSet::from_itemset(&sx, 64);
+            let dy = DenseItemSet::from_itemset(&sy, 64);
+            assert_eq!(dx.union(&dy).to_itemset(), sx.union(&sy), "{x} ∪ {y}");
+            assert_eq!(
+                dx.intersection(&dy).to_itemset(),
+                sx.intersection(&sy),
+                "{x} ∩ {y}"
+            );
+            assert_eq!(
+                dx.difference(&dy).to_itemset(),
+                sx.difference(&sy),
+                "{x} \\ {y}"
+            );
+            assert_eq!(dx.is_subset_of(&dy), sx.is_subset_of(&sy), "{x} ⊆ {y}");
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut d = DenseItemSet::empty(130);
+        assert!(d.is_empty());
+        d.insert(Item(0));
+        d.insert(Item(64));
+        d.insert(Item(129));
+        assert!(d.contains(Item(64)));
+        assert_eq!(d.len(), 3);
+        d.remove(Item(64));
+        assert!(!d.contains(Item(64)));
+        d.remove(Item(64)); // idempotent
+        assert_eq!(d.len(), 2);
+        assert!(!d.contains(Item(500))); // out of universe: absent, no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_insert_rejected() {
+        DenseItemSet::empty(10).insert(Item(10));
+    }
+
+    #[test]
+    fn subset_across_word_boundaries() {
+        let a = DenseItemSet::from_itemset(&ItemSet::from_ids([63, 64]), 128);
+        let b = DenseItemSet::from_itemset(&ItemSet::from_ids([10, 63, 64, 100]), 128);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+    }
+}

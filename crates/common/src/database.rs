@@ -1,0 +1,208 @@
+//! In-memory transaction databases with support counting.
+
+use crate::{Item, ItemSet, Pattern, Support, Transaction};
+use std::collections::HashMap;
+
+/// A finite transaction database `D` (§III-A): the unit the miners and the
+/// attack analyses operate on. A sliding window materializes one of these per
+/// step via [`crate::SlidingWindow::database`].
+///
+/// ```
+/// use bfly_common::{Database, Pattern};
+///
+/// let db = Database::parse(["abc", "ab", "c"]);
+/// assert_eq!(db.support(&"ab".parse().unwrap()), 2);
+/// // Patterns with negations count too:
+/// let only_c: Pattern = "c¬a¬b".parse().unwrap();
+/// assert_eq!(db.pattern_support(&only_c), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    records: Vec<Transaction>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Build from records.
+    pub fn from_records(records: Vec<Transaction>) -> Self {
+        Database { records }
+    }
+
+    /// Build from bare itemsets, assigning tids `1..=n`.
+    pub fn from_itemsets<I: IntoIterator<Item = ItemSet>>(itemsets: I) -> Self {
+        Database {
+            records: itemsets
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| Transaction::new(i as u64 + 1, s))
+                .collect(),
+        }
+    }
+
+    /// Parse a compact textual database: one record per element, e.g.
+    /// `Database::parse(["abc", "ab", "cd"])`. Panics on malformed input —
+    /// intended for tests and examples mirroring the paper's figures.
+    pub fn parse<'a, I: IntoIterator<Item = &'a str>>(records: I) -> Self {
+        Self::from_itemsets(
+            records
+                .into_iter()
+                .map(|s| s.parse().expect("malformed itemset literal")),
+        )
+    }
+
+    /// Number of records `|D|`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the database holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in stream order.
+    pub fn records(&self) -> &[Transaction] {
+        &self.records
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, t: Transaction) {
+        self.records.push(t);
+    }
+
+    /// Support `T_D(I)` of an itemset: number of records containing it.
+    pub fn support(&self, itemset: &ItemSet) -> Support {
+        self.records
+            .iter()
+            .filter(|r| itemset.is_subset_of(r.items()))
+            .count() as Support
+    }
+
+    /// Support `T_D(p)` of a generalized pattern (positives and negations).
+    pub fn pattern_support(&self, pattern: &Pattern) -> Support {
+        self.records.iter().filter(|r| pattern.matches(r)).count() as Support
+    }
+
+    /// Supports of many itemsets in one pass over the records.
+    ///
+    /// For each record, only the candidate itemsets are tested, so this is
+    /// `O(|D| · Σ|I|)`; the miners use their own counting structures, this is
+    /// the reference the tests validate them against.
+    pub fn supports<'a, I>(&self, itemsets: I) -> HashMap<ItemSet, Support>
+    where
+        I: IntoIterator<Item = &'a ItemSet>,
+    {
+        let mut counts: HashMap<ItemSet, Support> =
+            itemsets.into_iter().map(|i| (i.clone(), 0)).collect();
+        for record in &self.records {
+            for (itemset, count) in counts.iter_mut() {
+                if itemset.is_subset_of(record.items()) {
+                    *count += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Frequency of each single item.
+    pub fn item_frequencies(&self) -> HashMap<Item, Support> {
+        let mut freq = HashMap::new();
+        for record in &self.records {
+            for item in record.items().iter() {
+                *freq.entry(item).or_insert(0) += 1;
+            }
+        }
+        freq
+    }
+
+    /// The set of distinct items appearing in the database.
+    pub fn alphabet(&self) -> ItemSet {
+        ItemSet::new(self.records.iter().flat_map(|r| r.items().iter()))
+    }
+
+    /// Mean record length; 0.0 for an empty database.
+    pub fn mean_record_len(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.len()).sum::<usize>() as f64 / self.records.len() as f64
+    }
+}
+
+impl FromIterator<Transaction> for Database {
+    fn from_iter<T: IntoIterator<Item = Transaction>>(iter: T) -> Self {
+        Database {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_window_12_8() -> Database {
+        crate::fixtures::fig2_window(12)
+    }
+
+    #[test]
+    fn example2_support_of_abc_in_ds_12_8() {
+        // The Fig. 3 lattice supports w.r.t. Ds(12,8): T(c)=8, T(ac)=5,
+        // T(bc)=5, T(abc)=3.
+        let db = fig2_window_12_8();
+        assert_eq!(db.support(&"c".parse().unwrap()), 8);
+        assert_eq!(db.support(&"ac".parse().unwrap()), 5);
+        assert_eq!(db.support(&"bc".parse().unwrap()), 5);
+        assert_eq!(db.support(&"abc".parse().unwrap()), 3);
+    }
+
+    #[test]
+    fn pattern_support_with_negation() {
+        let db = fig2_window_12_8();
+        // T(ab̄c) = T(c) - T(ac) - T(bc) + T(abc) = 8-5-5+3 = 1
+        let p: Pattern = "c¬a¬b".parse().unwrap();
+        assert_eq!(db.pattern_support(&p), 1);
+    }
+
+    #[test]
+    fn batch_supports_match_single() {
+        let db = fig2_window_12_8();
+        let sets: Vec<ItemSet> = ["a", "ab", "abc", "abcd", "d"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let batch = db.supports(&sets);
+        for s in &sets {
+            assert_eq!(batch[s], db.support(s), "mismatch for {s}");
+        }
+    }
+
+    #[test]
+    fn alphabet_and_frequencies() {
+        let db = Database::parse(["ab", "bc", "b"]);
+        assert_eq!(db.alphabet(), "abc".parse().unwrap());
+        let freq = db.item_frequencies();
+        assert_eq!(freq[&crate::Item(1)], 3); // 'b' in every record
+        assert_eq!(freq[&crate::Item(0)], 1);
+        assert!((db.mean_record_len() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::new();
+        assert!(db.is_empty());
+        assert_eq!(db.support(&"a".parse().unwrap()), 0);
+        assert_eq!(db.mean_record_len(), 0.0);
+        assert_eq!(db.alphabet(), ItemSet::empty());
+    }
+
+    #[test]
+    fn empty_itemset_supported_by_all() {
+        let db = Database::parse(["ab", "c"]);
+        assert_eq!(db.support(&ItemSet::empty()), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Plain-text transaction I/O in the FIMI `.dat` format.
+//!
+//! One transaction per line, items as space-separated non-negative integers.
+//! This is the format the original BMS-WebView-1 / BMS-POS files ship in, so
+//! a user who *does* have the real datasets can feed them straight into the
+//! reproduction.
+
+use crate::{Database, Error, Item, ItemSet, Result, Transaction};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse a `.dat`-format reader into a [`Database`]. Blank lines and lines
+/// starting with `#` are skipped; tids are assigned by position.
+pub fn read_dat<R: Read>(reader: R) -> Result<Database> {
+    let buf = BufReader::new(reader);
+    let mut records = Vec::new();
+    let mut tid = 0u64;
+    for line in buf.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut items = Vec::new();
+        for tok in trimmed.split_ascii_whitespace() {
+            let id: u32 = tok
+                .parse()
+                .map_err(|_| Error::Parse(format!("bad item id {tok:?}")))?;
+            items.push(Item(id));
+        }
+        tid += 1;
+        records.push(Transaction::new(tid, ItemSet::new(items)));
+    }
+    Ok(Database::from_records(records))
+}
+
+/// Load a `.dat` file from disk.
+pub fn load_dat<P: AsRef<Path>>(path: P) -> Result<Database> {
+    read_dat(std::fs::File::open(path)?)
+}
+
+/// Write a database in `.dat` format.
+pub fn write_dat<W: Write>(mut writer: W, db: &Database) -> Result<()> {
+    for record in db.records() {
+        let mut first = true;
+        for item in record.items().iter() {
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{}", item.id())?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Save a database to a `.dat` file on disk.
+pub fn save_dat<P: AsRef<Path>>(path: P, db: &Database) -> Result<()> {
+    write_dat(std::fs::File::create(path)?, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let db = Database::parse(["abc", "bd", "a"]);
+        let mut buf = Vec::new();
+        write_dat(&mut buf, &db).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "0 1 2\n1 3\n0\n");
+        let back = read_dat(&buf[..]).unwrap();
+        assert_eq!(back.len(), db.len());
+        for (a, b) in back.records().iter().zip(db.records()) {
+            assert_eq!(a.items(), b.items());
+        }
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let input = "# header\n\n1 2\n  \n3\n";
+        let db = read_dat(input.as_bytes()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.records()[0].tid(), 1);
+        assert_eq!(db.records()[1].tid(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_dat("1 x 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bfly_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dat");
+        let db = Database::parse(["ab", "c"]);
+        save_dat(&path, &db).unwrap();
+        let back = load_dat(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

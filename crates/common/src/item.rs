@@ -1,0 +1,104 @@
+//! Item identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single item (an element of the universe `I = {i_1, ..., i_M}` in the
+/// paper's notation). Items are dense small integers so they can index
+/// per-item tables in the miners.
+///
+/// The `Ord` on items is the canonical order used everywhere: itemsets are
+/// sorted by it, FP-trees order their paths by it (after a frequency
+/// re-mapping), and the lattice enumeration in `bfly-inference` relies on it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Item(pub u32);
+
+impl Item {
+    /// Raw id.
+    #[inline]
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Convenience: index into a per-item table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Item {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Item(v)
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render small ids as letters (a, b, c, ...) so the paper's running
+        // examples read naturally; fall back to numeric form.
+        if self.0 < 26 {
+            write!(f, "{}", (b'a' + self.0 as u8) as char)
+        } else {
+            write!(f, "i{}", self.0)
+        }
+    }
+}
+
+/// Parse the display form produced by [`Item`]'s `Display`: a single letter
+/// `a`..`z` or `i<N>`.
+impl std::str::FromStr for Item {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        match bytes {
+            [c @ b'a'..=b'z'] => Ok(Item((c - b'a') as u32)),
+            _ => {
+                let digits = s.strip_prefix('i').unwrap_or(s);
+                digits
+                    .parse::<u32>()
+                    .map(Item)
+                    .map_err(|_| crate::Error::Parse(format!("invalid item: {s:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small_ids_as_letters() {
+        assert_eq!(Item(0).to_string(), "a");
+        assert_eq!(Item(25).to_string(), "z");
+        assert_eq!(Item(26).to_string(), "i26");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for id in [0u32, 3, 25, 26, 1000] {
+            let item = Item(id);
+            let parsed: Item = item.to_string().parse().unwrap();
+            assert_eq!(parsed, item);
+        }
+        // Bare numerics also parse.
+        assert_eq!("42".parse::<Item>().unwrap(), Item(42));
+        assert!("".parse::<Item>().is_err());
+        assert!("ix".parse::<Item>().is_err());
+    }
+
+    #[test]
+    fn ordering_follows_id() {
+        assert!(Item(1) < Item(2));
+        assert_eq!(Item(7), Item(7));
+    }
+}

@@ -1,0 +1,224 @@
+//! Generalized patterns: itemsets with negated items (§III-A of the paper).
+
+use crate::{Error, Item, ItemSet, Result, Transaction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pattern `p = I(J\I)̄`: a conjunction of *positive* items that a record
+/// must contain and *negative* items it must not contain. The paper writes
+/// e.g. `a b c̄` for "has a and b but not c".
+///
+/// Vulnerable patterns — the objects Butterfly protects — are exactly these:
+/// low-support patterns derivable from published frequent itemsets through
+/// the inclusion–exclusion principle over the lattice `X_I^J` where
+/// `I` = positives and `J` = positives ∪ negatives.
+///
+/// ```
+/// use bfly_common::{Pattern, Transaction};
+///
+/// let p: Pattern = "ab¬c".parse().unwrap(); // has a and b, lacks c
+/// let record = Transaction::new(1, "abd".parse().unwrap());
+/// assert!(p.matches(&record));
+/// assert!(!p.matches(&Transaction::new(2, "abc".parse().unwrap())));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    positive: ItemSet,
+    negative: ItemSet,
+}
+
+impl Pattern {
+    /// Build a pattern from positive and negative itemsets.
+    ///
+    /// # Errors
+    /// [`Error::OverlappingPattern`] if an item is both asserted and negated
+    /// (such a pattern is unsatisfiable and never arises from the lattice).
+    pub fn new(positive: ItemSet, negative: ItemSet) -> Result<Self> {
+        if !positive.intersection(&negative).is_empty() {
+            return Err(Error::OverlappingPattern);
+        }
+        Ok(Pattern { positive, negative })
+    }
+
+    /// A pure-positive pattern: just an itemset.
+    pub fn positive_only(itemset: ItemSet) -> Self {
+        Pattern {
+            positive: itemset,
+            negative: ItemSet::empty(),
+        }
+    }
+
+    /// The pattern `I (J\I)̄` for `I ⊆ J`: the canonical shape produced by
+    /// inclusion–exclusion over the lattice `X_I^J`.
+    ///
+    /// # Errors
+    /// [`Error::NotSubset`] if `base` is not a subset of `full`.
+    pub fn from_lattice(base: &ItemSet, full: &ItemSet) -> Result<Self> {
+        if !base.is_subset_of(full) {
+            return Err(Error::NotSubset);
+        }
+        Ok(Pattern {
+            positive: base.clone(),
+            negative: full.difference(base),
+        })
+    }
+
+    /// Items the record must contain (the `I` of `I(J\I)̄`).
+    pub fn positives(&self) -> &ItemSet {
+        &self.positive
+    }
+
+    /// Items the record must *not* contain (the `J\I`).
+    pub fn negatives(&self) -> &ItemSet {
+        &self.negative
+    }
+
+    /// `J = I ∪ (J\I)`: the full itemset spanning the pattern's lattice.
+    pub fn span(&self) -> ItemSet {
+        self.positive.union(&self.negative)
+    }
+
+    /// Total number of literals, `|I| + |J\I|`.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// True when the pattern has no literals (matched by every record).
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+
+    /// True when the pattern has at least one negated item.
+    pub fn has_negation(&self) -> bool {
+        !self.negative.is_empty()
+    }
+
+    /// Does `record` satisfy this pattern? (§III-A: contains every positive
+    /// item and none of the negative ones.)
+    pub fn matches(&self, record: &Transaction) -> bool {
+        self.positive.is_subset_of(record.items())
+            && self
+                .negative
+                .iter()
+                .all(|item| !record.items().contains(item))
+    }
+}
+
+impl From<ItemSet> for Pattern {
+    fn from(itemset: ItemSet) -> Self {
+        Pattern::positive_only(itemset)
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "⊤");
+        }
+        if !self.positive.is_empty() {
+            write!(f, "{}", self.positive)?;
+        }
+        for item in self.negative.iter() {
+            write!(f, "¬{item}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse e.g. `"ab¬c"` or `"ab!c"` (both negation markers accepted).
+impl std::str::FromStr for Pattern {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let normalized = s.replace('!', "¬");
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        let mut negated = false;
+        for ch in normalized.chars() {
+            if ch == '¬' {
+                negated = true;
+                continue;
+            }
+            if ch.is_whitespace() {
+                continue;
+            }
+            let item: Item = ch.to_string().parse()?;
+            if negated {
+                negative.push(item);
+            } else {
+                positive.push(item);
+            }
+            negated = false;
+        }
+        Pattern::new(ItemSet::new(positive), ItemSet::new(negative))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    fn tx(s: &str) -> Transaction {
+        Transaction::new(0, iset(s))
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        assert!(Pattern::new(iset("ab"), iset("b")).is_err());
+    }
+
+    #[test]
+    fn from_lattice_splits_correctly() {
+        let p = Pattern::from_lattice(&iset("ab"), &iset("abc")).unwrap();
+        assert_eq!(p.positives(), &iset("ab"));
+        assert_eq!(p.negatives(), &iset("c"));
+        assert_eq!(p.span(), iset("abc"));
+        assert!(Pattern::from_lattice(&iset("ad"), &iset("abc")).is_err());
+    }
+
+    #[test]
+    fn matching_semantics() {
+        // Paper Example 2 flavour: ab¬c matched by records with a,b and no c.
+        let p: Pattern = "ab¬c".parse().unwrap();
+        assert!(p.matches(&tx("abd")));
+        assert!(p.matches(&tx("ab")));
+        assert!(!p.matches(&tx("abc")));
+        assert!(!p.matches(&tx("ad")));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let p = Pattern::positive_only(ItemSet::empty());
+        assert!(p.matches(&tx("a")));
+        assert!(p.matches(&Transaction::new(0, ItemSet::empty())));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let p: Pattern = "ab¬c¬d".parse().unwrap();
+        assert_eq!(p.to_string(), "ab¬c¬d");
+        let q: Pattern = "ab!c!d".parse().unwrap();
+        assert_eq!(p, q);
+        assert!(p.has_negation());
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn pure_positive_pattern() {
+        let p = Pattern::positive_only(iset("ab"));
+        assert!(!p.has_negation());
+        assert!(p.matches(&tx("abc")));
+        assert_eq!(p.span(), iset("ab"));
+    }
+}

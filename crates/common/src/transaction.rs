@@ -1,0 +1,87 @@
+//! Stream records.
+
+use crate::ItemSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Transaction ids are positions in the stream, 1-based like the paper's
+/// `r_1, r_2, ...` so that `Ds(N, H)` covers tids `N-H+1 ..= N`.
+pub type Tid = u64;
+
+/// A single stream record `r_i`: a non-empty itemset stamped with its
+/// position in the stream.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transaction {
+    tid: Tid,
+    items: ItemSet,
+}
+
+impl Transaction {
+    /// Create a record. Empty itemsets are permitted at this level (the
+    /// stream generators never emit them, but windows must tolerate them
+    /// after projection).
+    pub fn new(tid: Tid, items: ItemSet) -> Self {
+        Transaction { tid, items }
+    }
+
+    /// The record's position in the stream.
+    #[inline]
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The record's itemset.
+    #[inline]
+    pub fn items(&self) -> &ItemSet {
+        &self.items
+    }
+
+    /// Number of items in the record.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the record carries no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Replace the tid (used when re-basing generated data onto a stream).
+    pub fn with_tid(mut self, tid: Tid) -> Self {
+        self.tid = tid;
+        self
+    }
+
+    /// Consume into the itemset.
+    pub fn into_items(self) -> ItemSet {
+        self.items
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}:{}", self.tid, self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Transaction::new(7, "abc".parse().unwrap());
+        assert_eq!(t.tid(), 7);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.with_tid(9).tid(), 9);
+    }
+
+    #[test]
+    fn debug_form() {
+        let t = Transaction::new(3, "ac".parse().unwrap());
+        assert_eq!(format!("{t:?}"), "r3:ac");
+    }
+}

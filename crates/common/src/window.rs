@@ -1,0 +1,147 @@
+//! The sliding-window stream model `Ds(N, H)` (§III-A).
+
+use crate::{Database, Transaction};
+use std::collections::VecDeque;
+
+/// A sliding window over a transaction stream: at stream size `N` with
+/// window size `H` it holds records `r_{N-H+1} ..= r_N`.
+///
+/// The window is the unit of release in the paper: each `slide` produces the
+/// next window over which frequent itemsets are mined and (after Butterfly)
+/// published. The miners in `bfly-mining` consume the [`WindowDelta`]s this
+/// type reports so they can update incrementally rather than re-scan.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    capacity: usize,
+    buf: VecDeque<Transaction>,
+    stream_len: u64,
+}
+
+/// What changed when the window advanced by one record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowDelta {
+    /// The record that entered the window.
+    pub added: Transaction,
+    /// The record that left (None while the window is still filling).
+    pub evicted: Option<Transaction>,
+}
+
+impl SlidingWindow {
+    /// Create an empty window of size `H = capacity`.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            stream_len: 0,
+        }
+    }
+
+    /// The window size `H`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records currently held (`min(N, H)`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no record has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True once the stream has produced at least `H` records.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Total records seen so far (`N`).
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Records currently in the window, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &Transaction> {
+        self.buf.iter()
+    }
+
+    /// Push the next stream record; tid is assigned from the stream position.
+    /// Returns what entered and what was evicted.
+    pub fn slide(&mut self, record: Transaction) -> WindowDelta {
+        self.stream_len += 1;
+        let added = record.with_tid(self.stream_len);
+        let evicted = if self.buf.len() == self.capacity {
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(added.clone());
+        WindowDelta { added, evicted }
+    }
+
+    /// Materialize the current window contents as a [`Database`].
+    pub fn database(&self) -> Database {
+        Database::from_records(self.buf.iter().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ItemSet;
+
+    fn tx(s: &str) -> Transaction {
+        Transaction::new(0, s.parse::<ItemSet>().unwrap())
+    }
+
+    #[test]
+    fn fills_then_evicts_fifo() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.slide(tx("a")).evicted, None);
+        assert_eq!(w.slide(tx("b")).evicted, None);
+        assert_eq!(w.slide(tx("c")).evicted, None);
+        assert!(w.is_full());
+        let delta = w.slide(tx("d"));
+        let evicted = delta.evicted.unwrap();
+        assert_eq!(evicted.items(), &"a".parse().unwrap());
+        assert_eq!(evicted.tid(), 1);
+        assert_eq!(delta.added.tid(), 4);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.stream_len(), 4);
+    }
+
+    #[test]
+    fn tids_are_stream_positions() {
+        let mut w = SlidingWindow::new(2);
+        for s in ["a", "b", "c"] {
+            w.slide(tx(s));
+        }
+        let tids: Vec<u64> = w.records().map(|r| r.tid()).collect();
+        assert_eq!(tids, vec![2, 3]);
+    }
+
+    #[test]
+    fn database_snapshot_matches_window() {
+        let mut w = SlidingWindow::new(8);
+        // Fig. 2's stream r1..r12; the final window is Ds(12, 8).
+        for r in crate::fixtures::fig2_stream() {
+            w.slide(r);
+        }
+        let db = w.database();
+        assert_eq!(db.len(), 8);
+        assert_eq!(db.support(&"abc".parse().unwrap()), 3);
+        assert_eq!(db.support(&"c".parse().unwrap()), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SlidingWindow::new(0);
+    }
+}

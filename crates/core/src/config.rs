@@ -1,0 +1,239 @@
+//! The `(C, K, ε, δ)` privacy/precision contract (§V-D).
+
+use bfly_common::Support;
+use serde::{Deserialize, Serialize};
+
+/// The parameters Butterfly is configured with:
+///
+/// * `C` — minimum support of the mining task;
+/// * `K` — vulnerable support (`K ≪ C`): patterns with `0 < T ≤ K` must not
+///   be inferable;
+/// * `ε` — precision budget: every frequent itemset's relative MSE
+///   (`pred`) stays ≤ ε;
+/// * `δ` — privacy floor: every inferable vulnerable pattern's relative
+///   estimation error (`prig`) stays ≥ δ.
+///
+/// Feasibility requires `ε/δ ≥ K²/(2C²)` up to noise-region integrality —
+/// enforced by [`PrivacySpec::new`] using the *realized* variance.
+///
+/// ```
+/// use bfly_core::PrivacySpec;
+///
+/// // The paper's default: C=25, K=5, ppr = ε/δ = 0.04 at δ = 1.
+/// let spec = PrivacySpec::from_ppr(25, 5, 0.04, 1.0);
+/// assert_eq!(spec.alpha(), 12);          // noise region width
+/// assert_eq!(spec.sigma2(), 14.0);       // ≥ δK²/2 = 12.5
+/// assert_eq!(spec.min_ppr(), 0.02);      // K²/(2C²)
+/// ```
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PrivacySpec {
+    c: Support,
+    k: Support,
+    epsilon: f64,
+    delta: f64,
+    /// Realized noise-region width (integer `α = u − l`).
+    alpha: u64,
+    /// Realized perturbation variance `((α+1)² − 1)/12 ≥ δK²/2`.
+    sigma2: f64,
+}
+
+impl PrivacySpec {
+    /// Build and validate a spec.
+    ///
+    /// # Panics
+    /// If any parameter is out of range, `K ≥ C`, or the pair `(ε, δ)` is
+    /// infeasible once the noise region is rounded up to integer width —
+    /// i.e. `ε·C² < σ²`, the paper's compatibility condition
+    /// `ε/δ ≥ K²/(2C²)` in realized form.
+    pub fn new(c: Support, k: Support, epsilon: f64, delta: f64) -> Self {
+        assert!(c > 0, "C must be positive");
+        assert!(k > 0 && k < c, "need 0 < K < C (vulnerable ≪ minimum support)");
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
+        assert!(delta > 0.0 && delta.is_finite(), "δ must be positive");
+        // Inequation 2: σ² ≥ δK²/2, with σ² = ((α+1)²−1)/12 for an integer
+        // discrete-uniform region of width α.
+        let sigma2_target = delta * (k * k) as f64 / 2.0;
+        let alpha = ((1.0 + 6.0 * delta * (k * k) as f64).sqrt() - 1.0).ceil() as u64;
+        let alpha = alpha.max(1); // always inject some uncertainty
+        let sigma2 = (((alpha + 1) * (alpha + 1) - 1) as f64) / 12.0;
+        debug_assert!(sigma2 + 1e-9 >= sigma2_target);
+        // Inequation 1 at the worst case T(X) = C: σ² + β² ≤ εC² needs at
+        // least β = 0 to fit.
+        assert!(
+            epsilon * (c * c) as f64 + 1e-9 >= sigma2,
+            "(ε={epsilon}, δ={delta}) infeasible: realized σ²={sigma2} exceeds εC²={}; \
+             raise ε/δ above K²/(2C²)",
+            epsilon * (c * c) as f64
+        );
+        PrivacySpec {
+            c,
+            k,
+            epsilon,
+            delta,
+            alpha,
+            sigma2,
+        }
+    }
+
+    /// Convenience: build from a precision–privacy ratio `ppr = ε/δ` and a
+    /// privacy floor `δ` (how the paper's experiments are parameterized).
+    pub fn from_ppr(c: Support, k: Support, ppr: f64, delta: f64) -> Self {
+        Self::new(c, k, ppr * delta, delta)
+    }
+
+    /// Build a spec whose variance additionally respects an external floor —
+    /// the Prior Knowledge 3 compensation: when the adversary is assumed to
+    /// know some lattice members exactly, the surviving members must carry
+    /// the whole privacy budget, so the deployment passes
+    /// `bfly_inference::knowledge::required_sigma2(...)` here and the noise
+    /// region widens accordingly.
+    ///
+    /// # Panics
+    /// Like [`PrivacySpec::new`]; additionally if the boosted variance no
+    /// longer fits the precision budget `ε·C²`.
+    pub fn with_sigma2_floor(
+        c: Support,
+        k: Support,
+        epsilon: f64,
+        delta: f64,
+        sigma2_floor: f64,
+    ) -> Self {
+        let mut spec = Self::new(c, k, epsilon, delta);
+        if spec.sigma2 < sigma2_floor {
+            let alpha = (((1.0 + 12.0 * sigma2_floor).sqrt() - 1.0).ceil() as u64).max(1);
+            let sigma2 = (((alpha + 1) * (alpha + 1) - 1) as f64) / 12.0;
+            assert!(
+                epsilon * (c * c) as f64 + 1e-9 >= sigma2,
+                "compensated σ²={sigma2} exceeds the precision budget εC²={}",
+                epsilon * (c * c) as f64
+            );
+            spec.alpha = alpha;
+            spec.sigma2 = sigma2;
+        }
+        spec
+    }
+
+    /// Minimum support `C`.
+    pub fn c(&self) -> Support {
+        self.c
+    }
+
+    /// Vulnerable support `K`.
+    pub fn k(&self) -> Support {
+        self.k
+    }
+
+    /// Precision budget `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Privacy floor `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The precision–privacy ratio `ε/δ`.
+    pub fn ppr(&self) -> f64 {
+        self.epsilon / self.delta
+    }
+
+    /// The theoretical minimum feasible ppr, `K²/(2C²)` (§V-D).
+    pub fn min_ppr(&self) -> f64 {
+        (self.k * self.k) as f64 / (2.0 * (self.c * self.c) as f64)
+    }
+
+    /// Integer width `α = u − l` of every noise region.
+    pub fn alpha(&self) -> u64 {
+        self.alpha
+    }
+
+    /// Realized perturbation variance `σ²` (same for every FEC).
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// Maximum adjustable bias for a FEC of support `t` (Definition 7, with
+    /// the realized σ²): `β^m = sqrt(ε·t² − σ²)`, clamped at 0 when the
+    /// precision budget is exactly consumed by the variance.
+    pub fn max_bias(&self, t: Support) -> f64 {
+        (self.epsilon * (t * t) as f64 - self.sigma2).max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_setting_is_feasible() {
+        // C=25, K=5, ppr 0.04 at δ=1.0 → ε=0.04 (the Fig 4 extreme).
+        let spec = PrivacySpec::from_ppr(25, 5, 0.04, 1.0);
+        assert_eq!(spec.c(), 25);
+        assert_eq!(spec.k(), 5);
+        assert!((spec.ppr() - 0.04).abs() < 1e-12);
+        // α = ceil(sqrt(1+6·25)−1) = ceil(sqrt(151)−1) = 12; σ² = 14.
+        assert_eq!(spec.alpha(), 12);
+        assert!((spec.sigma2() - 14.0).abs() < 1e-9);
+        assert!(spec.sigma2() >= spec.delta() * 25.0 / 2.0);
+        assert!((spec.min_ppr() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_bias_grows_with_support() {
+        let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
+        let at_c = spec.max_bias(25);
+        let at_100 = spec.max_bias(100);
+        assert!((at_c - (0.04f64 * 625.0 - 14.0).sqrt()).abs() < 1e-9);
+        assert!(at_100 > at_c * 3.0);
+    }
+
+    #[test]
+    fn variance_meets_floor_across_delta_sweep() {
+        for delta in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let spec = PrivacySpec::from_ppr(25, 5, 0.04, delta);
+            assert!(
+                spec.sigma2() + 1e-9 >= delta * 25.0 / 2.0,
+                "σ² floor violated at δ={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma2_floor_widens_the_region() {
+        // Baseline: σ² = 14 at δ=1. Demand 25 (one of two lattice members
+        // known exactly — see bfly-inference::knowledge::required_sigma2).
+        let spec = PrivacySpec::with_sigma2_floor(25, 5, 0.08, 1.0, 25.0);
+        assert!(spec.sigma2() >= 25.0);
+        assert!(spec.alpha() > 12);
+        // A floor below the baseline changes nothing.
+        let same = PrivacySpec::with_sigma2_floor(25, 5, 0.04, 1.0, 1.0);
+        assert_eq!(same.alpha(), PrivacySpec::new(25, 5, 0.04, 1.0).alpha());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision budget")]
+    fn unaffordable_floor_rejected() {
+        PrivacySpec::with_sigma2_floor(25, 5, 0.04, 1.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_ppr_rejected() {
+        // ppr far below K²/2C² = 0.02.
+        PrivacySpec::from_ppr(25, 5, 0.001, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < K < C")]
+    fn k_must_be_below_c() {
+        PrivacySpec::new(25, 25, 0.04, 1.0);
+    }
+
+    #[test]
+    fn max_bias_clamps_at_zero() {
+        // t = C and ε C² == σ² exactly consumed → no bias headroom, not NaN.
+        let spec = PrivacySpec::new(25, 5, 0.0224, 1.0); // εC² = 14 = σ²
+        assert_eq!(spec.max_bias(25), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Frequency equivalence classes (Definition 5).
+
+use bfly_common::{ItemSet, Support};
+use bfly_mining::FrequentItemsets;
+use std::collections::BTreeMap;
+
+/// A frequency equivalence class: the frequent itemsets sharing one support
+/// value. The optimized Butterfly schemes perturb per-FEC, preserving the
+/// equality of members' supports exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fec {
+    support: Support,
+    members: Vec<ItemSet>,
+}
+
+impl Fec {
+    /// The shared support `T(fec)`.
+    pub fn support(&self) -> Support {
+        self.support
+    }
+
+    /// Members, in lexicographic order.
+    pub fn members(&self) -> &[ItemSet] {
+        &self.members
+    }
+
+    /// Class size `s_i` — the weight in Algorithm 1's inversion cost.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Partition a mining result into FECs, **sorted ascending by support**
+/// (`fec_1 ≺ fec_2 ≺ …` as §VI assumes).
+pub fn partition_into_fecs(frequent: &FrequentItemsets) -> Vec<Fec> {
+    let mut by_support: BTreeMap<Support, Vec<ItemSet>> = BTreeMap::new();
+    for e in frequent.iter() {
+        by_support
+            .entry(e.support)
+            .or_default()
+            .push(e.itemset.clone());
+    }
+    by_support
+        .into_iter()
+        .map(|(support, mut members)| {
+            members.sort_unstable();
+            Fec { support, members }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn partitions_by_support_ascending() {
+        let f = FrequentItemsets::new(vec![
+            (iset("a"), 5),
+            (iset("ab"), 3),
+            (iset("b"), 5),
+            (iset("c"), 8),
+            (iset("bc"), 3),
+        ]);
+        let fecs = partition_into_fecs(&f);
+        assert_eq!(fecs.len(), 3);
+        assert_eq!(fecs[0].support(), 3);
+        assert_eq!(fecs[0].members(), &[iset("ab"), iset("bc")]);
+        assert_eq!(fecs[0].size(), 2);
+        assert_eq!(fecs[1].support(), 5);
+        assert_eq!(fecs[2].support(), 8);
+        assert_eq!(fecs[2].size(), 1);
+    }
+
+    #[test]
+    fn strictly_increasing_supports() {
+        let f = FrequentItemsets::new(vec![(iset("a"), 2), (iset("b"), 9), (iset("c"), 2)]);
+        let fecs = partition_into_fecs(&f);
+        for pair in fecs.windows(2) {
+            assert!(pair[0].support() < pair[1].support());
+        }
+        // Total members preserved.
+        assert_eq!(fecs.iter().map(Fec::size).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn empty_result_gives_no_fecs() {
+        assert!(partition_into_fecs(&FrequentItemsets::default()).is_empty());
+    }
+}

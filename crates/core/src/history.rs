@@ -1,0 +1,200 @@
+//! Release-history persistence: JSONL storage of sanitized publications for
+//! offline analysis.
+//!
+//! A deployment's auditors (and its adversaries) see the *sequence* of
+//! sanitized windows, not one release in isolation — the inter-window
+//! attacks and the republication rule are both properties of the sequence.
+//! This module stores and reloads that sequence so attack analyses can run
+//! offline against exactly what was published.
+//!
+//! **Trust boundary**: entries serialize [`SanitizedItemset`]s *including
+//! their true supports*, so a history file is an **evaluation-side**
+//! artifact for the data owner's own audits. The wire format consumers see
+//! is the `butterfly protect` CLI's output, which carries sanitized values
+//! only.
+//!
+//! [`SanitizedItemset`]: crate::release::SanitizedItemset
+
+use crate::release::SanitizedRelease;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// One persisted window release.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Stream position `N` of the window `Ds(N, H)`.
+    pub stream_len: u64,
+    /// The sanitized publication.
+    pub release: SanitizedRelease,
+}
+
+/// An append-only sequence of sanitized window releases.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReleaseHistory {
+    entries: Vec<HistoryEntry>,
+}
+
+impl ReleaseHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        ReleaseHistory::default()
+    }
+
+    /// Number of stored windows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record one release. Stream positions must be strictly increasing.
+    ///
+    /// # Panics
+    /// If `stream_len` does not advance past the previous entry.
+    pub fn push(&mut self, stream_len: u64, release: SanitizedRelease) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                stream_len > last.stream_len,
+                "history must advance: {} after {}",
+                stream_len,
+                last.stream_len
+            );
+        }
+        self.entries.push(HistoryEntry {
+            stream_len,
+            release,
+        });
+    }
+
+    /// The stored entries, oldest first.
+    pub fn entries(&self) -> &[HistoryEntry] {
+        &self.entries
+    }
+
+    /// Iterate consecutive pairs `(previous, current)` — the unit the
+    /// inter-window analyses consume.
+    pub fn adjacent_pairs(&self) -> impl Iterator<Item = (&HistoryEntry, &HistoryEntry)> {
+        self.entries.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Serialize as JSON lines (one entry per line).
+    pub fn write_jsonl<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for entry in &self.entries {
+            serde_json::to_writer(&mut writer, entry)?;
+            writeln!(writer)?;
+        }
+        Ok(())
+    }
+
+    /// Parse JSON lines produced by [`ReleaseHistory::write_jsonl`].
+    pub fn read_jsonl<R: Read>(reader: R) -> std::io::Result<Self> {
+        let mut history = ReleaseHistory::new();
+        for line in BufReader::new(reader).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry: HistoryEntry = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            history.push(entry.stream_len, entry.release);
+        }
+        Ok(history)
+    }
+
+    /// Save to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        self.write_jsonl(std::fs::File::create(path)?)
+    }
+
+    /// Load from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Self::read_jsonl(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrivacySpec;
+    use crate::publisher::Publisher;
+    use crate::scheme::BiasScheme;
+    use bfly_mining::FrequentItemsets;
+
+    fn sample_history() -> ReleaseHistory {
+        let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
+        let mut publisher = Publisher::new(spec, BiasScheme::Basic, 5);
+        let mut history = ReleaseHistory::new();
+        for (n, support) in [(2000u64, 40u64), (2001, 40), (2002, 41)] {
+            let mined =
+                FrequentItemsets::new(vec![("ab".parse().unwrap(), support)]);
+            history.push(n, publisher.publish(&mined));
+        }
+        history
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let history = sample_history();
+        let mut buf = Vec::new();
+        history.write_jsonl(&mut buf).unwrap();
+        let back = ReleaseHistory::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, history);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn republication_survives_persistence() {
+        // The pinned values of the first two windows (unchanged support)
+        // must be byte-identical after a save/load cycle — an offline
+        // averaging adversary still learns nothing.
+        let history = sample_history();
+        let mut buf = Vec::new();
+        history.write_jsonl(&mut buf).unwrap();
+        let back = ReleaseHistory::read_jsonl(&buf[..]).unwrap();
+        let v0 = back.entries()[0].release.view();
+        let v1 = back.entries()[1].release.view();
+        assert_eq!(v0, v1, "pin lost through persistence");
+    }
+
+    #[test]
+    fn adjacent_pairs_iterate_in_order() {
+        let history = sample_history();
+        let pairs: Vec<_> = history.adjacent_pairs().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0.stream_len, 2000);
+        assert_eq!(pairs[1].1.stream_len, 2002);
+    }
+
+    #[test]
+    #[should_panic(expected = "must advance")]
+    fn non_monotone_push_rejected() {
+        let mut h = sample_history();
+        h.push(1999, SanitizedRelease::default());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(ReleaseHistory::read_jsonl("not json\n".as_bytes()).is_err());
+        // Blank lines are tolerated.
+        let history = sample_history();
+        let mut buf = Vec::new();
+        history.write_jsonl(&mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        assert_eq!(ReleaseHistory::read_jsonl(&buf[..]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bfly_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.jsonl");
+        let history = sample_history();
+        history.save(&path).unwrap();
+        assert_eq!(ReleaseHistory::load(&path).unwrap(), history);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,262 @@
+//! Incremental bias setting — the paper's stated future work (§VII:
+//! "in the future work we aim at developing incremental version, and expect
+//! even lower overhead").
+//!
+//! Between consecutive windows the FEC skeleton (the sorted list of
+//! (support, size) pairs) usually changes only locally: a handful of
+//! itemsets gain or lose one support count. The window-based optimizer
+//! re-solves the whole chain anyway; this module diffs the skeletons,
+//! reuses the previous solution over the longest unchanged prefix and
+//! suffix, and re-runs the DP only over the changed middle with `γ` pinned
+//! context FECs on each side — falling back to a full solve when the patch
+//! is infeasible or the diff spans most of the chain.
+
+use crate::config::PrivacySpec;
+use crate::fec::Fec;
+use crate::order::{order_preserving_biases, order_preserving_biases_pinned};
+
+/// Skeleton entry: what must match for a previous bias to be reusable.
+type Skeleton = Vec<(u64, usize)>;
+
+fn skeleton(fecs: &[Fec]) -> Skeleton {
+    fecs.iter().map(|f| (f.support(), f.size())).collect()
+}
+
+/// Memo of the previous window's order-preserving solution.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalOrderSetter {
+    prev_skeleton: Skeleton,
+    prev_biases: Vec<f64>,
+    /// Windows answered without any DP work (skeleton identical).
+    pub full_reuse_hits: u64,
+    /// Windows answered by patching a changed middle.
+    pub patch_hits: u64,
+    /// Windows that required a full re-solve.
+    pub full_solves: u64,
+}
+
+impl IncrementalOrderSetter {
+    /// Fresh setter with no memory.
+    pub fn new() -> Self {
+        IncrementalOrderSetter::default()
+    }
+
+    /// Compute order-preserving biases for this window, reusing as much of
+    /// the previous solution as the skeleton diff allows. Results satisfy
+    /// the same budget and chain constraints as the full solver.
+    pub fn biases(&mut self, fecs: &[Fec], spec: &PrivacySpec, gamma: usize) -> Vec<f64> {
+        let current = skeleton(fecs);
+        let result = if current == self.prev_skeleton {
+            self.full_reuse_hits += 1;
+            self.prev_biases.clone()
+        } else {
+            match self.try_patch(fecs, &current, spec, gamma) {
+                Some(patched) => {
+                    self.patch_hits += 1;
+                    patched
+                }
+                None => {
+                    self.full_solves += 1;
+                    order_preserving_biases(fecs, spec, gamma)
+                }
+            }
+        };
+        self.prev_skeleton = current;
+        self.prev_biases = result.clone();
+        result
+    }
+
+    /// Attempt the prefix/suffix patch. `None` ⇒ caller should full-solve.
+    fn try_patch(
+        &self,
+        fecs: &[Fec],
+        current: &Skeleton,
+        spec: &PrivacySpec,
+        gamma: usize,
+    ) -> Option<Vec<f64>> {
+        let prev = &self.prev_skeleton;
+        if prev.is_empty() || gamma == 0 {
+            return None;
+        }
+        // Longest common prefix / suffix of the two skeletons.
+        let mut prefix = 0usize;
+        while prefix < prev.len() && prefix < current.len() && prev[prefix] == current[prefix] {
+            prefix += 1;
+        }
+        let mut suffix = 0usize;
+        while suffix < prev.len() - prefix
+            && suffix < current.len() - prefix
+            && prev[prev.len() - 1 - suffix] == current[current.len() - 1 - suffix]
+        {
+            suffix += 1;
+        }
+        let changed = current.len() - prefix - suffix;
+        // Patch only pays off for local changes.
+        if changed + 2 * gamma >= current.len() {
+            return None;
+        }
+        // Pin γ context FECs on each side of the changed middle; leave the
+        // middle free. Outside the patch span, previous biases carry over.
+        let span_start = prefix.saturating_sub(gamma);
+        let span_end = (current.len() - suffix + gamma).min(current.len());
+        let mut pinned: Vec<Option<i64>> = vec![None; current.len()];
+        let mut out: Vec<f64> = vec![0.0; current.len()];
+        for i in 0..current.len() {
+            let reused = if i < prefix {
+                Some(self.prev_biases[i])
+            } else if i >= current.len() - suffix {
+                Some(self.prev_biases[prev.len() - (current.len() - i)])
+            } else {
+                None
+            };
+            if let Some(b) = reused {
+                out[i] = b;
+                if (span_start..span_end).contains(&i) {
+                    pinned[i] = Some(b.round() as i64);
+                }
+            }
+        }
+        // Re-solve the patch span only (indices outside it are untouched;
+        // interactions across the span edge are covered by the pins).
+        let sub_fecs = &fecs[span_start..span_end];
+        let sub_pinned: Vec<Option<i64>> = pinned[span_start..span_end].to_vec();
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            order_preserving_biases_pinned(sub_fecs, spec, gamma, &sub_pinned)
+        }))
+        .ok()?;
+        for (offset, b) in solved.into_iter().enumerate() {
+            out[span_start + offset] = b;
+        }
+        // The patched chain must still be strictly increasing end to end.
+        let mut prev_e = f64::NEG_INFINITY;
+        for (f, b) in fecs.iter().zip(&out) {
+            let e = f.support() as f64 + b;
+            if e <= prev_e {
+                return None;
+            }
+            prev_e = e;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fec::partition_into_fecs;
+    use bfly_common::ItemSet;
+    use bfly_mining::FrequentItemsets;
+
+    fn spec() -> PrivacySpec {
+        PrivacySpec::new(25, 5, 0.04, 1.0)
+    }
+
+    fn fecs(supports: &[u64]) -> Vec<Fec> {
+        partition_into_fecs(&FrequentItemsets::new(
+            supports
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (ItemSet::from_ids([i as u32]), s)),
+        ))
+    }
+
+    fn assert_valid(fecs: &[Fec], biases: &[f64], spec: &PrivacySpec) {
+        assert_eq!(biases.len(), fecs.len());
+        let mut prev = f64::NEG_INFINITY;
+        for (f, b) in fecs.iter().zip(biases) {
+            assert!(b.abs() <= spec.max_bias(f.support()) + 1e-9, "budget");
+            let e = f.support() as f64 + b;
+            assert!(e > prev, "chain violated");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn identical_window_is_a_full_reuse() {
+        let s = spec();
+        let f = fecs(&[25, 27, 29, 60, 90]);
+        let mut inc = IncrementalOrderSetter::new();
+        let first = inc.biases(&f, &s, 2);
+        let second = inc.biases(&f, &s, 2);
+        assert_eq!(first, second);
+        assert_eq!(inc.full_reuse_hits, 1);
+        assert_eq!(inc.full_solves, 1); // the initial solve
+        assert_valid(&f, &second, &s);
+    }
+
+    #[test]
+    fn local_change_takes_the_patch_path() {
+        let s = spec();
+        let before = fecs(&[25, 27, 29, 60, 62, 90, 120, 150, 180, 210]);
+        let mut after_supports = vec![25, 27, 29, 60, 62, 90, 120, 150, 180, 210];
+        after_supports[4] = 63; // one FEC's support shifts by one
+        let after = fecs(&after_supports);
+
+        let mut inc = IncrementalOrderSetter::new();
+        inc.biases(&before, &s, 2);
+        let patched = inc.biases(&after, &s, 2);
+        assert_eq!(inc.patch_hits, 1, "expected the patch path");
+        assert_valid(&after, &patched, &s);
+    }
+
+    #[test]
+    fn patch_matches_full_solve_quality_on_local_change() {
+        let s = spec();
+        let before = fecs(&[25, 27, 29, 31, 33, 100, 102, 104, 200, 202]);
+        let mut v = vec![25u64, 27, 29, 31, 33, 100, 102, 104, 200, 202];
+        v[6] = 101;
+        let after = fecs(&v);
+        let mut inc = IncrementalOrderSetter::new();
+        inc.biases(&before, &s, 2);
+        let patched = inc.biases(&after, &s, 2);
+        let full = order_preserving_biases(&after, &s, 2);
+        let cost = |biases: &[f64]| -> f64 {
+            let alpha = s.alpha() as f64;
+            let e: Vec<f64> = after
+                .iter()
+                .zip(biases)
+                .map(|(f, b)| f.support() as f64 + b)
+                .collect();
+            let mut total = 0.0;
+            for i in 0..e.len() {
+                for j in (i + 1)..e.len() {
+                    let d = e[j] - e[i];
+                    if d <= alpha {
+                        let w = (after[i].size() + after[j].size()) as f64;
+                        total += w * (alpha + 1.0 - d) * (alpha + 1.0 - d);
+                    }
+                }
+            }
+            total
+        };
+        // The patch may be slightly worse than the global optimum but not
+        // wildly so.
+        assert!(
+            cost(&patched) <= cost(&full) * 1.5 + 1e-9,
+            "patch cost {} vs full {}",
+            cost(&patched),
+            cost(&full)
+        );
+    }
+
+    #[test]
+    fn wholesale_change_falls_back_to_full_solve() {
+        let s = spec();
+        let mut inc = IncrementalOrderSetter::new();
+        inc.biases(&fecs(&[25, 27, 29]), &s, 2);
+        let after = fecs(&[40, 50, 60, 70]);
+        let b = inc.biases(&after, &s, 2);
+        assert_eq!(inc.full_solves, 2);
+        assert_valid(&after, &b, &s);
+    }
+
+    #[test]
+    fn empty_and_growing_windows() {
+        let s = spec();
+        let mut inc = IncrementalOrderSetter::new();
+        assert!(inc.biases(&[], &s, 2).is_empty());
+        let f = fecs(&[30, 60]);
+        let b = inc.biases(&f, &s, 2);
+        assert_valid(&f, &b, &s);
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end stream pipeline: window → miner → Butterfly publisher.
+
+use crate::publisher::Publisher;
+use crate::release::SanitizedRelease;
+use bfly_common::{SlidingWindow, Transaction};
+use bfly_mining::{FrequentItemsets, MomentMiner, WindowMiner};
+
+/// One published window: the miner's (true) closed frequent itemsets and the
+/// sanitized release the outside world sees.
+#[derive(Clone, Debug)]
+pub struct WindowRelease {
+    /// Stream position `N` of the window `Ds(N, H)`.
+    pub stream_len: u64,
+    /// Ground-truth closed frequent itemsets (evaluation only).
+    pub closed: FrequentItemsets,
+    /// The sanitized publication.
+    pub release: SanitizedRelease,
+}
+
+/// Glue object running the full Butterfly deployment of Fig. 1's last step:
+/// a sliding window feeds the incremental Moment miner; each full window's
+/// closed frequent itemsets pass through the perturbation publisher.
+#[derive(Clone, Debug)]
+pub struct StreamPipeline {
+    window: SlidingWindow,
+    miner: MomentMiner,
+    publisher: Publisher,
+}
+
+impl StreamPipeline {
+    /// Build a pipeline. The publisher's spec supplies the miner's minimum
+    /// support `C`.
+    pub fn new(window_size: usize, publisher: Publisher) -> Self {
+        let c = publisher.spec().c();
+        StreamPipeline {
+            window: SlidingWindow::new(window_size),
+            miner: MomentMiner::new(c),
+            publisher,
+        }
+    }
+
+    /// Records seen so far.
+    pub fn stream_len(&self) -> u64 {
+        self.window.stream_len()
+    }
+
+    /// Feed one transaction. Returns a release once the window is full
+    /// (every subsequent step publishes; callers wanting coarser cadence
+    /// subsample).
+    pub fn step(&mut self, t: Transaction) -> Option<WindowRelease> {
+        let delta = self.window.slide(t);
+        self.miner.apply(&delta);
+        if !self.window.is_full() {
+            return None;
+        }
+        let closed = self.miner.closed_frequent();
+        let release = self.publisher.publish(&closed);
+        debug_assert!(
+            crate::audit::audit_release(self.publisher.spec(), &release).is_empty(),
+            "publisher emitted a release violating its contract"
+        );
+        Some(WindowRelease {
+            stream_len: self.window.stream_len(),
+            closed,
+            release,
+        })
+    }
+
+    /// Feed one transaction without publishing (cheap advance between
+    /// publication points).
+    pub fn advance(&mut self, t: Transaction) {
+        let delta = self.window.slide(t);
+        self.miner.apply(&delta);
+    }
+
+    /// Publish the current window explicitly (window must be full).
+    pub fn publish_now(&mut self) -> WindowRelease {
+        assert!(self.window.is_full(), "cannot publish a partial window");
+        let closed = self.miner.closed_frequent();
+        let release = self.publisher.publish(&closed);
+        WindowRelease {
+            stream_len: self.window.stream_len(),
+            closed,
+            release,
+        }
+    }
+
+    /// Access the live window (e.g. to materialize the ground-truth
+    /// database for breach analysis).
+    pub fn window(&self) -> &SlidingWindow {
+        &self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrivacySpec;
+    use crate::scheme::BiasScheme;
+    use bfly_common::fixtures::fig2_stream;
+    use bfly_datagen::DatasetProfile;
+
+    #[test]
+    fn publishes_only_full_windows() {
+        let spec = PrivacySpec::new(4, 1, 0.2, 0.5);
+        let publisher = Publisher::new(spec, BiasScheme::Basic, 1);
+        let mut pipe = StreamPipeline::new(8, publisher);
+        let mut published = 0;
+        for (i, t) in fig2_stream().into_iter().enumerate() {
+            match pipe.step(t) {
+                Some(r) => {
+                    published += 1;
+                    assert!(i >= 7, "published before window filled");
+                    assert_eq!(r.stream_len, i as u64 + 1);
+                    assert_eq!(r.release.len(), r.closed.len());
+                }
+                None => assert!(i < 7),
+            }
+        }
+        assert_eq!(published, 5); // N = 8..12
+    }
+
+    #[test]
+    fn sanitized_supports_track_truth_within_alpha() {
+        let spec = PrivacySpec::new(25, 5, 0.04, 0.4);
+        let publisher = Publisher::new(spec, BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }, 3);
+        let mut pipe = StreamPipeline::new(500, publisher);
+        let mut src = DatasetProfile::WebView1.source(5);
+        let mut releases = 0;
+        for _ in 0..700 {
+            if let Some(r) = pipe.step(src.next_transaction()) {
+                releases += 1;
+                for e in r.release.iter() {
+                    assert!(e.true_support >= 25, "miner leaked sub-C itemset");
+                    let err = (e.sanitized - e.true_support as i64).unsigned_abs();
+                    // |bias| ≤ β^m ≤ √ε·t plus half the region width.
+                    let budget = (spec.epsilon().sqrt() * e.true_support as f64).ceil()
+                        as u64
+                        + spec.alpha() / 2
+                        + 1;
+                    assert!(err <= budget, "error {err} beyond budget {budget}");
+                }
+            }
+        }
+        assert!(releases > 0, "no window ever filled");
+    }
+
+    #[test]
+    #[should_panic(expected = "partial window")]
+    fn publish_now_requires_full_window() {
+        let spec = PrivacySpec::new(4, 1, 0.2, 0.5);
+        let mut pipe = StreamPipeline::new(8, Publisher::new(spec, BiasScheme::Basic, 1));
+        pipe.publish_now();
+    }
+}

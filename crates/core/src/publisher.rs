@@ -1,0 +1,293 @@
+//! The per-window perturbation engine with the republication rule.
+
+use crate::config::PrivacySpec;
+use crate::fec::partition_into_fecs;
+use crate::incremental::IncrementalOrderSetter;
+use crate::noise::NoiseRegion;
+use crate::ratio::ratio_preserving_biases;
+use crate::release::{SanitizedItemset, SanitizedRelease};
+use crate::scheme::BiasScheme;
+use bfly_common::{ItemSet, SanitizedSupport, Support};
+use bfly_mining::FrequentItemsets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Publishes sanitized windows: partitions the mined itemsets into FECs,
+/// asks the [`BiasScheme`] for one bias per FEC, draws one noise value per
+/// FEC from the shared-width region, and applies **Prior Knowledge 2's
+/// republication rule**: an itemset whose true support is unchanged since
+/// the previous window republishes its previous sanitized value verbatim,
+/// so repeated observation gives the adversary nothing to average over.
+///
+/// ```
+/// use bfly_core::{BiasScheme, PrivacySpec, Publisher};
+/// use bfly_mining::FrequentItemsets;
+///
+/// let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
+/// let mut publisher = Publisher::new(spec, BiasScheme::Basic, 42);
+/// let mined = FrequentItemsets::new(vec![("ab".parse().unwrap(), 40u64)]);
+/// let release = publisher.publish(&mined);
+/// let entry = release.get(&"ab".parse().unwrap()).unwrap();
+/// // The sanitized support is within the α-wide noise region of the truth…
+/// assert!((entry.sanitized - 40).unsigned_abs() <= spec.alpha() / 2 + 1);
+/// // …and republishes identically while the true support is unchanged.
+/// assert_eq!(publisher.publish(&mined), release);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Publisher {
+    spec: PrivacySpec,
+    scheme: BiasScheme,
+    rng: SmallRng,
+    /// itemset → (true support at last publication, sanitized value then).
+    cache: HashMap<ItemSet, (Support, SanitizedSupport)>,
+    /// When present, order-preserving biases come from the incremental
+    /// patcher instead of a fresh full DP each window (the paper's §VII
+    /// future-work optimization).
+    incremental: Option<IncrementalOrderSetter>,
+}
+
+impl Publisher {
+    /// Create a publisher with a deterministic seed.
+    pub fn new(spec: PrivacySpec, scheme: BiasScheme, seed: u64) -> Self {
+        Publisher {
+            spec,
+            scheme,
+            rng: SmallRng::seed_from_u64(seed),
+            cache: HashMap::new(),
+            incremental: None,
+        }
+    }
+
+    /// Like [`Publisher::new`] but with incremental order-preserving bias
+    /// maintenance: between windows whose FEC structure changed only
+    /// locally, the DP re-runs only over the changed region. Identical
+    /// constraint guarantees; near-identical utility; far less work on slow-
+    /// moving streams. Only affects schemes with an order component.
+    pub fn new_incremental(spec: PrivacySpec, scheme: BiasScheme, seed: u64) -> Self {
+        let mut p = Self::new(spec, scheme, seed);
+        p.incremental = Some(IncrementalOrderSetter::new());
+        p
+    }
+
+    /// Incremental-mode statistics `(full_reuse, patches, full_solves)`,
+    /// if incremental mode is on.
+    pub fn incremental_stats(&self) -> Option<(u64, u64, u64)> {
+        self.incremental
+            .as_ref()
+            .map(|i| (i.full_reuse_hits, i.patch_hits, i.full_solves))
+    }
+
+    /// The privacy/precision contract.
+    pub fn spec(&self) -> &PrivacySpec {
+        &self.spec
+    }
+
+    /// The bias scheme in force.
+    pub fn scheme(&self) -> &BiasScheme {
+        &self.scheme
+    }
+
+    /// Sanitize one window's mining output.
+    pub fn publish(&mut self, frequent: &FrequentItemsets) -> SanitizedRelease {
+        let fecs = partition_into_fecs(frequent);
+        let biases = self.compute_biases(&fecs);
+        debug_assert_eq!(biases.len(), fecs.len());
+        let mut entries = Vec::with_capacity(frequent.len());
+        let mut next_cache = HashMap::with_capacity(frequent.len());
+        for (fec, &bias) in fecs.iter().zip(&biases) {
+            let region = NoiseRegion::centered(bias, self.spec.alpha());
+            // One draw per FEC: members share their perturbation so the
+            // class's internal equalities survive sanitization exactly.
+            let noise = region.sample(&mut self.rng);
+            for member in fec.members() {
+                let sanitized = match self.cache.get(member) {
+                    // Republication rule: unchanged true support in the
+                    // directly preceding window ⇒ identical sanitized value.
+                    Some(&(prev_true, prev_sanitized)) if prev_true == fec.support() => {
+                        prev_sanitized
+                    }
+                    _ => fec.support() as SanitizedSupport + noise,
+                };
+                next_cache.insert(member.clone(), (fec.support(), sanitized));
+                entries.push(SanitizedItemset {
+                    itemset: member.clone(),
+                    true_support: fec.support(),
+                    sanitized,
+                });
+            }
+        }
+        // Itemsets absent from this window lose their pin: continuity over
+        // *consecutive* windows is what the rule requires.
+        self.cache = next_cache;
+        SanitizedRelease::new(entries)
+    }
+
+    /// Drop all republication state (e.g. when retargeting to a new stream).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        if let Some(inc) = &mut self.incremental {
+            *inc = IncrementalOrderSetter::new();
+        }
+    }
+
+    /// Per-window biases, routed through the incremental patcher when it is
+    /// enabled and the scheme has an order-preserving component.
+    fn compute_biases(&mut self, fecs: &[crate::fec::Fec]) -> Vec<f64> {
+        let Some(inc) = &mut self.incremental else {
+            return self.scheme.biases(fecs, &self.spec);
+        };
+        match self.scheme {
+            BiasScheme::OrderPreserving { gamma } => inc.biases(fecs, &self.spec, gamma),
+            BiasScheme::Hybrid { lambda, gamma } => {
+                let op = inc.biases(fecs, &self.spec, gamma);
+                let rp = ratio_preserving_biases(fecs, &self.spec);
+                op.iter()
+                    .zip(&rp)
+                    .map(|(o, r)| lambda * o + (1.0 - lambda) * r)
+                    .collect()
+            }
+            _ => self.scheme.biases(fecs, &self.spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    fn spec() -> PrivacySpec {
+        PrivacySpec::new(25, 5, 0.04, 1.0) // α=12, σ²=14
+    }
+
+    fn window(supports: &[(&str, u64)]) -> FrequentItemsets {
+        FrequentItemsets::new(supports.iter().map(|&(s, t)| (iset(s), t)))
+    }
+
+    #[test]
+    fn noise_stays_within_region_of_bias() {
+        let mut p = Publisher::new(spec(), BiasScheme::Basic, 7);
+        let f = window(&[("a", 40), ("b", 31), ("ab", 29)]);
+        let r = p.publish(&f);
+        assert_eq!(r.len(), 3);
+        for e in r.iter() {
+            let noise = e.sanitized - e.true_support as i64;
+            // Basic: bias 0, region ⊂ [−α/2−1, α/2+1].
+            assert!(noise.abs() <= spec().alpha() as i64 / 2 + 1, "noise {noise}");
+        }
+    }
+
+    #[test]
+    fn fec_members_share_one_draw() {
+        let mut p = Publisher::new(spec(), BiasScheme::RatioPreserving, 3);
+        let f = window(&[("a", 30), ("b", 30), ("cd", 30), ("x", 55)]);
+        let r = p.publish(&f);
+        let s_a = r.get(&iset("a")).unwrap().sanitized;
+        assert_eq!(r.get(&iset("b")).unwrap().sanitized, s_a);
+        assert_eq!(r.get(&iset("cd")).unwrap().sanitized, s_a);
+    }
+
+    #[test]
+    fn republication_pins_unchanged_supports() {
+        let mut p = Publisher::new(spec(), BiasScheme::Basic, 11);
+        let f = window(&[("a", 40), ("b", 32)]);
+        let first = p.publish(&f);
+        // Same supports for 50 windows: sanitized values must never move.
+        for _ in 0..50 {
+            let again = p.publish(&f);
+            assert_eq!(again, first, "republication rule violated");
+        }
+        // Support change ⇒ fresh perturbation around the new value.
+        let changed = window(&[("a", 41), ("b", 32)]);
+        let third = p.publish(&changed);
+        let a = third.get(&iset("a")).unwrap();
+        assert_eq!(a.true_support, 41);
+        assert!((a.sanitized - 41).abs() <= spec().alpha() as i64 / 2 + 1);
+        // b unchanged: still pinned.
+        assert_eq!(
+            third.get(&iset("b")).unwrap().sanitized,
+            first.get(&iset("b")).unwrap().sanitized
+        );
+    }
+
+    #[test]
+    fn dropping_out_breaks_the_pin_eligibility() {
+        let mut p = Publisher::new(spec(), BiasScheme::Basic, 5);
+        let f = window(&[("a", 40)]);
+        let first = p.publish(&f);
+        // a vanishes for one window...
+        p.publish(&window(&[("b", 33)]));
+        // ...and returns with the same support: a fresh draw is allowed
+        // (consecutiveness broken). We can't assert inequality (1-in-13
+        // chance of collision), but the cache must have been rebuilt.
+        let third = p.publish(&f);
+        assert_eq!(third.get(&iset("a")).unwrap().true_support, 40);
+        let _ = first;
+    }
+
+    #[test]
+    fn expected_precision_meets_epsilon_budget() {
+        // Average pred over many fresh draws ≤ ε (Inequation 1).
+        let s = spec();
+        for scheme in BiasScheme::paper_variants(2) {
+            let mut total = 0.0;
+            let mut count = 0u64;
+            for seed in 0..300 {
+                let mut p = Publisher::new(s, scheme, seed);
+                let f = window(&[("a", 25), ("b", 40), ("c", 80), ("d", 81)]);
+                let r = p.publish(&f);
+                for e in r.iter() {
+                    let err = e.sanitized as f64 - e.true_support as f64;
+                    total += (err * err) / (e.true_support as f64).powi(2);
+                    count += 1;
+                }
+            }
+            let avg_pred = total / count as f64;
+            assert!(
+                avg_pred <= s.epsilon() * 1.05,
+                "{}: empirical pred {avg_pred} exceeds ε={}",
+                scheme.name(),
+                s.epsilon()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_mode_matches_constraints_and_reuses_work() {
+        let s = spec();
+        let scheme = BiasScheme::OrderPreserving { gamma: 2 };
+        let mut p = Publisher::new_incremental(s, scheme, 21);
+        let w1 = window(&[("a", 30), ("b", 32), ("c", 60)]);
+        let w2 = window(&[("a", 30), ("b", 32), ("c", 60)]); // unchanged
+        let w3 = window(&[("a", 30), ("b", 33), ("c", 60)]); // local change
+        for w in [&w1, &w2, &w3] {
+            let r = p.publish(w);
+            for e in r.iter() {
+                let err = (e.sanitized - e.true_support as i64).unsigned_abs();
+                let budget = (s.epsilon().sqrt() * e.true_support as f64).ceil() as u64
+                    + s.alpha() / 2
+                    + 1;
+                assert!(err <= budget);
+            }
+        }
+        let (reuse, _patch, solves) = p.incremental_stats().unwrap();
+        assert_eq!(reuse, 1, "identical window should be a pure reuse");
+        assert!(solves >= 1);
+    }
+
+    #[test]
+    fn reset_clears_pins() {
+        let mut p = Publisher::new(spec(), BiasScheme::Basic, 9);
+        let f = window(&[("a", 40)]);
+        p.publish(&f);
+        p.reset();
+        // After reset the next publish may re-draw; the cache is empty so
+        // the entry is recomputed rather than replayed.
+        let r = p.publish(&f);
+        assert_eq!(r.get(&iset("a")).unwrap().true_support, 40);
+    }
+}

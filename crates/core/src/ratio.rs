@@ -1,0 +1,96 @@
+//! Ratio-preserving bias setting — Algorithm 2 (§VI-B).
+//!
+//! Minimizing the Markov bound on the (k,1/k)-probability loss of a pair's
+//! support ratio yields `e_j/e_i = t_j/t_i`, i.e. biases proportional to
+//! supports: `β_j = β_i · t_j/t_i`. Since larger `e_i = t_i + β_i` relative
+//! to the noise width `α` tightens the approximation, the smallest FEC is
+//! pushed to its *maximum* bias and the rest scale bottom-up. Lemma 3
+//! guarantees the scaled biases stay within every FEC's budget.
+
+use crate::config::PrivacySpec;
+use crate::fec::Fec;
+
+/// Compute ratio-preserving biases for `fecs` (sorted ascending by support).
+pub fn ratio_preserving_biases(fecs: &[Fec], spec: &PrivacySpec) -> Vec<f64> {
+    let Some(first) = fecs.first() else {
+        return Vec::new();
+    };
+    let t1 = first.support() as f64;
+    let beta1 = spec.max_bias(first.support());
+    fecs.iter()
+        .map(|f| beta1 * f.support() as f64 / t1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fec::partition_into_fecs;
+    use bfly_common::ItemSet;
+    use bfly_mining::FrequentItemsets;
+
+    fn spec() -> PrivacySpec {
+        PrivacySpec::new(25, 5, 0.04, 1.0)
+    }
+
+    fn fecs_with_supports(supports: &[u64]) -> Vec<Fec> {
+        let f = FrequentItemsets::new(
+            supports
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (ItemSet::from_ids([i as u32]), s)),
+        );
+        partition_into_fecs(&f)
+    }
+
+    #[test]
+    fn biases_proportional_to_supports() {
+        let fecs = fecs_with_supports(&[25, 50, 100, 300]);
+        let biases = ratio_preserving_biases(&fecs, &spec());
+        let base_ratio = biases[0] / 25.0;
+        for (f, b) in fecs.iter().zip(&biases) {
+            assert!(
+                (b / f.support() as f64 - base_ratio).abs() < 1e-12,
+                "β/t not constant at t={}",
+                f.support()
+            );
+        }
+        // Estimator ratios equal true ratios exactly.
+        let e: Vec<f64> = fecs
+            .iter()
+            .zip(&biases)
+            .map(|(f, b)| f.support() as f64 + b)
+            .collect();
+        assert!((e[2] / e[1] - 2.0).abs() < 1e-12);
+        assert!((e[3] / e[0] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma3_feasibility_everywhere() {
+        let s = spec();
+        let fecs = fecs_with_supports(&[25, 26, 31, 47, 90, 500, 2000]);
+        let biases = ratio_preserving_biases(&fecs, &s);
+        for (f, b) in fecs.iter().zip(&biases) {
+            assert!(
+                *b <= s.max_bias(f.support()) + 1e-9,
+                "Lemma 3 violated at t={}: β={b} > βᵐ={}",
+                f.support(),
+                s.max_bias(f.support())
+            );
+            assert!(*b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn smallest_fec_at_its_maximum() {
+        let s = spec();
+        let fecs = fecs_with_supports(&[30, 60]);
+        let biases = ratio_preserving_biases(&fecs, &s);
+        assert!((biases[0] - s.max_bias(30)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(ratio_preserving_biases(&[], &spec()).is_empty());
+    }
+}

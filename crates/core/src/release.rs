@@ -1,0 +1,125 @@
+//! Sanitized output: what Butterfly publishes instead of raw supports.
+
+use bfly_common::{ItemSet, SanitizedSupport, Support};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One published itemset: its sanitized support, plus (for evaluation only —
+/// a deployment would not ship it) the true support.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizedItemset {
+    /// The frequent itemset.
+    pub itemset: ItemSet,
+    /// Ground-truth support, retained for measuring `pred`/`prig`.
+    pub true_support: Support,
+    /// The published, perturbed support. May dip below zero for small
+    /// supports under zero-bias noise; kept raw so adversary estimates stay
+    /// unbiased (what the paper's analysis assumes).
+    pub sanitized: SanitizedSupport,
+}
+
+impl SanitizedItemset {
+    /// The value a UI would display: the sanitized support clamped at zero.
+    pub fn display_support(&self) -> Support {
+        self.sanitized.max(0) as Support
+    }
+}
+
+/// A full sanitized release for one window.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizedRelease {
+    entries: Vec<SanitizedItemset>,
+}
+
+impl SanitizedRelease {
+    /// Build from entries (kept in the order the publisher produced — FEC
+    /// ascending, members lexicographic).
+    pub fn new(entries: Vec<SanitizedItemset>) -> Self {
+        SanitizedRelease { entries }
+    }
+
+    /// Number of published itemsets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in publication order.
+    pub fn iter(&self) -> impl Iterator<Item = &SanitizedItemset> {
+        self.entries.iter()
+    }
+
+    /// The adversary's view: itemset → sanitized support.
+    pub fn view(&self) -> HashMap<ItemSet, SanitizedSupport> {
+        self.entries
+            .iter()
+            .map(|e| (e.itemset.clone(), e.sanitized))
+            .collect()
+    }
+
+    /// The evaluation oracle's view: itemset → true support.
+    pub fn truth(&self) -> HashMap<ItemSet, Support> {
+        self.entries
+            .iter()
+            .map(|e| (e.itemset.clone(), e.true_support))
+            .collect()
+    }
+
+    /// Lookup one entry.
+    pub fn get(&self, itemset: &ItemSet) -> Option<&SanitizedItemset> {
+        self.entries.iter().find(|e| &e.itemset == itemset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    fn release() -> SanitizedRelease {
+        SanitizedRelease::new(vec![
+            SanitizedItemset {
+                itemset: iset("a"),
+                true_support: 30,
+                sanitized: 27,
+            },
+            SanitizedItemset {
+                itemset: iset("ab"),
+                true_support: 26,
+                sanitized: -1,
+            },
+        ])
+    }
+
+    #[test]
+    fn views_split_truth_from_publication() {
+        let r = release();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.view()[&iset("a")], 27);
+        assert_eq!(r.truth()[&iset("a")], 30);
+        assert_eq!(r.view()[&iset("ab")], -1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = release();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SanitizedRelease = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn display_support_clamps() {
+        let r = release();
+        assert_eq!(r.get(&iset("ab")).unwrap().display_support(), 0);
+        assert_eq!(r.get(&iset("a")).unwrap().display_support(), 27);
+        assert!(r.get(&iset("zz")).is_none());
+    }
+}

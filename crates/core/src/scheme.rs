@@ -1,0 +1,145 @@
+//! The four Butterfly bias-setting schemes (§V-C, §VI-A/B/C).
+
+use crate::config::PrivacySpec;
+use crate::fec::Fec;
+use crate::order::order_preserving_biases;
+use crate::ratio::ratio_preserving_biases;
+use serde::{Deserialize, Serialize};
+
+/// Which bias-setting strategy a [`crate::Publisher`] applies per window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BiasScheme {
+    /// β = 0 everywhere: the basic Butterfly with minimum ppr (§V-C).
+    Basic,
+    /// Algorithm 1's inversion-minimizing DP with window depth `γ` (§VI-A).
+    OrderPreserving {
+        /// DP interaction depth (the paper's γ; 2 suffices on real data).
+        gamma: usize,
+    },
+    /// Algorithm 2's bottom-up proportional biases (§VI-B).
+    RatioPreserving,
+    /// `β = λ·β_OP + (1−λ)·β_RP` (§VI-C). `lambda = 1` ≡ order-preserving,
+    /// `lambda = 0` ≡ ratio-preserving.
+    Hybrid {
+        /// Blend weight toward order preservation, in `[0, 1]`.
+        lambda: f64,
+        /// γ for the order-preserving component.
+        gamma: usize,
+    },
+}
+
+impl BiasScheme {
+    /// The paper's figure-legend name for this variant.
+    pub fn name(&self) -> String {
+        match self {
+            BiasScheme::Basic => "Basic".to_string(),
+            BiasScheme::OrderPreserving { .. } => "Opt λ=1".to_string(),
+            BiasScheme::RatioPreserving => "Opt λ=0".to_string(),
+            BiasScheme::Hybrid { lambda, .. } => format!("Opt λ={lambda}"),
+        }
+    }
+
+    /// Compute one bias per FEC (`fecs` sorted ascending by support), each
+    /// within its `β^m` budget.
+    pub fn biases(&self, fecs: &[Fec], spec: &PrivacySpec) -> Vec<f64> {
+        match *self {
+            BiasScheme::Basic => vec![0.0; fecs.len()],
+            BiasScheme::OrderPreserving { gamma } => {
+                order_preserving_biases(fecs, spec, gamma)
+            }
+            BiasScheme::RatioPreserving => ratio_preserving_biases(fecs, spec),
+            BiasScheme::Hybrid { lambda, gamma } => {
+                assert!(
+                    (0.0..=1.0).contains(&lambda),
+                    "hybrid λ must be in [0,1], got {lambda}"
+                );
+                let op = order_preserving_biases(fecs, spec, gamma);
+                let rp = ratio_preserving_biases(fecs, spec);
+                op.iter()
+                    .zip(&rp)
+                    .map(|(o, r)| lambda * o + (1.0 - lambda) * r)
+                    .collect()
+            }
+        }
+    }
+
+    /// The four variants the paper's experiments compare, in figure order.
+    pub fn paper_variants(gamma: usize) -> [BiasScheme; 4] {
+        [
+            BiasScheme::Basic,
+            BiasScheme::OrderPreserving { gamma },
+            BiasScheme::Hybrid { lambda: 0.4, gamma },
+            BiasScheme::RatioPreserving,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fec::partition_into_fecs;
+    use bfly_common::ItemSet;
+    use bfly_mining::FrequentItemsets;
+
+    fn spec() -> PrivacySpec {
+        PrivacySpec::new(25, 5, 0.04, 1.0)
+    }
+
+    fn fecs(supports: &[u64]) -> Vec<Fec> {
+        partition_into_fecs(&FrequentItemsets::new(
+            supports
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (ItemSet::from_ids([i as u32]), s)),
+        ))
+    }
+
+    #[test]
+    fn basic_is_all_zero() {
+        let f = fecs(&[25, 30, 40]);
+        assert_eq!(BiasScheme::Basic.biases(&f, &spec()), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn hybrid_endpoints_match_components() {
+        let f = fecs(&[25, 27, 29, 60]);
+        let s = spec();
+        let op = BiasScheme::OrderPreserving { gamma: 2 }.biases(&f, &s);
+        let rp = BiasScheme::RatioPreserving.biases(&f, &s);
+        let h1 = BiasScheme::Hybrid { lambda: 1.0, gamma: 2 }.biases(&f, &s);
+        let h0 = BiasScheme::Hybrid { lambda: 0.0, gamma: 2 }.biases(&f, &s);
+        for i in 0..f.len() {
+            assert!((h1[i] - op[i]).abs() < 1e-12);
+            assert!((h0[i] - rp[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hybrid_blend_is_convex_and_within_budget() {
+        let f = fecs(&[25, 27, 29, 60, 200]);
+        let s = spec();
+        let h = BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }.biases(&f, &s);
+        for (fec, b) in f.iter().zip(&h) {
+            // A convex combination of two in-budget biases is in budget.
+            assert!(b.abs() <= s.max_bias(fec.support()) + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "λ must be in")]
+    fn hybrid_rejects_bad_lambda() {
+        BiasScheme::Hybrid { lambda: 1.5, gamma: 2 }.biases(&fecs(&[25]), &spec());
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(BiasScheme::Basic.name(), "Basic");
+        assert_eq!(BiasScheme::OrderPreserving { gamma: 2 }.name(), "Opt λ=1");
+        assert_eq!(BiasScheme::RatioPreserving.name(), "Opt λ=0");
+        assert_eq!(
+            BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }.name(),
+            "Opt λ=0.4"
+        );
+        assert_eq!(BiasScheme::paper_variants(2).len(), 4);
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic transaction-stream generation for the Butterfly reproduction.
+//!
+//! The paper evaluates on BMS-WebView-1 (e-commerce clickstream) and BMS-POS
+//! (point-of-sale baskets). Those datasets are not redistributable, so this
+//! crate provides an IBM Quest-style generator ([`QuestGenerator`]) plus two
+//! calibrated [`profiles`] reproducing the datasets' published first-order
+//! statistics: distinct-item count, mean transaction length, and a long-tail
+//! (Zipfian) item-popularity curve. See DESIGN.md §4 for why this
+//! substitution preserves the evaluation's behaviour.
+//!
+//! All generation is seeded and deterministic.
+
+pub mod markov;
+pub mod profiles;
+pub mod quest;
+pub mod zipf;
+
+pub use markov::{MarkovConfig, MarkovSessionGenerator};
+pub use profiles::{DatasetProfile, StreamSource};
+pub use quest::{QuestConfig, QuestGenerator};
+pub use zipf::Zipf;

@@ -1,0 +1,176 @@
+//! Dataset profiles calibrated to the paper's two evaluation datasets.
+//!
+//! Published statistics we calibrate against (Zheng, Kohavi & Mason, KDD Cup
+//! 2000 / Kohavi et al. 2004, the datasets' standard citations):
+//!
+//! | dataset        | records | distinct items | mean len | max len |
+//! |----------------|---------|----------------|----------|---------|
+//! | BMS-WebView-1  | 59 602  | 497            | 2.5      | 267     |
+//! | BMS-POS        | 515 597 | 1 657          | 6.5      | 164     |
+//!
+//! The profiles keep distinct items and mean length, cap max length at a
+//! value that keeps lattice work bounded, and turn on slow pattern drift so
+//! sliding windows evolve (required for the inter-window experiments).
+
+use crate::quest::{QuestConfig, QuestGenerator};
+use bfly_common::Transaction;
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic stand-in to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// Clickstream: short sessions over ~500 page items.
+    WebView1,
+    /// Point-of-sale: longer baskets over ~1 650 SKUs.
+    Pos,
+}
+
+impl DatasetProfile {
+    /// Human name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::WebView1 => "WebView1",
+            DatasetProfile::Pos => "POS",
+        }
+    }
+
+    /// The Quest configuration implementing this profile.
+    pub fn config(self) -> QuestConfig {
+        match self {
+            DatasetProfile::WebView1 => QuestConfig {
+                n_items: 497,
+                n_patterns: 120,
+                avg_pattern_len: 2.2,
+                avg_transaction_len: 2.5,
+                max_transaction_len: 60,
+                corruption_mean: 0.4,
+                item_zipf_s: 1.0,
+                pattern_zipf_s: 1.0,
+                correlation: 0.25,
+                drift_interval: Some(40),
+            },
+            DatasetProfile::Pos => QuestConfig {
+                n_items: 1657,
+                n_patterns: 400,
+                avg_pattern_len: 3.5,
+                avg_transaction_len: 6.5,
+                max_transaction_len: 80,
+                corruption_mean: 0.5,
+                item_zipf_s: 1.05,
+                pattern_zipf_s: 1.0,
+                correlation: 0.25,
+                drift_interval: Some(60),
+            },
+        }
+    }
+
+    /// A seeded stream source for this profile.
+    pub fn source(self, seed: u64) -> StreamSource {
+        StreamSource {
+            profile: self,
+            gen: QuestGenerator::new(self.config(), seed),
+        }
+    }
+
+    /// Both profiles, in the order the paper's figures present them.
+    pub fn all() -> [DatasetProfile; 2] {
+        [DatasetProfile::WebView1, DatasetProfile::Pos]
+    }
+}
+
+/// A live stream of one profile: an infinite iterator of transactions.
+#[derive(Clone, Debug)]
+pub struct StreamSource {
+    profile: DatasetProfile,
+    gen: QuestGenerator,
+}
+
+impl StreamSource {
+    /// The profile this stream implements.
+    pub fn profile(&self) -> DatasetProfile {
+        self.profile
+    }
+
+    /// Next transaction.
+    pub fn next_transaction(&mut self) -> Transaction {
+        self.gen.next_transaction()
+    }
+
+    /// Take `n` transactions.
+    pub fn take_vec(&mut self, n: usize) -> Vec<Transaction> {
+        self.gen.generate(n)
+    }
+}
+
+impl Iterator for StreamSource {
+    type Item = Transaction;
+    fn next(&mut self) -> Option<Transaction> {
+        Some(self.next_transaction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_common::Database;
+
+    #[test]
+    fn webview_statistics_in_range() {
+        let txs = DatasetProfile::WebView1.source(1).take_vec(5000);
+        let db = Database::from_records(txs);
+        let mean = db.mean_record_len();
+        assert!(
+            (1.5..4.5).contains(&mean),
+            "WebView1 mean len {mean}, want ≈2.5"
+        );
+        assert!(db.alphabet().len() <= 497);
+        assert!(db.alphabet().len() > 100, "alphabet unrealistically small");
+    }
+
+    #[test]
+    fn pos_statistics_in_range() {
+        let txs = DatasetProfile::Pos.source(1).take_vec(5000);
+        let db = Database::from_records(txs);
+        let mean = db.mean_record_len();
+        assert!((4.0..9.5).contains(&mean), "POS mean len {mean}, want ≈6.5");
+        assert!(db.alphabet().len() <= 1657);
+        assert!(db.alphabet().len() > 300);
+    }
+
+    #[test]
+    fn profiles_are_deterministic_per_seed() {
+        let a = DatasetProfile::Pos.source(9).take_vec(100);
+        let b = DatasetProfile::Pos.source(9).take_vec(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windows_evolve_over_the_stream() {
+        // Drift must make early and late windows differ in their frequent
+        // singletons' supports — otherwise the inter-window experiments
+        // degenerate.
+        let mut src = DatasetProfile::WebView1.source(3);
+        let early = Database::from_records(src.take_vec(2000));
+        for _ in 0..20_000 {
+            src.next_transaction();
+        }
+        let late = Database::from_records(src.take_vec(2000));
+        let ef = early.item_frequencies();
+        let lf = late.item_frequencies();
+        let drifted = ef
+            .iter()
+            .filter(|(item, c)| {
+                let l = lf.get(item).copied().unwrap_or(0);
+                (**c as i64 - l as i64).unsigned_abs() > (**c / 2).max(5)
+            })
+            .count();
+        assert!(drifted > 3, "only {drifted} items drifted");
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(DatasetProfile::WebView1.name(), "WebView1");
+        assert_eq!(DatasetProfile::Pos.name(), "POS");
+        assert_eq!(DatasetProfile::all().len(), 2);
+    }
+}

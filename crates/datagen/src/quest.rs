@@ -1,0 +1,346 @@
+//! IBM Quest-style synthetic transaction generator.
+//!
+//! Follows the classic Agrawal–Srikant recipe: a pool of "maximal potentially
+//! frequent" patterns is drawn from a long-tailed item distribution; each
+//! transaction is assembled from weighted, partially *corrupted* pattern
+//! instances until it reaches its target length. We add one stream-specific
+//! twist — slow **pattern drift** — so that sliding windows over the stream
+//! actually change composition and the inter-window machinery of the paper
+//! has something to measure.
+
+use crate::zipf::Zipf;
+use bfly_common::{Item, ItemSet, Transaction};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a [`QuestGenerator`].
+#[derive(Clone, Debug)]
+pub struct QuestConfig {
+    /// Size of the item universe `|𝕀|`.
+    pub n_items: usize,
+    /// Number of patterns in the pool (the generator's "L" parameter).
+    pub n_patterns: usize,
+    /// Mean pattern length (Poisson, clipped to `1..=12`).
+    pub avg_pattern_len: f64,
+    /// Mean transaction length (Poisson, clipped to `1..=max_transaction_len`).
+    pub avg_transaction_len: f64,
+    /// Hard cap on transaction length.
+    pub max_transaction_len: usize,
+    /// Mean per-pattern corruption: each item of a chosen pattern is dropped
+    /// with this pattern's corruption probability (drawn once per pattern
+    /// from an exponential-ish spread around the mean).
+    pub corruption_mean: f64,
+    /// Zipf exponent for *item* popularity when drawing pattern contents.
+    pub item_zipf_s: f64,
+    /// Zipf exponent for *pattern* pick frequency (head patterns dominate).
+    pub pattern_zipf_s: f64,
+    /// Fraction of items a new pattern inherits from the previous one
+    /// (the Quest "correlation" knob).
+    pub correlation: f64,
+    /// Replace one pool pattern every this many transactions (None = static).
+    pub drift_interval: Option<u64>,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            n_items: 1000,
+            n_patterns: 200,
+            avg_pattern_len: 4.0,
+            avg_transaction_len: 10.0,
+            max_transaction_len: 40,
+            corruption_mean: 0.5,
+            item_zipf_s: 1.0,
+            pattern_zipf_s: 1.0,
+            correlation: 0.25,
+            drift_interval: None,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// Validate parameter sanity.
+    ///
+    /// # Panics
+    /// On out-of-range parameters; configs are programmer-supplied.
+    fn validate(&self) {
+        assert!(self.n_items > 0, "need at least one item");
+        assert!(self.n_patterns > 0, "need at least one pattern");
+        assert!(self.avg_pattern_len >= 1.0, "avg_pattern_len < 1");
+        assert!(self.avg_transaction_len >= 1.0, "avg_transaction_len < 1");
+        assert!(self.max_transaction_len >= 1, "max_transaction_len < 1");
+        assert!(
+            (0.0..1.0).contains(&self.corruption_mean),
+            "corruption_mean must be in [0,1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.correlation),
+            "correlation must be in [0,1]"
+        );
+        if let Some(k) = self.drift_interval {
+            assert!(k > 0, "drift_interval must be positive");
+        }
+    }
+}
+
+/// One pool pattern with its corruption level.
+#[derive(Clone, Debug)]
+struct PoolPattern {
+    items: ItemSet,
+    corruption: f64,
+}
+
+/// Seeded, deterministic Quest-style transaction stream.
+#[derive(Clone, Debug)]
+pub struct QuestGenerator {
+    config: QuestConfig,
+    rng: SmallRng,
+    item_dist: Zipf,
+    pattern_dist: Zipf,
+    pool: Vec<PoolPattern>,
+    emitted: u64,
+    drift_cursor: usize,
+}
+
+impl QuestGenerator {
+    /// Build a generator from a config and seed.
+    pub fn new(config: QuestConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let item_dist = Zipf::new(config.n_items, config.item_zipf_s);
+        let pattern_dist = Zipf::new(config.n_patterns, config.pattern_zipf_s);
+        let mut pool = Vec::with_capacity(config.n_patterns);
+        let mut prev: Option<ItemSet> = None;
+        for _ in 0..config.n_patterns {
+            let p = Self::make_pattern(&config, &item_dist, prev.as_ref(), &mut rng);
+            prev = Some(p.items.clone());
+            pool.push(p);
+        }
+        QuestGenerator {
+            config,
+            rng,
+            item_dist,
+            pattern_dist,
+            pool,
+            emitted: 0,
+            drift_cursor: 0,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &QuestConfig {
+        &self.config
+    }
+
+    fn make_pattern(
+        config: &QuestConfig,
+        item_dist: &Zipf,
+        prev: Option<&ItemSet>,
+        rng: &mut SmallRng,
+    ) -> PoolPattern {
+        let len = poisson(config.avg_pattern_len, rng).clamp(1, 12);
+        let mut items = Vec::with_capacity(len);
+        // Inherit a prefix from the previous pattern (Quest correlation).
+        if let Some(prev) = prev {
+            for item in prev.iter() {
+                if items.len() < len && rng.gen_bool(config.correlation) {
+                    items.push(item);
+                }
+            }
+        }
+        let mut guard = 0;
+        while items.len() < len && guard < 1000 {
+            let item = Item(item_dist.sample(rng) as u32);
+            if !items.contains(&item) {
+                items.push(item);
+            }
+            guard += 1;
+        }
+        // Corruption level: exponential around the mean, capped below 1.
+        let corruption =
+            (-config.corruption_mean * (1.0 - rng.gen::<f64>()).ln()).clamp(0.0, 0.9);
+        PoolPattern {
+            items: ItemSet::new(items),
+            corruption,
+        }
+    }
+
+    /// Generate the next transaction. Tids count from 1.
+    pub fn next_transaction(&mut self) -> Transaction {
+        self.maybe_drift();
+        self.emitted += 1;
+        let target =
+            poisson(self.config.avg_transaction_len, &mut self.rng).clamp(1, self.config.max_transaction_len);
+        let mut items: Vec<Item> = Vec::with_capacity(target + 4);
+        let mut guard = 0;
+        while items.len() < target && guard < 200 {
+            guard += 1;
+            let pat = &self.pool[self.pattern_dist.sample(&mut self.rng)];
+            let mut instance: Vec<Item> = pat
+                .items
+                .iter()
+                .filter(|_| !self.rng.gen_bool(pat.corruption))
+                .collect();
+            instance.retain(|it| !items.contains(it));
+            if instance.is_empty() {
+                continue;
+            }
+            let room = target.saturating_sub(items.len());
+            if instance.len() > room {
+                // Quest rule: keep the oversized instance half the time,
+                // otherwise trim it to the remaining room.
+                if self.rng.gen_bool(0.5) && items.len() + instance.len() <= self.config.max_transaction_len
+                {
+                    items.extend(instance);
+                } else {
+                    items.extend(instance.into_iter().take(room));
+                }
+            } else {
+                items.extend(instance);
+            }
+        }
+        if items.is_empty() {
+            items.push(Item(self.item_dist.sample(&mut self.rng) as u32));
+        }
+        Transaction::new(self.emitted, ItemSet::new(items))
+    }
+
+    /// Generate `n` transactions.
+    pub fn generate(&mut self, n: usize) -> Vec<Transaction> {
+        (0..n).map(|_| self.next_transaction()).collect()
+    }
+
+    fn maybe_drift(&mut self) {
+        let Some(interval) = self.config.drift_interval else {
+            return;
+        };
+        if self.emitted > 0 && self.emitted.is_multiple_of(interval) {
+            let idx = self.drift_cursor % self.pool.len();
+            let prev = self.pool[idx].items.clone();
+            self.pool[idx] =
+                Self::make_pattern(&self.config, &self.item_dist, Some(&prev), &mut self.rng);
+            self.drift_cursor += 1;
+        }
+    }
+}
+
+impl Iterator for QuestGenerator {
+    type Item = Transaction;
+
+    fn next(&mut self) -> Option<Transaction> {
+        Some(self.next_transaction())
+    }
+}
+
+/// Knuth's Poisson sampler — fine for the small means we use (< 20).
+fn poisson(mean: f64, rng: &mut SmallRng) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_common::Database;
+
+    fn small_config() -> QuestConfig {
+        QuestConfig {
+            n_items: 100,
+            n_patterns: 20,
+            avg_pattern_len: 3.0,
+            avg_transaction_len: 5.0,
+            max_transaction_len: 15,
+            ..QuestConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a: Vec<_> = QuestGenerator::new(small_config(), 7).generate(200);
+        let b: Vec<_> = QuestGenerator::new(small_config(), 7).generate(200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = QuestGenerator::new(small_config(), 7).generate(50);
+        let b: Vec<_> = QuestGenerator::new(small_config(), 8).generate(50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_length_near_target() {
+        let txs = QuestGenerator::new(small_config(), 1).generate(3000);
+        let db = Database::from_records(txs);
+        let mean = db.mean_record_len();
+        assert!(
+            (3.0..8.0).contains(&mean),
+            "mean len {mean} far from configured 5.0"
+        );
+    }
+
+    #[test]
+    fn respects_max_length_and_nonempty() {
+        let txs = QuestGenerator::new(small_config(), 2).generate(2000);
+        for t in &txs {
+            assert!(!t.is_empty());
+            assert!(t.len() <= 15, "transaction of len {} exceeds cap", t.len());
+        }
+    }
+
+    #[test]
+    fn tids_count_from_one() {
+        let txs = QuestGenerator::new(small_config(), 3).generate(5);
+        let tids: Vec<u64> = txs.iter().map(|t| t.tid()).collect();
+        assert_eq!(tids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn popularity_is_long_tailed() {
+        // Frequent itemsets exist: some item should appear far more often
+        // than the median item — the property the FEC distribution relies on.
+        let txs = QuestGenerator::new(small_config(), 4).generate(4000);
+        let db = Database::from_records(txs);
+        let mut freqs: Vec<u64> = db.item_frequencies().values().copied().collect();
+        freqs.sort_unstable();
+        let max = *freqs.last().unwrap();
+        let median = freqs[freqs.len() / 2];
+        assert!(max > median * 4, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn drift_changes_pool_over_time() {
+        let mut cfg = small_config();
+        cfg.drift_interval = Some(50);
+        let mut g = QuestGenerator::new(cfg, 9);
+        let before: Vec<ItemSet> = g.pool.iter().map(|p| p.items.clone()).collect();
+        g.generate(2000);
+        let after: Vec<ItemSet> = g.pool.iter().map(|p| p.items.clone()).collect();
+        assert_ne!(before, after, "drift never replaced a pattern");
+    }
+
+    #[test]
+    fn iterator_interface_works() {
+        let g = QuestGenerator::new(small_config(), 11);
+        let txs: Vec<_> = g.take(10).collect();
+        assert_eq!(txs.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption_mean")]
+    fn invalid_corruption_rejected() {
+        let cfg = QuestConfig {
+            corruption_mean: 1.5,
+            ..small_config()
+        };
+        QuestGenerator::new(cfg, 0);
+    }
+}

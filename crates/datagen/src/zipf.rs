@@ -1,0 +1,110 @@
+//! Zipfian sampling over a finite alphabet.
+
+use rand::Rng;
+
+/// A Zipf(s) distribution over ranks `0..n`: rank `r` has probability
+/// proportional to `1/(r+1)^s`. Implemented by inverse-CDF lookup over a
+/// precomputed cumulative table (`O(log n)` per sample), which is exact and
+/// fast enough for the stream sizes we generate.
+///
+/// Real retail/clickstream item popularity is famously long-tailed; the BMS
+/// datasets' published support histograms are consistent with `s ≈ 1`, which
+/// the profiles use.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `s >= 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty alphabet");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n > 0");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!(rank < self.cdf.len());
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_follow_head_heaviness() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 10 by roughly 10^1.2 ≈ 16×; allow slack.
+        assert!(counts[0] > counts[10] * 5);
+        // Every sample is in range by construction; spot the tail is hit.
+        assert!(counts.iter().skip(30).sum::<usize>() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The adversary's estimation machinery against *perturbed* output (§V-C.2).
+//!
+//! Lemma 1: the MSE-optimal estimate of a random quantity is its expectation,
+//! and the residual error is its variance. Against Butterfly, the adversary's
+//! best linear estimate of a vulnerable pattern `p = I(J\I)̄` is the
+//! inclusion–exclusion sum over the *sanitized* supports; its variance is the
+//! sum of the member variances (itemset perturbations are treated as
+//! independent — Prior Knowledge 1's FREQSAT hardness argument).
+
+use crate::derive::{derive_pattern_support_f64, SupportView};
+use bfly_common::{ItemSet, Result, Support};
+
+/// The adversary's best estimate of `T(I(J\I)̄)` from a sanitized view:
+/// the inclusion–exclusion sum over published sanitized supports. `None`
+/// when the lattice is not fully published.
+pub fn estimate_pattern<V: SupportView>(
+    view: &V,
+    base: &ItemSet,
+    span: &ItemSet,
+) -> Result<Option<f64>> {
+    derive_pattern_support_f64(view, base, span)
+}
+
+/// Squared relative deviation `(T(p) − T̂(p))² / T(p)²` — the per-pattern
+/// quantity averaged into the paper's `avg_prig` metric (§VII-B).
+///
+/// # Panics
+/// If `truth == 0` (hard vulnerable patterns have support ≥ 1 by
+/// definition).
+pub fn squared_relative_deviation(truth: Support, estimate: f64) -> f64 {
+    assert!(truth > 0, "vulnerable patterns have positive support");
+    let t = truth as f64;
+    let d = t - estimate;
+    (d * d) / (t * t)
+}
+
+/// The theoretical variance of the adversary's pattern estimate when every
+/// lattice member carries perturbation variance `sigma2`: the lattice of a
+/// span with `height = |J\I|` has `2^height` members, so the estimate's
+/// variance is `2^height · σ²`.
+pub fn estimate_variance(sigma2: f64, lattice_height: usize) -> f64 {
+    sigma2 * (1u64 << lattice_height) as f64
+}
+
+/// Prior Knowledge 2's averaging attack: given repeated sanitized
+/// observations of the *same* true support, the sample mean's error shrinks
+/// like `σ²/n` — unless the publisher pins the sanitized value (Butterfly's
+/// republication rule), in which case averaging gains nothing.
+pub fn averaging_attack(observations: &[i64]) -> f64 {
+    assert!(!observations.is_empty(), "no observations to average");
+    observations.iter().map(|&o| o as f64).sum::<f64>() / observations.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn estimate_is_ie_sum_over_sanitized_values() {
+        let mut view: HashMap<ItemSet, i64> = HashMap::new();
+        view.insert(iset("c"), 9);
+        view.insert(iset("ac"), 4);
+        view.insert(iset("bc"), 6);
+        view.insert(iset("abc"), 2);
+        let est = estimate_pattern(&view, &iset("c"), &iset("abc"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(est, 9.0 - 4.0 - 6.0 + 2.0);
+    }
+
+    #[test]
+    fn deviation_metric() {
+        assert_eq!(squared_relative_deviation(2, 2.0), 0.0);
+        assert_eq!(squared_relative_deviation(1, 3.0), 4.0);
+        assert!((squared_relative_deviation(4, 2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive support")]
+    fn deviation_rejects_zero_truth() {
+        squared_relative_deviation(0, 1.0);
+    }
+
+    #[test]
+    fn variance_accumulates_over_lattice() {
+        // A height-2 lattice (Example 3's X_c^{abc}) has 4 members.
+        assert_eq!(estimate_variance(2.5, 2), 10.0);
+        assert_eq!(estimate_variance(1.0, 1), 2.0);
+    }
+
+    #[test]
+    fn averaging_reduces_toward_truth_with_fresh_noise() {
+        // Symmetric ±1 noise around 10: the mean converges to 10.
+        let obs: Vec<i64> = (0..1000).map(|i| 10 + if i % 2 == 0 { 1 } else { -1 }).collect();
+        let mean = averaging_attack(&obs);
+        assert!((mean - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn averaging_pinned_value_learns_nothing_new() {
+        // Republished (pinned) sanitized value: every observation identical,
+        // so the mean is just that value — no convergence to the truth.
+        let obs = vec![12i64; 500];
+        assert_eq!(averaging_attack(&obs), 12.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Estimating itemset support: inclusion–exclusion bounds (§IV-A).
+//!
+//! For `I ⊂ J` with every `X`, `I ⊆ X ⊂ J`, published, non-negativity of
+//! pattern supports gives (Calders & Goethals' non-derivable-itemset rules):
+//!
+//! * `|J\I|` odd  ⇒ `T(J) ≤ Σ_{I⊆X⊂J} (−1)^{|J\X|+1} T(X)`
+//! * `|J\I|` even ⇒ `T(J) ≥ Σ_{I⊆X⊂J} (−1)^{|J\X|+1} T(X)`
+//!
+//! An adversary scans every base `I` whose sub-lattice is fully published
+//! and intersects the one-sided bounds; when the interval collapses to a
+//! point the "missing mosaic" `T(J)` is exactly determined.
+
+use crate::derive::SupportView;
+use crate::lattice::Lattice;
+use bfly_common::ItemSet;
+
+/// A closed integer interval `[lower, upper]` for an unpublished support.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupportBounds {
+    /// Greatest established lower bound (≥ 0).
+    pub lower: i64,
+    /// Least established upper bound.
+    pub upper: i64,
+}
+
+impl SupportBounds {
+    /// True when the bounds pin the support exactly.
+    pub fn is_tight(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// Intersect with another constraint; `None` if they contradict.
+    pub fn intersect(&self, other: &SupportBounds) -> Option<SupportBounds> {
+        let lower = self.lower.max(other.lower);
+        let upper = self.upper.min(other.upper);
+        (lower <= upper).then_some(SupportBounds { lower, upper })
+    }
+}
+
+/// Bound `T(J)` from the published supports in `view`.
+///
+/// Returns `None` when not even one base's sub-lattice is published (no
+/// information at all beyond `T(J) ≥ 0`). The scan enumerates every proper
+/// subset `I ⊂ J` — including the empty itemset, usable only when the view
+/// publishes the database size as the support of the empty itemset.
+///
+/// # Panics
+/// If `|J| > 16` (bound enumeration is exponential; published itemsets at
+/// the paper's thresholds are far smaller).
+pub fn support_bounds<V: SupportView>(view: &V, j: &ItemSet) -> Option<SupportBounds> {
+    let n = j.len();
+    assert!(n <= 16, "support_bounds on an itemset of {n} items");
+    let mut lower = 0i64;
+    let mut upper = i64::MAX;
+    let mut informed = false;
+
+    // Iterate bases I ⊂ J by mask over J's positions (0 = empty itemset).
+    'bases: for base_mask in 0..((1u32 << n) - 1) {
+        let base = j.subset_by_mask(base_mask);
+        let lattice = Lattice::new(&base, j).expect("base ⊆ j by construction");
+        let diff_len = n - base.len();
+        let mut sum = 0.0;
+        for (x, dist) in lattice.members() {
+            if dist == diff_len {
+                continue; // skip J itself
+            }
+            let Some(support) = view.get(&x) else {
+                continue 'bases; // sub-lattice incomplete: this base unusable
+            };
+            // (−1)^{|J\X|+1} where |J\X| = diff_len − dist.
+            let sign = if (diff_len - dist) % 2 == 1 { 1.0 } else { -1.0 };
+            sum += sign * support;
+        }
+        let bound = sum.round() as i64;
+        if diff_len % 2 == 1 {
+            upper = upper.min(bound);
+        } else {
+            lower = lower.max(bound);
+        }
+        informed = true;
+    }
+    informed.then_some(SupportBounds { lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_common::fixtures::fig2_window;
+    use bfly_common::Database;
+    use std::collections::HashMap;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    fn view_of(db: &Database, sets: &[&str]) -> HashMap<ItemSet, u64> {
+        sets.iter()
+            .map(|s| {
+                let i: ItemSet = s.parse().unwrap();
+                let sup = db.support(&i);
+                (i, sup)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn example4_bounds_abc_to_2_5() {
+        // Example 4: from c, ac, bc in Ds(12,8), T(abc) ∈ [2,5].
+        let db = fig2_window(12);
+        let view = view_of(&db, &["c", "ac", "bc"]);
+        let b = support_bounds(&view, &iset("abc")).expect("informed");
+        assert_eq!(b.lower, 2);
+        assert_eq!(b.upper, 5);
+        assert!(!b.is_tight());
+    }
+
+    #[test]
+    fn bounds_always_contain_truth() {
+        let db = fig2_window(12);
+        let alphabet = db.alphabet();
+        let n = alphabet.len() as u32;
+        let mut view: HashMap<ItemSet, u64> = HashMap::new();
+        for mask in 1u32..(1 << n) {
+            let x = alphabet.subset_by_mask(mask);
+            let sup = db.support(&x);
+            view.insert(x, sup);
+        }
+        for mask in 1u32..(1 << n) {
+            let j = alphabet.subset_by_mask(mask);
+            if j.len() < 2 {
+                continue;
+            }
+            let hidden = {
+                let mut v = view.clone();
+                v.remove(&j);
+                v
+            };
+            let truth = db.support(&j) as i64;
+            let b = support_bounds(&hidden, &j).expect("informed");
+            assert!(
+                b.lower <= truth && truth <= b.upper,
+                "bounds [{},{}] exclude truth {truth} for {j}",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn full_subset_view_gives_tight_bounds_when_derivable() {
+        // With ALL proper subsets published (including ∅ = |D|), derivable
+        // itemsets collapse to a point. `cd` in fig2: every record with d
+        // also has c, so T(cd) = T(d) — derivable.
+        let db = fig2_window(12);
+        let mut view = view_of(&db, &["c", "d", "cd"]);
+        view.insert(ItemSet::empty(), db.len() as u64);
+        view.remove(&iset("cd"));
+        let b = support_bounds(&view, &iset("cd")).expect("informed");
+        assert!(b.lower <= db.support(&iset("cd")) as i64);
+        assert!(b.upper >= db.support(&iset("cd")) as i64);
+        assert_eq!(b.upper, db.support(&iset("d")) as i64); // T(cd) ≤ T(d)
+    }
+
+    #[test]
+    fn no_information_returns_none() {
+        let view: HashMap<ItemSet, u64> = HashMap::new();
+        assert_eq!(support_bounds(&view, &iset("ab")), None);
+    }
+
+    #[test]
+    fn intersect_behaviour() {
+        let a = SupportBounds { lower: 2, upper: 5 };
+        let b = SupportBounds { lower: 3, upper: 7 };
+        assert_eq!(a.intersect(&b), Some(SupportBounds { lower: 3, upper: 5 }));
+        let c = SupportBounds { lower: 6, upper: 7 };
+        assert_eq!(a.intersect(&c), None);
+        let tight = SupportBounds { lower: 4, upper: 4 };
+        assert!(tight.is_tight());
+    }
+}

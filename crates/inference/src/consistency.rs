@@ -1,0 +1,254 @@
+//! Interval propagation over itemset-support constraints — the tractable
+//! fragment of FREQSAT (§V-C, Prior Knowledge 1).
+//!
+//! The paper observes that deciding whether a set of itemset–interval pairs
+//! is satisfiable by *some* database (FREQSAT) is NP-complete, so an
+//! adversary cannot tractably exploit the full inequality structure. What
+//! she *can* do is propagate the inclusion–exclusion bounds over intervals
+//! to a fixpoint: sound tightening that sometimes detects inconsistency and
+//! sometimes pins supports exactly, but is deliberately incomplete — a
+//! consistent-looking fixpoint does not prove a witnessing database exists.
+//!
+//! This module implements that propagation. It is both an attack primitive
+//! (tightening sanitized intervals) and the formal backbone of the
+//! negative-border completion in [`crate::attack`].
+
+use crate::bounds::SupportBounds;
+use crate::lattice::Lattice;
+use bfly_common::ItemSet;
+use std::collections::HashMap;
+
+/// Outcome of propagation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Propagation {
+    /// Fixpoint reached; the tightened intervals.
+    Consistent(HashMap<ItemSet, SupportBounds>),
+    /// Some interval emptied: no database can satisfy the constraints.
+    Inconsistent {
+        /// The itemset whose interval became empty.
+        witness: ItemSet,
+    },
+}
+
+/// Largest constrained itemset the propagator will relate through lattices.
+const MAX_SPAN: usize = 12;
+
+/// Propagate inclusion–exclusion bounds over the constraint set until
+/// nothing tightens (or `max_rounds` passes elapse — propagation is
+/// monotone, so early exit only ever *under*-tightens, never unsounds).
+///
+/// Rules applied per target `J` with every base `I ⊂ J` whose strict
+/// sub-lattice is fully constrained (interval arithmetic over
+/// `Σ_{I⊆X⊂J} (−1)^{|J\X|+1} T(X)`):
+///
+/// * `|J\I|` odd  ⇒ new upper bound for `T(J)`;
+/// * `|J\I|` even ⇒ new lower bound for `T(J)`;
+///
+/// plus plain monotonicity `T(J) ≤ T(I)` for `I ⊂ J` both constrained.
+pub fn propagate(
+    constraints: &HashMap<ItemSet, SupportBounds>,
+    max_rounds: usize,
+) -> Propagation {
+    let mut state: HashMap<ItemSet, SupportBounds> = constraints.clone();
+    // Universe check: reject pathological inputs early.
+    for (itemset, b) in &state {
+        if b.lower > b.upper {
+            return Propagation::Inconsistent {
+                witness: itemset.clone(),
+            };
+        }
+    }
+    let keys: Vec<ItemSet> = state.keys().cloned().collect();
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for j in &keys {
+            if j.len() > MAX_SPAN {
+                continue;
+            }
+            let mut current = state[j];
+            // Monotonicity against every constrained subset / superset.
+            for other in &keys {
+                if other.is_proper_subset_of(j) {
+                    current.upper = current.upper.min(state[other].upper);
+                } else if j.is_proper_subset_of(other) {
+                    current.lower = current.lower.max(state[other].lower);
+                }
+            }
+            // Interval inclusion–exclusion over every fully-constrained base.
+            let n = j.len();
+            if (2..=MAX_SPAN).contains(&n) {
+                'bases: for base_mask in 0..((1u32 << n) - 1) {
+                    let base = j.subset_by_mask(base_mask);
+                    if !base.is_empty() && !state.contains_key(&base) {
+                        continue;
+                    }
+                    let lattice = Lattice::new(&base, j).expect("base ⊆ j");
+                    let diff_len = n - base.len();
+                    let (mut hi_sum, mut lo_sum) = (0i64, 0i64);
+                    for (x, dist) in lattice.members() {
+                        if dist == diff_len {
+                            continue; // exclude J itself
+                        }
+                        let Some(b) = bounds_of(&state, &x) else {
+                            continue 'bases;
+                        };
+                        // Coefficient (−1)^{|J\X|+1}.
+                        if (diff_len - dist) % 2 == 1 {
+                            hi_sum = hi_sum.saturating_add(b.upper);
+                            lo_sum = lo_sum.saturating_add(b.lower);
+                        } else {
+                            hi_sum = hi_sum.saturating_sub(b.lower);
+                            lo_sum = lo_sum.saturating_sub(b.upper);
+                        }
+                    }
+                    if diff_len % 2 == 1 {
+                        current.upper = current.upper.min(hi_sum);
+                    } else {
+                        current.lower = current.lower.max(lo_sum);
+                    }
+                }
+            }
+            current.lower = current.lower.max(0);
+            if current.lower > current.upper {
+                return Propagation::Inconsistent { witness: j.clone() };
+            }
+            if current != state[j] {
+                state.insert(j.clone(), current);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Propagation::Consistent(state)
+}
+
+/// Bounds of `x` in the state, treating the empty itemset as unconstrained
+/// unless explicitly present (its "support" is the database size).
+fn bounds_of(state: &HashMap<ItemSet, SupportBounds>, x: &ItemSet) -> Option<SupportBounds> {
+    state.get(x).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_common::fixtures::fig2_window;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    fn exact(v: i64) -> SupportBounds {
+        SupportBounds { lower: v, upper: v }
+    }
+
+    fn range(lo: i64, hi: i64) -> SupportBounds {
+        SupportBounds {
+            lower: lo,
+            upper: hi,
+        }
+    }
+
+    #[test]
+    fn tightens_example4_to_the_paper_interval() {
+        // Exact c, ac, bc; wide abc → propagation reproduces [2,5].
+        let db = fig2_window(12);
+        let mut cons = HashMap::new();
+        for s in ["c", "ac", "bc"] {
+            let i = iset(s);
+            let sup = db.support(&i) as i64;
+            cons.insert(i, exact(sup));
+        }
+        cons.insert(iset("abc"), range(0, 100));
+        match propagate(&cons, 10) {
+            Propagation::Consistent(state) => {
+                assert_eq!(state[&iset("abc")], range(2, 5));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_monotonicity_violation() {
+        // T(ab) > T(a) is impossible.
+        let mut cons = HashMap::new();
+        cons.insert(iset("a"), exact(3));
+        cons.insert(iset("ab"), exact(5));
+        assert!(matches!(
+            propagate(&cons, 10),
+            Propagation::Inconsistent { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_inclusion_exclusion_violation() {
+        // |D|-free triangle: T(a)=T(b)=4, T(ab)=0, with T(∅)=5 constrained:
+        // T(ab) ≥ T(a)+T(b)−|D| = 3 > 0 → inconsistent.
+        let mut cons = HashMap::new();
+        cons.insert(ItemSet::empty(), exact(5));
+        cons.insert(iset("a"), exact(4));
+        cons.insert(iset("b"), exact(4));
+        cons.insert(iset("ab"), exact(0));
+        assert!(matches!(
+            propagate(&cons, 10),
+            Propagation::Inconsistent { .. }
+        ));
+    }
+
+    #[test]
+    fn real_database_constraints_are_consistent_and_contain_truth() {
+        let db = fig2_window(12);
+        let alphabet = db.alphabet();
+        let n = alphabet.len() as u32;
+        // Give every itemset a ±2 slack interval around its true support.
+        let mut cons = HashMap::new();
+        for mask in 1u32..(1 << n) {
+            let x = alphabet.subset_by_mask(mask);
+            let sup = db.support(&x) as i64;
+            cons.insert(x, range((sup - 2).max(0), sup + 2));
+        }
+        match propagate(&cons, 20) {
+            Propagation::Consistent(state) => {
+                for (x, b) in &state {
+                    let truth = db.support(x) as i64;
+                    assert!(
+                        b.lower <= truth && truth <= b.upper,
+                        "tightened interval [{},{}] lost the truth {truth} for {x}",
+                        b.lower,
+                        b.upper
+                    );
+                }
+            }
+            other => panic!("real data flagged inconsistent: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixpoint_is_idempotent() {
+        let mut cons = HashMap::new();
+        cons.insert(iset("a"), range(3, 8));
+        cons.insert(iset("ab"), range(0, 10));
+        let first = match propagate(&cons, 10) {
+            Propagation::Consistent(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let second = match propagate(&first, 10) {
+            Propagation::Consistent(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(first, second);
+        // ab clipped to a's upper bound.
+        assert_eq!(first[&iset("ab")], range(0, 8));
+    }
+
+    #[test]
+    fn negative_lower_bounds_clamp_to_zero() {
+        let mut cons = HashMap::new();
+        cons.insert(iset("a"), range(-5, 3));
+        match propagate(&cons, 5) {
+            Propagation::Consistent(s) => assert_eq!(s[&iset("a")], range(0, 3)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Knowledge points — Prior Knowledge 3 (§V-C.2).
+//!
+//! The adversary may know some published supports better than the noise
+//! suggests (public statistics, the top-k itemsets, values near the
+//! threshold `C`). The paper models each such *knowledge point* as a
+//! frequent itemset whose effective estimation variance is below the
+//! injected `σ²`, and folds it into the privacy guarantee by replacing that
+//! member's variance in the lattice sum.
+
+use crate::lattice::Lattice;
+use bfly_common::{ItemSet, Result, Support};
+use std::collections::HashMap;
+
+/// The adversary's side information: per-itemset estimation variances that
+/// undercut the injected noise (0.0 = she knows the support exactly).
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeModel {
+    variances: HashMap<ItemSet, f64>,
+}
+
+impl KnowledgeModel {
+    /// No side information.
+    pub fn none() -> Self {
+        KnowledgeModel::default()
+    }
+
+    /// Declare a knowledge point.
+    ///
+    /// # Panics
+    /// If `variance` is negative or non-finite.
+    pub fn with_point(mut self, itemset: ItemSet, variance: f64) -> Self {
+        assert!(
+            variance.is_finite() && variance >= 0.0,
+            "knowledge-point variance must be ≥ 0"
+        );
+        self.variances.insert(itemset, variance);
+        self
+    }
+
+    /// Number of knowledge points.
+    pub fn len(&self) -> usize {
+        self.variances.len()
+    }
+
+    /// True when the adversary has no side information.
+    pub fn is_empty(&self) -> bool {
+        self.variances.is_empty()
+    }
+
+    /// The adversary's effective variance on `itemset` given injected noise
+    /// of variance `sigma2`: her side information can only help, so it is
+    /// the minimum of the two.
+    pub fn effective_variance(&self, itemset: &ItemSet, sigma2: f64) -> f64 {
+        self.variances
+            .get(itemset)
+            .map_or(sigma2, |&v| v.min(sigma2))
+    }
+}
+
+/// The variance of the adversary's estimate of the pattern `I(J\I)̄` when
+/// every lattice member carries `sigma2` noise except where the knowledge
+/// model undercuts it: `Σ_{X ∈ X_I^J} min(σ², var_know(X))`.
+pub fn pattern_variance_with_knowledge(
+    base: &ItemSet,
+    span: &ItemSet,
+    sigma2: f64,
+    knowledge: &KnowledgeModel,
+) -> Result<f64> {
+    let lattice = Lattice::new(base, span)?;
+    Ok(lattice
+        .members()
+        .map(|(x, _)| knowledge.effective_variance(&x, sigma2))
+        .sum())
+}
+
+/// The theoretical privacy guarantee `prig(p) = Var[T̂(p)] / T(p)²` for a
+/// vulnerable pattern of true support `truth`, under side information.
+pub fn theoretical_prig(
+    base: &ItemSet,
+    span: &ItemSet,
+    truth: Support,
+    sigma2: f64,
+    knowledge: &KnowledgeModel,
+) -> Result<f64> {
+    assert!(truth > 0, "vulnerable patterns have positive support");
+    let var = pattern_variance_with_knowledge(base, span, sigma2, knowledge)?;
+    Ok(var / (truth * truth) as f64)
+}
+
+/// The minimum injected variance needed to keep `prig ≥ δ` for the
+/// worst-case vulnerable pattern (`T(p) = K`, minimal lattice of two
+/// members) when `known` of those members are knowledge points with
+/// exactly-known supports — the compensation rule a deployment applies when
+/// it must assume published side channels.
+pub fn required_sigma2(delta: f64, k: Support, lattice_members: usize, known: usize) -> f64 {
+    assert!(lattice_members >= 2, "an inference involves ≥ 2 itemsets");
+    assert!(known < lattice_members, "all members known ⇒ no protection possible");
+    // δ ≤ (members − known)·σ² / K²
+    delta * (k * k) as f64 / (lattice_members - known) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(s: &str) -> ItemSet {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn effective_variance_takes_minimum() {
+        let m = KnowledgeModel::none().with_point(iset("ac"), 1.0);
+        assert_eq!(m.effective_variance(&iset("ac"), 14.0), 1.0);
+        assert_eq!(m.effective_variance(&iset("ac"), 0.5), 0.5);
+        assert_eq!(m.effective_variance(&iset("bc"), 14.0), 14.0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn knowledge_erodes_pattern_variance() {
+        // X_c^{abc}: four members at σ²=14 → 56 without side information.
+        let none = KnowledgeModel::none();
+        let full = pattern_variance_with_knowledge(&iset("c"), &iset("abc"), 14.0, &none)
+            .unwrap();
+        assert_eq!(full, 56.0);
+        // Knowing T(c) exactly removes one member's contribution.
+        let m = KnowledgeModel::none().with_point(iset("c"), 0.0);
+        let reduced =
+            pattern_variance_with_knowledge(&iset("c"), &iset("abc"), 14.0, &m).unwrap();
+        assert_eq!(reduced, 42.0);
+    }
+
+    #[test]
+    fn theoretical_prig_scales_inverse_square() {
+        let none = KnowledgeModel::none();
+        let at1 = theoretical_prig(&iset("c"), &iset("abc"), 1, 14.0, &none).unwrap();
+        let at2 = theoretical_prig(&iset("c"), &iset("abc"), 2, 14.0, &none).unwrap();
+        assert_eq!(at1, 56.0);
+        assert_eq!(at2, 14.0);
+    }
+
+    #[test]
+    fn compensation_restores_the_floor() {
+        // With no knowledge, the paper's bound: σ² ≥ δK²/2.
+        let base = required_sigma2(1.0, 5, 2, 0);
+        assert_eq!(base, 12.5);
+        // One of the two members known exactly → the survivor must carry the
+        // whole floor.
+        let boosted = required_sigma2(1.0, 5, 2, 1);
+        assert_eq!(boosted, 25.0);
+        // And indeed the boosted variance restores prig ≥ δ:
+        let m = KnowledgeModel::none().with_point(iset("a"), 0.0);
+        let prig =
+            theoretical_prig(&iset("a"), &iset("ab"), 5, boosted, &m).unwrap();
+        assert!(prig >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no protection possible")]
+    fn fully_known_lattice_rejected() {
+        required_sigma2(1.0, 5, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be")]
+    fn negative_variance_rejected() {
+        KnowledgeModel::none().with_point(iset("a"), -1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! CHARM (Zaki & Hsiao, 2002): closed frequent itemset mining over vertical
+//! tidsets. A second, structurally independent path to the closed sets the
+//! Moment miner maintains incrementally — used to cross-validate it.
+
+use crate::eclat::intersect_sorted;
+use crate::result::FrequentItemsets;
+use bfly_common::{Database, Item, ItemSet, Support};
+use std::collections::HashMap;
+
+/// CHARM miner. Explores an itemset–tidset search tree with the four
+/// tidset-containment pruning properties:
+///
+/// 1. `t(X) = t(Y)` — replace `X` with `X∪Y` everywhere, drop `Y`;
+/// 2. `t(X) ⊂ t(Y)` — replace `X` with `X∪Y`, keep `Y`;
+/// 3. `t(X) ⊃ t(Y)` — keep `X`, fold `X∪Y` under it as a child;
+/// 4. incomparable — both branch.
+///
+/// Closedness of emitted sets is ensured by a subsumption check against the
+/// already-collected closed sets of equal support.
+#[derive(Clone, Copy, Debug)]
+pub struct Charm {
+    min_support: Support,
+}
+
+impl Charm {
+    /// Create a miner with absolute minimum support `C`.
+    ///
+    /// # Panics
+    /// If `min_support == 0`.
+    pub fn new(min_support: Support) -> Self {
+        assert!(min_support > 0, "min_support must be positive");
+        Charm { min_support }
+    }
+
+    /// The configured minimum support.
+    pub fn min_support(&self) -> Support {
+        self.min_support
+    }
+
+    /// Mine the closed frequent itemsets of `db`.
+    pub fn mine_closed(&self, db: &Database) -> FrequentItemsets {
+        let mut vertical: HashMap<Item, Vec<u32>> = HashMap::new();
+        for (pos, record) in db.records().iter().enumerate() {
+            for item in record.items().iter() {
+                vertical.entry(item).or_default().push(pos as u32);
+            }
+        }
+        let mut atoms: Vec<(ItemSet, Vec<u32>)> = vertical
+            .into_iter()
+            .filter(|(_, t)| t.len() as Support >= self.min_support)
+            .map(|(item, t)| (ItemSet::singleton(item), t))
+            .collect();
+        // Process in increasing support (the classic CHARM ordering: small
+        // tidsets first maximizes property-1/2 merges).
+        atoms.sort_unstable_by(|a, b| a.1.len().cmp(&b.1.len()).then_with(|| a.0.cmp(&b.0)));
+
+        let mut closed: HashMap<Support, Vec<ItemSet>> = HashMap::new();
+        self.charm_extend(&atoms, &mut closed);
+        FrequentItemsets::new(
+            closed
+                .into_iter()
+                .flat_map(|(support, sets)| sets.into_iter().map(move |s| (s, support))),
+        )
+    }
+
+    fn charm_extend(
+        &self,
+        nodes: &[(ItemSet, Vec<u32>)],
+        closed: &mut HashMap<Support, Vec<ItemSet>>,
+    ) {
+        for i in 0..nodes.len() {
+            let (mut x, x_tids) = (nodes[i].0.clone(), nodes[i].1.clone());
+            let mut children: Vec<(ItemSet, Vec<u32>)> = Vec::new();
+            for (y, y_tids) in &nodes[i + 1..] {
+                let joint = intersect_sorted(&x_tids, y_tids);
+                if (joint.len() as Support) < self.min_support {
+                    continue;
+                }
+                if joint.len() == x_tids.len() && joint.len() == y_tids.len() {
+                    // Property 1: identical tidsets — absorb y into x.
+                    x = x.union(y);
+                    for (c, _) in &mut children {
+                        *c = c.union(y);
+                    }
+                } else if joint.len() == x_tids.len() {
+                    // Property 2: t(x) ⊂ t(y) — x always co-occurs with y.
+                    x = x.union(y);
+                    for (c, _) in &mut children {
+                        *c = c.union(y);
+                    }
+                } else {
+                    // Properties 3/4: branch under x.
+                    children.push((x.union(y), joint));
+                }
+            }
+            if !children.is_empty() {
+                children.sort_unstable_by(|a, b| {
+                    a.1.len().cmp(&b.1.len()).then_with(|| a.0.cmp(&b.0))
+                });
+                self.charm_extend(&children, closed);
+            }
+            self.insert_if_closed(x, x_tids.len() as Support, closed);
+        }
+    }
+
+    /// Subsumption check: `x` is closed unless an already-recorded set of
+    /// the same support strictly contains it.
+    fn insert_if_closed(
+        &self,
+        x: ItemSet,
+        support: Support,
+        closed: &mut HashMap<Support, Vec<ItemSet>>,
+    ) {
+        let bucket = closed.entry(support).or_default();
+        if bucket.iter().any(|c| x.is_subset_of(c)) {
+            return; // subsumed (or duplicate)
+        }
+        // A later-arriving superset may subsume earlier entries.
+        bucket.retain(|c| !c.is_proper_subset_of(&x));
+        bucket.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+    use crate::closed::closed_subset;
+    use bfly_common::fixtures::fig2_window;
+    use bfly_datagen::{QuestConfig, QuestGenerator};
+
+    #[test]
+    fn matches_apriori_closed_on_fig2() {
+        let db = fig2_window(12);
+        for c in [1u64, 2, 3, 4] {
+            let expected = closed_subset(&Apriori::new(c).mine(&db));
+            assert_eq!(Charm::new(c).mine_closed(&db), expected, "C={c}");
+        }
+    }
+
+    #[test]
+    fn matches_apriori_closed_on_synthetic_data() {
+        let cfg = QuestConfig {
+            n_items: 35,
+            n_patterns: 10,
+            avg_pattern_len: 3.0,
+            avg_transaction_len: 5.5,
+            max_transaction_len: 12,
+            ..QuestConfig::default()
+        };
+        for seed in 0..5u64 {
+            let db = Database::from_records(QuestGenerator::new(cfg.clone(), seed).generate(250));
+            for c in [5u64, 12, 30] {
+                let expected = closed_subset(&Apriori::new(c).mine(&db));
+                assert_eq!(
+                    Charm::new(c).mine_closed(&db),
+                    expected,
+                    "mismatch seed={seed} C={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_transaction() {
+        let db = Database::parse(["abc"]);
+        let closed = Charm::new(1).mine_closed(&db);
+        // Only abc itself is closed.
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed.support(&"abc".parse().unwrap()), Some(1));
+    }
+
+    #[test]
+    fn empty_database() {
+        assert!(Charm::new(1).mine_closed(&Database::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_min_support_rejected() {
+        Charm::new(0);
+    }
+}

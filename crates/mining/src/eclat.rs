@@ -1,0 +1,154 @@
+//! Eclat (Zaki, 2000): depth-first frequent-itemset mining over vertical
+//! tidsets — a third independent mining path used to cross-validate the
+//! others, and the natural baseline for tidset-based CHARM.
+
+use crate::result::FrequentItemsets;
+use bfly_common::{Database, Item, ItemSet, Support};
+use std::collections::HashMap;
+
+/// Eclat miner: equivalence-class decomposition with tidset intersection.
+///
+/// The database is transposed once into per-item tidsets; the search then
+/// extends prefixes depth-first, computing each candidate's support as the
+/// intersection of two tidsets — no further database scans.
+#[derive(Clone, Copy, Debug)]
+pub struct Eclat {
+    min_support: Support,
+}
+
+impl Eclat {
+    /// Create a miner with absolute minimum support `C`.
+    ///
+    /// # Panics
+    /// If `min_support == 0`.
+    pub fn new(min_support: Support) -> Self {
+        assert!(min_support > 0, "min_support must be positive");
+        Eclat { min_support }
+    }
+
+    /// The configured minimum support.
+    pub fn min_support(&self) -> Support {
+        self.min_support
+    }
+
+    /// Mine all frequent itemsets of `db`.
+    pub fn mine(&self, db: &Database) -> FrequentItemsets {
+        // Transpose: item → sorted tid list.
+        let mut vertical: HashMap<Item, Vec<u32>> = HashMap::new();
+        for (pos, record) in db.records().iter().enumerate() {
+            for item in record.items().iter() {
+                vertical.entry(item).or_default().push(pos as u32);
+            }
+        }
+        let mut atoms: Vec<(Item, Vec<u32>)> = vertical
+            .into_iter()
+            .filter(|(_, tids)| tids.len() as Support >= self.min_support)
+            .collect();
+        atoms.sort_unstable_by_key(|(item, _)| *item);
+
+        let mut out: Vec<(ItemSet, Support)> = Vec::new();
+        for (idx, (item, tids)) in atoms.iter().enumerate() {
+            let prefix = ItemSet::singleton(*item);
+            out.push((prefix.clone(), tids.len() as Support));
+            self.extend(&prefix, tids, &atoms[idx + 1..], &mut out);
+        }
+        FrequentItemsets::new(out)
+    }
+
+    /// Depth-first extension of `prefix` (with tidset `tids`) by each
+    /// remaining atom.
+    fn extend(
+        &self,
+        prefix: &ItemSet,
+        tids: &[u32],
+        rest: &[(Item, Vec<u32>)],
+        out: &mut Vec<(ItemSet, Support)>,
+    ) {
+        for (idx, (item, item_tids)) in rest.iter().enumerate() {
+            let joint = intersect_sorted(tids, item_tids);
+            if joint.len() as Support >= self.min_support {
+                let extended = prefix.with(*item);
+                out.push((extended.clone(), joint.len() as Support));
+                self.extend(&extended, &joint, &rest[idx + 1..], out);
+            }
+        }
+    }
+}
+
+/// Intersection of two sorted tid lists.
+pub(crate) fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+    use bfly_common::fixtures::fig2_window;
+    use bfly_datagen::{QuestConfig, QuestGenerator};
+
+    #[test]
+    fn agrees_with_apriori_on_fig2() {
+        let db = fig2_window(12);
+        for c in [1u64, 2, 3, 4, 8] {
+            assert_eq!(
+                Eclat::new(c).mine(&db),
+                Apriori::new(c).mine(&db),
+                "mismatch at C={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_synthetic_data() {
+        let cfg = QuestConfig {
+            n_items: 40,
+            n_patterns: 12,
+            avg_pattern_len: 3.0,
+            avg_transaction_len: 6.0,
+            max_transaction_len: 14,
+            ..QuestConfig::default()
+        };
+        for seed in 0..4u64 {
+            let db = Database::from_records(QuestGenerator::new(cfg.clone(), seed).generate(300));
+            for c in [6u64, 20] {
+                assert_eq!(
+                    Eclat::new(c).mine(&db),
+                    Apriori::new(c).mine(&db),
+                    "mismatch seed={seed} C={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[4], &[4]), vec![4]);
+    }
+
+    #[test]
+    fn empty_database() {
+        assert!(Eclat::new(1).mine(&Database::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_min_support_rejected() {
+        Eclat::new(0);
+    }
+}

@@ -1,0 +1,182 @@
+//! FP-Growth (Han, Pei & Yin, SIGMOD 2000).
+
+use crate::fptree::{order_items, FpTree};
+use crate::result::FrequentItemsets;
+use bfly_common::{Database, Item, ItemSet, Support};
+use std::collections::HashMap;
+
+/// FP-Growth miner: builds an FP-tree in two scans and mines it by recursive
+/// conditional-tree projection. Orders of magnitude faster than Apriori on
+/// dense data; used as the per-batch engine inside [`crate::FpStream`].
+#[derive(Clone, Copy, Debug)]
+pub struct FpGrowth {
+    min_support: Support,
+}
+
+impl FpGrowth {
+    /// Create a miner with absolute minimum support `C`.
+    ///
+    /// # Panics
+    /// If `min_support == 0`.
+    pub fn new(min_support: Support) -> Self {
+        assert!(min_support > 0, "min_support must be positive");
+        FpGrowth { min_support }
+    }
+
+    /// The configured minimum support.
+    pub fn min_support(&self) -> Support {
+        self.min_support
+    }
+
+    /// Mine all frequent itemsets of `db`.
+    pub fn mine(&self, db: &Database) -> FrequentItemsets {
+        // Scan 1: item frequencies; keep the frequent ones.
+        let freq: HashMap<Item, Support> = db
+            .item_frequencies()
+            .into_iter()
+            .filter(|&(_, c)| c >= self.min_support)
+            .collect();
+        // Scan 2: build the tree.
+        let mut tree = FpTree::new();
+        for record in db.records() {
+            let ordered = order_items(record.items(), &freq);
+            tree.insert(&ordered, 1);
+        }
+        let mut out: Vec<(ItemSet, Support)> = Vec::new();
+        self.mine_tree(&tree, &ItemSet::empty(), &mut out);
+        FrequentItemsets::new(out)
+    }
+
+    /// Recursive FP-Growth over `tree`, whose itemsets are all implicitly
+    /// suffixed by `suffix`.
+    fn mine_tree(&self, tree: &FpTree, suffix: &ItemSet, out: &mut Vec<(ItemSet, Support)>) {
+        if let Some(path) = tree.single_path() {
+            // Single-path shortcut: every subset of the path, with the
+            // minimum count along it, is frequent (if above threshold).
+            self.emit_single_path(&path, suffix, out);
+            return;
+        }
+        // General case: one conditional tree per frequent item, processed in
+        // ascending frequency so conditional bases stay small.
+        let mut items: Vec<(Item, Support)> = tree
+            .items()
+            .map(|it| (it, tree.item_support(it)))
+            .filter(|&(_, c)| c >= self.min_support)
+            .collect();
+        items.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for (item, support) in items {
+            let new_suffix = suffix.with(item);
+            out.push((new_suffix.clone(), support));
+            let base = tree.conditional_pattern_base(item);
+            // Conditional item frequencies within the base.
+            let mut cond_freq: HashMap<Item, Support> = HashMap::new();
+            for (path, count) in &base {
+                for &it in path {
+                    *cond_freq.entry(it).or_insert(0) += count;
+                }
+            }
+            cond_freq.retain(|_, c| *c >= self.min_support);
+            if cond_freq.is_empty() {
+                continue;
+            }
+            let mut cond_tree = FpTree::new();
+            for (path, count) in &base {
+                let mut kept: Vec<Item> = path
+                    .iter()
+                    .copied()
+                    .filter(|it| cond_freq.contains_key(it))
+                    .collect();
+                kept.sort_unstable_by(|a, b| {
+                    cond_freq[b].cmp(&cond_freq[a]).then_with(|| a.cmp(b))
+                });
+                cond_tree.insert(&kept, *count);
+            }
+            self.mine_tree(&cond_tree, &new_suffix, out);
+        }
+    }
+
+    /// Emit every combination along a single path.
+    fn emit_single_path(
+        &self,
+        path: &[(Item, Support)],
+        suffix: &ItemSet,
+        out: &mut Vec<(ItemSet, Support)>,
+    ) {
+        let viable: Vec<(Item, Support)> = path
+            .iter()
+            .copied()
+            .filter(|&(_, c)| c >= self.min_support)
+            .collect();
+        let n = viable.len();
+        assert!(n <= 24, "single path of {n} frequent items: unexpected blowup");
+        for mask in 1u32..(1 << n) {
+            let mut support = Support::MAX;
+            let mut items = suffix.clone();
+            for (pos, &(item, count)) in viable.iter().enumerate() {
+                if mask & (1 << pos) != 0 {
+                    support = support.min(count);
+                    items = items.with(item);
+                }
+            }
+            out.push((items, support));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+    use bfly_common::fixtures::fig2_window;
+    use bfly_datagen::{QuestConfig, QuestGenerator};
+
+    #[test]
+    fn agrees_with_apriori_on_fig2() {
+        let db = fig2_window(12);
+        for c in [1, 2, 3, 4, 5, 8, 9] {
+            let a = Apriori::new(c).mine(&db);
+            let f = FpGrowth::new(c).mine(&db);
+            assert_eq!(a, f, "mismatch at C={c}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_synthetic_data() {
+        let cfg = QuestConfig {
+            n_items: 40,
+            n_patterns: 12,
+            avg_pattern_len: 3.0,
+            avg_transaction_len: 6.0,
+            max_transaction_len: 14,
+            ..QuestConfig::default()
+        };
+        for seed in 0..5u64 {
+            let txs = QuestGenerator::new(cfg.clone(), seed).generate(300);
+            let db = Database::from_records(txs);
+            for c in [5, 15, 40] {
+                let a = Apriori::new(c).mine(&db);
+                let f = FpGrowth::new(c).mine(&db);
+                assert_eq!(a, f, "mismatch seed={seed} C={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        assert!(FpGrowth::new(1).mine(&Database::new()).is_empty());
+    }
+
+    #[test]
+    fn single_record_database() {
+        let db = Database::parse(["abc"]);
+        let f = FpGrowth::new(1).mine(&db);
+        assert_eq!(f.len(), 7); // all non-empty subsets of abc
+        assert_eq!(f.support(&"abc".parse().unwrap()), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_min_support_rejected() {
+        FpGrowth::new(0);
+    }
+}

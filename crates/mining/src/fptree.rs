@@ -1,0 +1,231 @@
+//! FP-tree: the prefix-tree-with-header-table structure behind FP-Growth
+//! and FP-stream.
+
+use bfly_common::{Item, ItemSet, Support};
+use std::collections::HashMap;
+
+/// Index of a node inside the arena.
+pub(crate) type NodeId = usize;
+
+/// One FP-tree node. Nodes live in an arena (`Vec`) and reference each other
+/// by index, the idiomatic Rust shape for a linked tree structure.
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub item: Item,
+    pub count: Support,
+    pub parent: Option<NodeId>,
+    pub children: HashMap<Item, NodeId>,
+}
+
+/// An FP-tree over item-weighted transactions.
+///
+/// Items in each inserted transaction must already be filtered to the
+/// frequent ones and sorted in *descending global frequency* (ties broken by
+/// item id) — the caller owns that ordering because conditional trees reuse
+/// the parent tree's order.
+#[derive(Clone, Debug)]
+pub struct FpTree {
+    pub(crate) nodes: Vec<Node>,
+    /// Header table: every node holding each item.
+    pub(crate) header: HashMap<Item, Vec<NodeId>>,
+    /// Total count per item in the tree.
+    pub(crate) item_counts: HashMap<Item, Support>,
+}
+
+impl FpTree {
+    /// An empty tree (root sentinel at index 0).
+    pub fn new() -> Self {
+        FpTree {
+            nodes: vec![Node {
+                item: Item(u32::MAX),
+                count: 0,
+                parent: None,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+            item_counts: HashMap::new(),
+        }
+    }
+
+    /// Number of non-root nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True when the tree holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Insert an ordered item sequence with a count (count > 1 arises when
+    /// inserting aggregated paths from conditional pattern bases).
+    pub fn insert(&mut self, ordered_items: &[Item], count: Support) {
+        if count == 0 {
+            return;
+        }
+        let mut current: NodeId = 0;
+        for &item in ordered_items {
+            *self.item_counts.entry(item).or_insert(0) += count;
+            current = match self.nodes[current].children.get(&item) {
+                Some(&child) => {
+                    self.nodes[child].count += count;
+                    child
+                }
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(Node {
+                        item,
+                        count,
+                        parent: Some(current),
+                        children: HashMap::new(),
+                    });
+                    self.nodes[current].children.insert(item, id);
+                    self.header.entry(item).or_default().push(id);
+                    id
+                }
+            };
+        }
+    }
+
+    /// Total support of an item across the tree.
+    pub fn item_support(&self, item: Item) -> Support {
+        self.item_counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Items present in the tree.
+    pub fn items(&self) -> impl Iterator<Item = Item> + '_ {
+        self.item_counts.keys().copied()
+    }
+
+    /// The conditional pattern base of `item`: for every node holding
+    /// `item`, the path from its parent up to the root, weighted by the
+    /// node's count. Paths are returned root-first.
+    pub fn conditional_pattern_base(&self, item: Item) -> Vec<(Vec<Item>, Support)> {
+        let Some(nodes) = self.header.get(&item) else {
+            return Vec::new();
+        };
+        let mut base = Vec::with_capacity(nodes.len());
+        for &id in nodes {
+            let count = self.nodes[id].count;
+            let mut path = Vec::new();
+            let mut cursor = self.nodes[id].parent;
+            while let Some(nid) = cursor {
+                if nid == 0 {
+                    break;
+                }
+                path.push(self.nodes[nid].item);
+                cursor = self.nodes[nid].parent;
+            }
+            path.reverse();
+            if !path.is_empty() {
+                base.push((path, count));
+            }
+        }
+        base
+    }
+
+    /// True when the tree is a single path from the root — the FP-Growth
+    /// fast case where all frequent combinations can be emitted directly.
+    pub fn single_path(&self) -> Option<Vec<(Item, Support)>> {
+        let mut path = Vec::new();
+        let mut current: NodeId = 0;
+        loop {
+            let children = &self.nodes[current].children;
+            match children.len() {
+                0 => return Some(path),
+                1 => {
+                    let (&item, &child) = children.iter().next().expect("len checked");
+                    path.push((item, self.nodes[child].count));
+                    current = child;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+impl Default for FpTree {
+    fn default() -> Self {
+        FpTree::new()
+    }
+}
+
+/// Order a transaction's items by descending frequency (ties by id), keeping
+/// only items present in `freq` — the canonical FP-tree insertion order.
+pub fn order_items(itemset: &ItemSet, freq: &HashMap<Item, Support>) -> Vec<Item> {
+    let mut items: Vec<Item> = itemset
+        .iter()
+        .filter(|it| freq.contains_key(it))
+        .collect();
+    items.sort_unstable_by(|a, b| freq[b].cmp(&freq[a]).then_with(|| a.cmp(b)));
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    #[test]
+    fn shared_prefixes_merge() {
+        let mut t = FpTree::new();
+        t.insert(&items(&[1, 2, 3]), 1);
+        t.insert(&items(&[1, 2, 4]), 1);
+        t.insert(&items(&[1, 2, 3]), 1);
+        // Nodes: 1, 2, 3, 4 → four nodes, shared prefix 1-2.
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.item_support(Item(1)), 3);
+        assert_eq!(t.item_support(Item(2)), 3);
+        assert_eq!(t.item_support(Item(3)), 2);
+        assert_eq!(t.item_support(Item(4)), 1);
+    }
+
+    #[test]
+    fn conditional_base_paths() {
+        let mut t = FpTree::new();
+        t.insert(&items(&[1, 2, 3]), 2);
+        t.insert(&items(&[2, 3]), 1);
+        let base = t.conditional_pattern_base(Item(3));
+        // Two paths: [1,2]x2 and [2]x1.
+        assert_eq!(base.len(), 2);
+        assert!(base.contains(&(items(&[1, 2]), 2)));
+        assert!(base.contains(&(items(&[2]), 1)));
+        // Item at depth 1 has no (non-empty) prefix path.
+        assert!(t.conditional_pattern_base(Item(1)).is_empty());
+        // Missing item: empty.
+        assert!(t.conditional_pattern_base(Item(9)).is_empty());
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let mut t = FpTree::new();
+        t.insert(&items(&[1, 2]), 3);
+        t.insert(&items(&[1, 2, 3]), 1);
+        let path = t.single_path().expect("should be a single path");
+        assert_eq!(
+            path,
+            vec![(Item(1), 4), (Item(2), 4), (Item(3), 1)]
+        );
+        t.insert(&items(&[5]), 1);
+        assert!(t.single_path().is_none());
+    }
+
+    #[test]
+    fn zero_count_insert_is_noop() {
+        let mut t = FpTree::new();
+        t.insert(&items(&[1]), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn order_items_by_frequency() {
+        let freq: HashMap<Item, Support> =
+            [(Item(5), 10), (Item(2), 3), (Item(7), 10)].into_iter().collect();
+        let ordered = order_items(&ItemSet::from_ids([2, 5, 7, 9]), &freq);
+        // 9 dropped (not frequent); 5 and 7 tie at 10 → id order; then 2.
+        assert_eq!(ordered, items(&[5, 7, 2]));
+    }
+}

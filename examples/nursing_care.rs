@@ -1,0 +1,89 @@
+//! The paper's running example, end to end: a nursing-care records stream
+//! leaks a patient's symptoms through published mining output, and Butterfly
+//! stops the inference.
+//!
+//! Run with `cargo run --example nursing_care`.
+//!
+//! Items a..d are observed symptoms; each record is one patient's chart.
+//! The stream and supports are exactly those of the paper's Fig. 2/3 and
+//! Examples 2–5.
+
+use butterfly_repro::butterfly::{BiasScheme, Publisher, PrivacySpec};
+use butterfly_repro::common::fixtures::{fig2_stream, fig2_window};
+use butterfly_repro::common::Pattern;
+use butterfly_repro::inference::adversary::estimate_pattern;
+use butterfly_repro::inference::{find_inter_window_breaches, find_intra_window_breaches};
+use butterfly_repro::mining::Apriori;
+
+fn main() {
+    let _stream = fig2_stream();
+    let (c, k) = (4u64, 1u64); // Example 5's thresholds
+
+    // ---- Without protection -------------------------------------------
+    println!("== raw releases (no output-privacy protection) ==\n");
+    let prev_db = fig2_window(11);
+    let curr_db = fig2_window(12);
+    let prev = Apriori::new(c).mine(&prev_db);
+    let curr = Apriori::new(c).mine(&curr_db);
+
+    println!("Ds(11,8) publishes {} itemsets, Ds(12,8) publishes {}", prev.len(), curr.len());
+
+    let intra = find_intra_window_breaches(curr.as_map(), k);
+    println!("intra-window breaches in Ds(12,8) at K={k}: {}", intra.len());
+
+    let inter = find_inter_window_breaches(prev.as_map(), curr.as_map(), c, 1, k);
+    println!("inter-window breaches at K={k}: {}", inter.len());
+    for b in &inter {
+        println!(
+            "  BREACH: pattern {} has support {} — only {} patient(s) match \
+             'has {}, lacks {}'",
+            b.pattern,
+            b.support,
+            b.support,
+            b.base,
+            b.span.difference(&b.base)
+        );
+        println!(
+            "  (Alice knows Bob has those symptoms → Bob is identifiable, as in Example 1)"
+        );
+    }
+
+    // ---- With Butterfly -------------------------------------------------
+    println!("\n== Butterfly-sanitized releases ==\n");
+    // A contract scaled to this toy window: C=4, K=1, ε=0.2, δ=0.8.
+    let spec = PrivacySpec::new(c, k, 0.2, 0.8);
+    println!(
+        "noise width α={}, σ²={:.2} per itemset",
+        spec.alpha(),
+        spec.sigma2()
+    );
+    let mut publisher = Publisher::new(spec, BiasScheme::Basic, 2024);
+    let prev_release = publisher.publish(&prev);
+    let curr_release = publisher.publish(&curr);
+
+    let target: Pattern = "c¬a¬b".parse().unwrap();
+    let truth = curr_db.pattern_support(&target);
+
+    // The adversary re-runs her best inference on sanitized values: the
+    // lattice sum over the sanitized supports, completing the missing abc
+    // with the previous window's sanitized value.
+    let mut view = curr_release.view();
+    let prev_view = prev_release.view();
+    let abc = "abc".parse().unwrap();
+    if let Some(v) = prev_view.get(&abc) {
+        view.insert(abc, *v);
+    }
+    let estimate = estimate_pattern(&view, &"c".parse().unwrap(), &"abc".parse().unwrap())
+        .unwrap()
+        .expect("lattice complete with carried-over value");
+    println!(
+        "adversary's estimate of T({target}) from sanitized output: {estimate:+.1} \
+         (truth: {truth})"
+    );
+    let rel_err = ((truth as f64 - estimate) / truth as f64).powi(2);
+    println!("squared relative error: {rel_err:.2} (privacy floor δ = {})", spec.delta());
+    println!(
+        "\nthe derived value no longer pins a unique patient: the uncertainty of four \
+         perturbed supports accumulates in the inference (§V-C.3)."
+    );
+}

@@ -1,0 +1,78 @@
+//! A point-of-sale deployment: continuous sanitized publication over a
+//! BMS-POS-style basket stream, comparing all four Butterfly variants.
+//!
+//! Run with `cargo run --release --example retail_stream`.
+//!
+//! For each scheme the example drives the same stream through the pipeline,
+//! publishes every 100 records, measures utility per window, and prints the
+//! averages — a miniature of the paper's Fig. 4/5 sweep.
+
+use butterfly_repro::butterfly::metrics;
+use butterfly_repro::butterfly::{BiasScheme, Publisher, PrivacySpec, StreamPipeline};
+use butterfly_repro::datagen::DatasetProfile;
+
+fn main() {
+    let spec = PrivacySpec::from_ppr(25, 5, 0.4, 0.4);
+    let window = 2000usize;
+    let publish_every = 100usize;
+    let windows_to_measure = 20usize;
+
+    println!(
+        "POS stream, window {window}, publish every {publish_every} records, \
+         {windows_to_measure} windows per scheme"
+    );
+    println!(
+        "contract: C={} K={} ε={:.3} δ={:.2} (ppr {:.2})\n",
+        spec.c(),
+        spec.k(),
+        spec.epsilon(),
+        spec.delta(),
+        spec.ppr()
+    );
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>10}",
+        "scheme", "avg_pred", "ropp", "rrpp", "published"
+    );
+
+    for scheme in BiasScheme::paper_variants(2) {
+        let publisher = Publisher::new(spec, scheme, 99);
+        let mut pipeline = StreamPipeline::new(window, publisher);
+        let mut stream = DatasetProfile::Pos.source(17);
+
+        // Fill the window.
+        for _ in 0..window - 1 {
+            pipeline.advance(stream.next_transaction());
+        }
+
+        let mut pred_sum = 0.0;
+        let mut ropp_sum = 0.0;
+        let mut rrpp_sum = 0.0;
+        let mut published = 0usize;
+        for _ in 0..windows_to_measure {
+            for _ in 0..publish_every {
+                pipeline.advance(stream.next_transaction());
+            }
+            let release = pipeline.publish_now();
+            let m = metrics::window_metrics(&release.release, &[], None, 0.95);
+            pred_sum += m.avg_pred;
+            ropp_sum += m.ropp;
+            rrpp_sum += m.rrpp;
+            published += release.release.len();
+        }
+        let n = windows_to_measure as f64;
+        println!(
+            "{:<12} {:>10.5} {:>8.3} {:>8.3} {:>10}",
+            scheme.name(),
+            pred_sum / n,
+            ropp_sum / n,
+            rrpp_sum / n,
+            published
+        );
+    }
+
+    println!(
+        "\nexpected shape (paper Fig. 5): order-preserving tops ropp, \
+         ratio-preserving tops rrpp, the λ=0.4 hybrid is second-best on both, \
+         and basic has the lowest precision loss."
+    );
+}

@@ -1,0 +1,247 @@
+//! `butterfly` — command-line front end for the reproduction.
+//!
+//! ```text
+//! butterfly gen     --profile webview1 --count 10000 --seed 1 --out stream.dat
+//! butterfly mine    --input stream.dat --min-support 25 [--closed] [--miner fpgrowth]
+//! butterfly attack  --input stream.dat --window 2000 --min-support 25 --vulnerable 5
+//! butterfly protect --input stream.dat --window 2000 --min-support 25 --vulnerable 5 \
+//!                   --epsilon 0.016 --delta 0.4 --scheme hybrid --lambda 0.4 --every 100
+//! ```
+//!
+//! `protect` writes one JSON object per published window to stdout (or
+//! `--out`), containing only sanitized supports — the same trust boundary a
+//! deployment would have.
+
+use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
+use butterfly_repro::common::{io as dat, Database};
+use butterfly_repro::datagen::DatasetProfile;
+use butterfly_repro::inference::find_intra_window_breaches;
+use butterfly_repro::mining::closed::closed_subset;
+use butterfly_repro::mining::{Apriori, Eclat, FpGrowth};
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&opts),
+        "mine" => cmd_mine(&opts),
+        "rules" => cmd_rules(&opts),
+        "attack" => cmd_attack(&opts),
+        "protect" => cmd_protect(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "butterfly — output-privacy protection for stream frequent-pattern mining
+
+USAGE:
+  butterfly gen     --profile <webview1|pos> --count <N> [--seed <S>] [--out <file.dat>]
+  butterfly mine    --input <file.dat> --min-support <C> [--closed] [--miner <apriori|fpgrowth|eclat>]
+  butterfly rules   --input <file.dat> --min-support <C> --min-confidence <F> [--top <N>]
+  butterfly attack  --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
+  butterfly protect --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
+                    --epsilon <E> --delta <D> [--scheme <basic|order|ratio|hybrid>]
+                    [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--out <file.jsonl>]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {arg:?}"));
+        };
+        // Boolean flags take no value.
+        if name == "closed" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn req<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let profile = match req(flags, "profile")? {
+        "webview1" => DatasetProfile::WebView1,
+        "pos" => DatasetProfile::Pos,
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let count: usize = parse(req(flags, "count")?, "count")?;
+    let seed: u64 = parse(flags.get("seed").map_or("0", String::as_str), "seed")?;
+    let txs = profile.source(seed).take_vec(count);
+    let db = Database::from_records(txs);
+    match flags.get("out") {
+        Some(path) => dat::save_dat(path, &db).map_err(|e| e.to_string())?,
+        None => dat::write_dat(std::io::stdout().lock(), &db).map_err(|e| e.to_string())?,
+    }
+    eprintln!(
+        "generated {} transactions ({} distinct items, mean length {:.2})",
+        db.len(),
+        db.alphabet().len(),
+        db.mean_record_len()
+    );
+    Ok(())
+}
+
+fn cmd_mine(flags: &Flags) -> Result<(), String> {
+    let db = dat::load_dat(req(flags, "input")?).map_err(|e| e.to_string())?;
+    let c: u64 = parse(req(flags, "min-support")?, "min-support")?;
+    let miner = flags.get("miner").map_or("fpgrowth", String::as_str);
+    let mut frequent = match miner {
+        "apriori" => Apriori::new(c).mine(&db),
+        "fpgrowth" => FpGrowth::new(c).mine(&db),
+        "eclat" => Eclat::new(c).mine(&db),
+        other => return Err(format!("unknown miner {other:?}")),
+    };
+    if flags.contains_key("closed") {
+        frequent = closed_subset(&frequent);
+    }
+    print!("{frequent}");
+    eprintln!("{} itemsets at C={c} over {} records", frequent.len(), db.len());
+    Ok(())
+}
+
+fn cmd_rules(flags: &Flags) -> Result<(), String> {
+    use butterfly_repro::mining::generate_rules;
+    let db = dat::load_dat(req(flags, "input")?).map_err(|e| e.to_string())?;
+    let c: u64 = parse(req(flags, "min-support")?, "min-support")?;
+    let min_conf: f64 = parse(req(flags, "min-confidence")?, "min-confidence")?;
+    let top: usize = parse(flags.get("top").map_or("25", String::as_str), "top")?;
+    let frequent = FpGrowth::new(c).mine(&db);
+    let rules = generate_rules(&frequent, min_conf);
+    for rule in rules.iter().take(top) {
+        println!("{rule}");
+    }
+    eprintln!(
+        "{} rules at C={c}, confidence ≥ {min_conf} (showing up to {top})",
+        rules.len()
+    );
+    Ok(())
+}
+
+fn cmd_attack(flags: &Flags) -> Result<(), String> {
+    let db = dat::load_dat(req(flags, "input")?).map_err(|e| e.to_string())?;
+    let window: usize = parse(req(flags, "window")?, "window")?;
+    let c: u64 = parse(req(flags, "min-support")?, "min-support")?;
+    let k: u64 = parse(req(flags, "vulnerable")?, "vulnerable")?;
+    if db.len() < window {
+        return Err(format!("stream has {} records, window is {window}", db.len()));
+    }
+    let tail = Database::from_records(db.records()[db.len() - window..].to_vec());
+    let full = FpGrowth::new(c).mine(&tail);
+    let breaches = find_intra_window_breaches(full.as_map(), k);
+    println!(
+        "window of last {window} records: {} published itemsets, {} inferable vulnerable patterns (K={k})",
+        full.len(),
+        breaches.len()
+    );
+    for b in breaches.iter().take(50) {
+        println!("  {}  support {}", b.pattern, b.support);
+    }
+    if breaches.len() > 50 {
+        println!("  ... ({} more)", breaches.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_protect(flags: &Flags) -> Result<(), String> {
+    let db = dat::load_dat(req(flags, "input")?).map_err(|e| e.to_string())?;
+    let window: usize = parse(req(flags, "window")?, "window")?;
+    let c: u64 = parse(req(flags, "min-support")?, "min-support")?;
+    let k: u64 = parse(req(flags, "vulnerable")?, "vulnerable")?;
+    let epsilon: f64 = parse(req(flags, "epsilon")?, "epsilon")?;
+    let delta: f64 = parse(req(flags, "delta")?, "delta")?;
+    let every: usize = parse(flags.get("every").map_or("1", String::as_str), "every")?;
+    let seed: u64 = parse(flags.get("seed").map_or("0", String::as_str), "seed")?;
+    let gamma: usize = parse(flags.get("gamma").map_or("2", String::as_str), "gamma")?;
+    let lambda: f64 = parse(flags.get("lambda").map_or("0.4", String::as_str), "lambda")?;
+    let scheme = match flags.get("scheme").map_or("hybrid", String::as_str) {
+        "basic" => BiasScheme::Basic,
+        "order" => BiasScheme::OrderPreserving { gamma },
+        "ratio" => BiasScheme::RatioPreserving,
+        "hybrid" => BiasScheme::Hybrid { lambda, gamma },
+        other => return Err(format!("unknown scheme {other:?}")),
+    };
+    if every == 0 {
+        return Err("--every must be positive".into());
+    }
+    let spec = PrivacySpec::new(c, k, epsilon, delta);
+    let publisher = Publisher::new(spec, scheme, seed);
+    let mut pipeline = StreamPipeline::new(window, publisher);
+
+    let mut out: Box<dyn Write> = match flags.get("out") {
+        Some(path) => Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut published = 0usize;
+    let mut since_last = 0usize;
+    for record in db.records() {
+        pipeline.advance(record.clone());
+        since_last += 1;
+        if pipeline.stream_len() as usize >= window && since_last >= every {
+            since_last = 0;
+            let release = pipeline.publish_now();
+            let entries: Vec<serde_json::Value> = release
+                .release
+                .iter()
+                .map(|e| {
+                    serde_json::json!({
+                        "itemset": e.itemset.items().iter().map(|i| i.id()).collect::<Vec<_>>(),
+                        "support": e.sanitized,
+                    })
+                })
+                .collect();
+            let line = serde_json::json!({
+                "stream_len": release.stream_len,
+                "itemsets": entries,
+            });
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            published += 1;
+        }
+    }
+    eprintln!(
+        "published {published} sanitized windows (C={c}, K={k}, ε={epsilon}, δ={delta}, {})",
+        scheme.name()
+    );
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the `butterfly` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_butterfly"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bfly_cli_tests");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir.join(name)
+}
+
+#[test]
+fn gen_mine_attack_protect_round_trip() {
+    let dat = temp_path("roundtrip.dat");
+    let status = bin()
+        .args([
+            "gen", "--profile", "webview1", "--count", "1500", "--seed", "7", "--out",
+        ])
+        .arg(&dat)
+        .status()
+        .expect("run gen");
+    assert!(status.success());
+    assert!(dat.exists());
+
+    let mine = bin()
+        .args(["mine", "--min-support", "40", "--closed", "--input"])
+        .arg(&dat)
+        .output()
+        .expect("run mine");
+    assert!(mine.status.success());
+    let listing = String::from_utf8(mine.stdout).unwrap();
+    assert!(listing.lines().count() > 3, "mine produced: {listing}");
+    // Every line is "<itemset> (<support>)" with support ≥ C.
+    for line in listing.lines() {
+        let support: u64 = line
+            .rsplit_once('(')
+            .and_then(|(_, s)| s.trim_end_matches(')').parse().ok())
+            .unwrap_or_else(|| panic!("malformed line {line:?}"));
+        assert!(support >= 40);
+    }
+
+    let attack = bin()
+        .args([
+            "attack", "--window", "1000", "--min-support", "20", "--vulnerable", "4",
+            "--input",
+        ])
+        .arg(&dat)
+        .output()
+        .expect("run attack");
+    assert!(attack.status.success());
+    let report = String::from_utf8(attack.stdout).unwrap();
+    assert!(report.contains("inferable vulnerable patterns"));
+
+    let out = temp_path("releases.jsonl");
+    let protect = bin()
+        .args([
+            "protect", "--window", "1000", "--min-support", "20", "--vulnerable", "4",
+            "--epsilon", "0.02", "--delta", "0.5", "--scheme", "ratio", "--every", "250",
+        ])
+        .arg("--input")
+        .arg(&dat)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("run protect");
+    assert!(
+        protect.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&protect.stderr)
+    );
+    let jsonl = std::fs::read_to_string(&out).unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(!lines.is_empty(), "no windows published");
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+        assert!(v["stream_len"].as_u64().unwrap() >= 1000);
+        let itemsets = v["itemsets"].as_array().unwrap();
+        assert!(!itemsets.is_empty());
+        for entry in itemsets {
+            assert!(!entry["itemset"].as_array().unwrap().is_empty());
+            entry["support"].as_i64().expect("sanitized support is an integer");
+        }
+    }
+
+    std::fs::remove_file(dat).ok();
+    std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let out = bin().args(["mine"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--input"), "unhelpful error: {err}");
+
+    let out = bin().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+
+    let out = bin().output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn deterministic_generation() {
+    let a = temp_path("det_a.dat");
+    let b = temp_path("det_b.dat");
+    for path in [&a, &b] {
+        let status = bin()
+            .args(["gen", "--profile", "pos", "--count", "300", "--seed", "9", "--out"])
+            .arg(path)
+            .status()
+            .expect("run gen");
+        assert!(status.success());
+    }
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "same seed must give identical corpora"
+    );
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}

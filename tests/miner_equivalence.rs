@@ -1,0 +1,52 @@
+//! Integration: the three independent mining paths agree on streaming
+//! windows of realistic synthetic data.
+
+use butterfly_repro::common::{Database, SlidingWindow};
+use butterfly_repro::datagen::DatasetProfile;
+use butterfly_repro::mining::closed::{closed_subset, expand_closed};
+use butterfly_repro::mining::{Apriori, FpGrowth, MomentMiner, WindowMiner};
+
+#[test]
+fn moment_fpgrowth_apriori_agree_over_a_sliding_stream() {
+    let mut src = DatasetProfile::WebView1.source(13);
+    let mut window = SlidingWindow::new(400);
+    let c = 12u64;
+    let mut moment = MomentMiner::new(c);
+
+    for step in 0..900 {
+        let delta = window.slide(src.next_transaction());
+        moment.apply(&delta);
+        // Full checks are expensive; sample the stream at irregular points,
+        // always including the window-fill boundary.
+        if !(step == 399 || step % 173 == 0 && step > 399) {
+            continue;
+        }
+        let db = window.database();
+        let apriori = Apriori::new(c).mine(&db);
+        let fpgrowth = FpGrowth::new(c).mine(&db);
+        assert_eq!(apriori, fpgrowth, "static miners disagree at step {step}");
+        let closed = closed_subset(&apriori);
+        assert_eq!(
+            moment.closed_frequent(),
+            closed,
+            "incremental CET diverged at step {step}"
+        );
+        assert_eq!(moment.all_frequent(), apriori);
+        let _ = expand_closed(&closed);
+    }
+}
+
+#[test]
+fn moment_handles_pos_profile_with_larger_baskets() {
+    let mut src = DatasetProfile::Pos.source(29);
+    let mut window = SlidingWindow::new(300);
+    let c = 15u64;
+    let mut moment = MomentMiner::new(c);
+    for _ in 0..600 {
+        moment.apply(&window.slide(src.next_transaction()));
+    }
+    let db: Database = window.database();
+    let expected = closed_subset(&FpGrowth::new(c).mine(&db));
+    assert_eq!(moment.closed_frequent(), expected);
+    assert!(moment.node_count() > 0);
+}

@@ -1,0 +1,262 @@
+//! Property-based tests over the workspace's core invariants.
+
+use butterfly_repro::butterfly::metrics::{ropp, rrpp};
+use butterfly_repro::butterfly::{
+    BiasScheme, NoiseRegion, PrivacySpec, SanitizedItemset, SanitizedRelease,
+};
+use butterfly_repro::butterfly::fec::partition_into_fecs;
+use butterfly_repro::common::{Database, ItemSet, Pattern};
+use butterfly_repro::inference::derive::derive_pattern_support;
+use butterfly_repro::inference::support_bounds;
+use butterfly_repro::mining::fpstream::TiltedTimeWindow;
+use butterfly_repro::mining::{Apriori, FpGrowth, FrequentItemsets};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random itemset over a small universe.
+fn arb_itemset(max_item: u32) -> impl Strategy<Value = ItemSet> {
+    prop::collection::vec(0..max_item, 1..6).prop_map(ItemSet::from_ids)
+}
+
+/// Random small database (universe of 8 items so lattices stay enumerable).
+fn arb_database() -> impl Strategy<Value = Database> {
+    prop::collection::vec(prop::collection::vec(0u32..8, 1..6), 1..25)
+        .prop_map(|recs| Database::from_itemsets(recs.into_iter().map(ItemSet::from_ids)))
+}
+
+proptest! {
+    #[test]
+    fn itemset_algebra_laws(a in arb_itemset(12), b in arb_itemset(12)) {
+        let union = a.union(&b);
+        prop_assert!(a.is_subset_of(&union));
+        prop_assert!(b.is_subset_of(&union));
+        prop_assert_eq!(union.intersection(&a), a.clone());
+        let diff = a.difference(&b);
+        prop_assert!(diff.intersection(&b).is_empty());
+        prop_assert_eq!(diff.union(&a.intersection(&b)), a.clone());
+        // Display/parse round trip.
+        let reparsed: ItemSet = a.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, a);
+    }
+
+    #[test]
+    fn inclusion_exclusion_matches_scan(db in arb_database()) {
+        // For every pattern spanned by itemsets of ≤ 4 items, the lattice
+        // derivation over the exact view equals a direct database scan.
+        let alphabet = db.alphabet();
+        prop_assume!(alphabet.len() >= 2 && alphabet.len() <= 8);
+        let n = alphabet.len() as u32;
+        let mut view: HashMap<ItemSet, u64> = HashMap::new();
+        for mask in 1u32..(1 << n) {
+            let x = alphabet.subset_by_mask(mask);
+            let support = db.support(&x);
+            view.insert(x, support);
+        }
+        for mask in 1u32..(1 << n) {
+            let span = alphabet.subset_by_mask(mask);
+            if span.len() < 2 || span.len() > 4 {
+                continue;
+            }
+            for base in span.proper_subsets() {
+                let derived = derive_pattern_support(&view, &base, &span)
+                    .unwrap()
+                    .unwrap();
+                let p = Pattern::from_lattice(&base, &span).unwrap();
+                prop_assert_eq!(derived, db.pattern_support(&p) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn ndi_bounds_contain_truth(db in arb_database()) {
+        let alphabet = db.alphabet();
+        prop_assume!(alphabet.len() >= 3 && alphabet.len() <= 8);
+        let n = alphabet.len() as u32;
+        let mut view: HashMap<ItemSet, u64> = HashMap::new();
+        for mask in 1u32..(1 << n) {
+            let x = alphabet.subset_by_mask(mask);
+            let support = db.support(&x);
+            view.insert(x, support);
+        }
+        for mask in 1u32..(1 << n) {
+            let j = alphabet.subset_by_mask(mask);
+            if j.len() < 2 || j.len() > 4 {
+                continue;
+            }
+            let mut hidden = view.clone();
+            hidden.remove(&j);
+            if let Some(b) = support_bounds(&hidden, &j) {
+                let truth = db.support(&j) as i64;
+                prop_assert!(b.lower <= truth && truth <= b.upper,
+                    "bounds [{},{}] exclude {} for {}", b.lower, b.upper, truth, j);
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_miners_agree(db in arb_database(), c in 1u64..6) {
+        use butterfly_repro::mining::closed::closed_subset;
+        use butterfly_repro::mining::{Charm, Eclat};
+        let apriori = Apriori::new(c).mine(&db);
+        prop_assert_eq!(&FpGrowth::new(c).mine(&db), &apriori);
+        prop_assert_eq!(&Eclat::new(c).mine(&db), &apriori);
+        prop_assert_eq!(Charm::new(c).mine_closed(&db), closed_subset(&apriori));
+    }
+
+    #[test]
+    fn dense_bitset_mirrors_sparse_ops(a in arb_itemset(100), b in arb_itemset(100)) {
+        use butterfly_repro::common::DenseItemSet;
+        let da = DenseItemSet::from_itemset(&a, 100);
+        let db_ = DenseItemSet::from_itemset(&b, 100);
+        prop_assert_eq!(da.union(&db_).to_itemset(), a.union(&b));
+        prop_assert_eq!(da.intersection(&db_).to_itemset(), a.intersection(&b));
+        prop_assert_eq!(da.difference(&db_).to_itemset(), a.difference(&b));
+        prop_assert_eq!(da.is_subset_of(&db_), a.is_subset_of(&b));
+        prop_assert_eq!(da.to_itemset(), a);
+    }
+
+    #[test]
+    fn rule_confidences_are_exact_ratios(db in arb_database()) {
+        use butterfly_repro::mining::generate_rules;
+        let frequent = Apriori::new(1).mine(&db);
+        for rule in generate_rules(&frequent, 0.01) {
+            let union = rule.antecedent.union(&rule.consequent);
+            let expected = db.support(&union) as f64 / db.support(&rule.antecedent) as f64;
+            prop_assert!((rule.confidence - expected).abs() < 1e-12);
+            prop_assert_eq!(rule.support, db.support(&union));
+        }
+    }
+
+    #[test]
+    fn noise_region_sample_bounds(bias in -20.0f64..20.0, alpha in 1u64..40, seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let region = NoiseRegion::centered(bias, alpha);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = region.sample(&mut rng);
+            prop_assert!(v >= region.lo() && v <= region.hi());
+        }
+        prop_assert_eq!(region.hi() - region.lo(), alpha as i64);
+        prop_assert!((region.bias() - bias).abs() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn tilted_window_conserves_mass(supports in prop::collection::vec(0u64..1000, 1..120)) {
+        let mut w = TiltedTimeWindow::new();
+        for &s in &supports {
+            w.push(s);
+        }
+        prop_assert_eq!(w.total_span(), supports.len() as u64);
+        prop_assert_eq!(w.total_support(), supports.iter().sum::<u64>());
+        // Logarithmic compression.
+        prop_assert!(w.slots().len() <= 2 * 8 + 2);
+    }
+
+    #[test]
+    fn schemes_respect_bias_budget(supports in prop::collection::vec(25u64..400, 1..30)) {
+        let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
+        let frequent = FrequentItemsets::new(
+            supports.iter().enumerate().map(|(i, &s)| (ItemSet::from_ids([i as u32]), s)),
+        );
+        let fecs = partition_into_fecs(&frequent);
+        for scheme in BiasScheme::paper_variants(2) {
+            let biases = scheme.biases(&fecs, &spec);
+            prop_assert_eq!(biases.len(), fecs.len());
+            for (f, b) in fecs.iter().zip(&biases) {
+                prop_assert!(b.abs() <= spec.max_bias(f.support()) + 1e-9,
+                    "{} exceeded budget at t={}", scheme.name(), f.support());
+            }
+        }
+    }
+
+    #[test]
+    fn utility_rates_are_probabilities(
+        entries in prop::collection::vec((25u64..200, -10i64..10), 1..40)
+    ) {
+        let release = SanitizedRelease::new(
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, noise))| SanitizedItemset {
+                    itemset: ItemSet::from_ids([i as u32]),
+                    true_support: t,
+                    sanitized: t as i64 + noise,
+                })
+                .collect(),
+        );
+        let o = ropp(&release);
+        let r = rrpp(&release, 0.95);
+        prop_assert!((0.0..=1.0).contains(&o));
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn moment_matches_oracle_on_arbitrary_streams(
+        records in prop::collection::vec(prop::collection::vec(0u32..10, 0..5), 1..60),
+        window_size in 1usize..20,
+        c in 1u64..5,
+    ) {
+        use butterfly_repro::common::{SlidingWindow, Transaction};
+        use butterfly_repro::mining::window_miner::RescanMiner;
+        use butterfly_repro::mining::{MomentMiner, WindowMiner};
+        let mut window = SlidingWindow::new(window_size);
+        let mut moment = MomentMiner::new(c);
+        let mut oracle = RescanMiner::new(c);
+        for items in records {
+            // Empty transactions are legal window contents.
+            let delta = window.slide(Transaction::new(0, ItemSet::from_ids(items)));
+            moment.apply(&delta);
+            oracle.apply(&delta);
+            prop_assert_eq!(moment.closed_frequent(), oracle.closed_frequent());
+        }
+    }
+
+    #[test]
+    fn publisher_contract_holds_over_random_support_walks(
+        walk in prop::collection::vec(-1i64..=1, 1..25),
+        seed in any::<u64>(),
+    ) {
+        // Drive one itemset's support on a random walk across windows and
+        // check every release against the audit invariants, with the
+        // republication pin engaged whenever the walk pauses.
+        use butterfly_repro::butterfly::{audit_release, BiasScheme, PrivacySpec, Publisher};
+        use butterfly_repro::mining::FrequentItemsets;
+        let spec = PrivacySpec::new(25, 5, 0.1, 1.0);
+        let mut publisher = Publisher::new(spec, BiasScheme::RatioPreserving, seed);
+        let mut support = 60i64;
+        let mut prev: Option<(i64, i64)> = None; // (true, sanitized)
+        for step in walk {
+            support = (support + step).max(26);
+            let mined = FrequentItemsets::new(vec![(
+                ItemSet::from_ids([0]),
+                support as u64,
+            )]);
+            let release = publisher.publish(&mined);
+            prop_assert!(audit_release(&spec, &release).is_empty());
+            let entry = release.get(&ItemSet::from_ids([0])).unwrap();
+            if let Some((t_prev, s_prev)) = prev {
+                if t_prev == support {
+                    prop_assert_eq!(entry.sanitized, s_prev, "pin broken");
+                }
+            }
+            prev = Some((support, entry.sanitized));
+        }
+    }
+
+    #[test]
+    fn zero_noise_preserves_everything(supports in prop::collection::vec(25u64..200, 2..30)) {
+        let release = SanitizedRelease::new(
+            supports
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| SanitizedItemset {
+                    itemset: ItemSet::from_ids([i as u32]),
+                    true_support: t,
+                    sanitized: t as i64,
+                })
+                .collect(),
+        );
+        prop_assert_eq!(ropp(&release), 1.0);
+        prop_assert_eq!(rrpp(&release, 0.95), 1.0);
+    }
+}
