@@ -1,82 +1,66 @@
-//! Criterion micro-benchmarks for the mining substrate: static miners on a
-//! fixed window, incremental Moment slide throughput, and FP-stream batch
-//! ingestion.
+//! Micro-benchmarks for the mining substrate: static miners on a fixed
+//! window, per-slide throughput of every registered backend, FP-stream
+//! batch ingestion, and the dense-vs-sparse subset check.
 
+use bfly_bench::bench;
 use bfly_common::{Database, SlidingWindow};
 use bfly_datagen::DatasetProfile;
-use bfly_mining::{Apriori, FpGrowth, FpStream, FpStreamConfig, MomentMiner, WindowMiner};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bfly_mining::{Apriori, BackendKind, FpGrowth, FpStream, FpStreamConfig, MinerBackend};
 
 fn window_db(n: usize) -> Database {
     let txs = DatasetProfile::WebView1.source(11).take_vec(n);
     Database::from_records(txs)
 }
 
-fn bench_static_miners(c: &mut Criterion) {
+fn bench_static_miners() {
     let db = window_db(2000);
-    let mut group = c.benchmark_group("static_mine_2000");
     for &min_support in &[50u64, 25] {
-        group.bench_with_input(
-            BenchmarkId::new("apriori", min_support),
-            &min_support,
-            |b, &ms| b.iter(|| std::hint::black_box(Apriori::new(ms).mine(&db))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("fpgrowth", min_support),
-            &min_support,
-            |b, &ms| b.iter(|| std::hint::black_box(FpGrowth::new(ms).mine(&db))),
-        );
+        bench(&format!("static_mine_2000/apriori/{min_support}"), || {
+            Apriori::new(min_support).mine(&db)
+        });
+        bench(&format!("static_mine_2000/fpgrowth/{min_support}"), || {
+            FpGrowth::new(min_support).mine(&db)
+        });
     }
-    group.finish();
 }
 
-fn bench_moment_slide(c: &mut Criterion) {
-    // Steady-state per-slide cost: one delete + one insert + extraction.
-    let mut group = c.benchmark_group("moment_slide");
-    for &window_size in &[1000usize, 5000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(window_size),
-            &window_size,
-            |b, &ws| {
-                let mut source = DatasetProfile::WebView1.source(23);
-                let mut window = SlidingWindow::new(ws);
-                let mut miner = MomentMiner::new(25);
-                for _ in 0..ws {
-                    miner.apply(&window.slide(source.next_transaction()));
-                }
-                b.iter(|| {
-                    let delta = window.slide(source.next_transaction());
-                    miner.apply(&delta);
-                    std::hint::black_box(miner.closed_frequent())
-                });
-            },
-        );
+/// Steady-state per-slide cost of every registered backend: one delete + one
+/// insert + extraction, through the `MinerBackend` interface the pipeline
+/// actually calls.
+fn bench_backend_slide() {
+    for kind in BackendKind::ALL {
+        let ws = 1000usize;
+        let mut source = DatasetProfile::WebView1.source(23);
+        let mut window = SlidingWindow::new(ws);
+        let mut miner = kind.build(25);
+        for _ in 0..ws {
+            miner.apply(&window.slide(source.next_transaction()));
+        }
+        bench(&format!("backend_slide_1000/{}", kind.name()), || {
+            let delta = window.slide(source.next_transaction());
+            miner.apply(&delta);
+            miner.closed_frequent()
+        });
     }
-    group.finish();
 }
 
-fn bench_fpstream_batch(c: &mut Criterion) {
-    c.bench_function("fpstream_batch_500", |b| {
-        let mut source = DatasetProfile::WebView1.source(31);
-        b.iter_batched(
-            || source.take_vec(500),
-            |batch| {
-                let mut fps = FpStream::new(FpStreamConfig {
-                    batch_size: 500,
-                    sigma: 0.05,
-                    epsilon: 0.01,
-                });
-                for t in batch {
-                    fps.push(t);
-                }
-                std::hint::black_box(fps.batches())
-            },
-            criterion::BatchSize::SmallInput,
-        );
+fn bench_fpstream_batch() {
+    let mut source = DatasetProfile::WebView1.source(31);
+    bench("fpstream_batch_500", || {
+        let batch = source.take_vec(500);
+        let mut fps = FpStream::new(FpStreamConfig {
+            batch_size: 500,
+            sigma: 0.05,
+            epsilon: 0.01,
+        });
+        for t in batch {
+            fps.push(t);
+        }
+        fps.batches()
     });
 }
 
-fn bench_dense_subset(c: &mut Criterion) {
+fn bench_dense_subset() {
     use bfly_common::DenseItemSet;
     // The hot operation of support counting: candidate ⊆ transaction, for a
     // realistic candidate (3 items) against realistic baskets.
@@ -96,31 +80,23 @@ fn bench_dense_subset(c: &mut Criterion) {
         .map(|r| DenseItemSet::from_itemset(r.items(), universe))
         .collect();
 
-    let mut group = c.benchmark_group("subset_check_2000_records");
-    group.bench_function("sparse_sorted_vec", |b| {
-        b.iter(|| {
-            db.records()
-                .iter()
-                .filter(|r| candidate.is_subset_of(r.items()))
-                .count()
-        });
+    bench("subset_check_2000_records/sparse_sorted_vec", || {
+        db.records()
+            .iter()
+            .filter(|r| candidate.is_subset_of(r.items()))
+            .count()
     });
-    group.bench_function("dense_bitset", |b| {
-        b.iter(|| {
-            dense_records
-                .iter()
-                .filter(|r| dense_candidate.is_subset_of(r))
-                .count()
-        });
+    bench("subset_check_2000_records/dense_bitset", || {
+        dense_records
+            .iter()
+            .filter(|r| dense_candidate.is_subset_of(r))
+            .count()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_static_miners,
-    bench_moment_slide,
-    bench_fpstream_batch,
-    bench_dense_subset
-);
-criterion_main!(benches);
+fn main() {
+    bench_static_miners();
+    bench_backend_slide();
+    bench_fpstream_batch();
+    bench_dense_subset();
+}

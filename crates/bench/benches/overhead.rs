@@ -1,15 +1,15 @@
-//! Criterion counterpart of Fig 8: the marginal cost Butterfly adds to a
-//! live mining pipeline — mining alone vs mining+basic vs mining+optimized —
-//! and the attack-analysis cost that a detecting-then-removing design would
-//! pay instead (the paper's motivating comparison in §I).
+//! Counterpart of Fig 8: the marginal cost Butterfly adds to a live mining
+//! pipeline — mining alone vs mining+basic vs mining+optimized — and the
+//! attack-analysis cost that a detecting-then-removing design would pay
+//! instead (the paper's motivating comparison in §I).
 
+use bfly_bench::bench;
 use bfly_common::SlidingWindow;
 use bfly_core::{BiasScheme, PrivacySpec, Publisher};
 use bfly_datagen::DatasetProfile;
 use bfly_inference::attack::find_intra_window_breaches;
 use bfly_mining::closed::expand_closed;
 use bfly_mining::{MomentMiner, WindowMiner};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 struct Pipe {
     window: SlidingWindow,
@@ -31,57 +31,57 @@ fn warm_pipe(window_size: usize, c: u64) -> Pipe {
     }
 }
 
-fn bench_pipeline_variants(c: &mut Criterion) {
+fn main() {
     let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
-    let mut group = c.benchmark_group("pipeline_slide_2000");
 
-    group.bench_function("mining_only", |b| {
+    {
         let mut p = warm_pipe(2000, 25);
-        b.iter(|| {
+        bench("pipeline_slide_2000/mining_only", || {
             let delta = p.window.slide(p.source.next_transaction());
             p.miner.apply(&delta);
-            std::hint::black_box(p.miner.closed_frequent())
+            p.miner.closed_frequent()
         });
-    });
+    }
 
-    group.bench_function("mining_plus_basic", |b| {
+    {
         let mut p = warm_pipe(2000, 25);
         let mut publisher = Publisher::new(spec, BiasScheme::Basic, 3);
-        b.iter(|| {
+        bench("pipeline_slide_2000/mining_plus_basic", || {
             let delta = p.window.slide(p.source.next_transaction());
             p.miner.apply(&delta);
             let closed = p.miner.closed_frequent();
-            std::hint::black_box(publisher.publish(&closed))
+            publisher.publish(&closed)
         });
-    });
+    }
 
-    group.bench_function("mining_plus_opt", |b| {
+    {
         let mut p = warm_pipe(2000, 25);
-        let mut publisher =
-            Publisher::new(spec, BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }, 3);
-        b.iter(|| {
+        let mut publisher = Publisher::new(
+            spec,
+            BiasScheme::Hybrid {
+                lambda: 0.4,
+                gamma: 2,
+            },
+            3,
+        );
+        bench("pipeline_slide_2000/mining_plus_opt", || {
             let delta = p.window.slide(p.source.next_transaction());
             p.miner.apply(&delta);
             let closed = p.miner.closed_frequent();
-            std::hint::black_box(publisher.publish(&closed))
+            publisher.publish(&closed)
         });
-    });
+    }
 
     // What the reactive alternative would pay per window: full breach
     // detection (the paper's argument for the proactive design).
-    group.bench_function("detecting_then_removing", |b| {
+    {
         let mut p = warm_pipe(2000, 25);
-        b.iter(|| {
+        bench("pipeline_slide_2000/detecting_then_removing", || {
             let delta = p.window.slide(p.source.next_transaction());
             p.miner.apply(&delta);
             let closed = p.miner.closed_frequent();
             let full = expand_closed(&closed);
-            std::hint::black_box(find_intra_window_breaches(full.as_map(), 5))
+            find_intra_window_breaches(full.as_map(), 5)
         });
-    });
-
-    group.finish();
+    }
 }
-
-criterion_group!(benches, bench_pipeline_variants);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks: per-window cost of each Butterfly scheme
-//! as the number of published FECs grows (the quantity that dominates the
-//! optimized variants — see Fig 8's analysis).
+//! Micro-benchmarks: per-window cost of each Butterfly scheme as the number
+//! of published FECs grows (the quantity that dominates the optimized
+//! variants — see Fig 8's analysis).
 
+use bfly_bench::bench;
 use bfly_common::ItemSet;
 use bfly_core::{BiasScheme, PrivacySpec, Publisher};
 use bfly_mining::FrequentItemsets;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A mining result with roughly `n` FECs (supports drawn deterministically
 /// with quadratic spacing so FEC density resembles real windows: clustered
@@ -17,44 +17,37 @@ fn synthetic_output(n_itemsets: usize) -> FrequentItemsets {
     }))
 }
 
-fn bench_schemes(c: &mut Criterion) {
+fn bench_schemes() {
     let spec = PrivacySpec::new(25, 5, 0.04, 1.0);
-    let mut group = c.benchmark_group("publish");
     for &n in &[50usize, 200, 800] {
         let output = synthetic_output(n);
         for scheme in BiasScheme::paper_variants(2) {
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name().replace(' ', "_"), n),
-                &output,
-                |b, output| {
-                    let mut publisher = Publisher::new(spec, scheme, 7);
-                    b.iter(|| {
-                        // Reset the pin cache so every iteration pays the
-                        // full perturbation cost.
-                        publisher.reset();
-                        std::hint::black_box(publisher.publish(output))
-                    });
-                },
-            );
+            let mut publisher = Publisher::new(spec, scheme, 7);
+            let label = format!("publish/{}/{n}", scheme.name().replace(' ', "_"));
+            bench(&label, || {
+                // Reset the pin cache so every iteration pays the full
+                // perturbation cost.
+                publisher.reset();
+                publisher.publish(&output)
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_order_dp_gamma(c: &mut Criterion) {
+fn bench_order_dp_gamma() {
     use bfly_core::fec::partition_into_fecs;
     use bfly_core::order::order_preserving_biases;
     let spec = PrivacySpec::new(25, 5, 0.4, 1.0); // roomy budget → wide grids
     let output = synthetic_output(300);
     let fecs = partition_into_fecs(&output);
-    let mut group = c.benchmark_group("order_dp");
     for gamma in [1usize, 2, 3] {
-        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &g| {
-            b.iter(|| std::hint::black_box(order_preserving_biases(&fecs, &spec, g)));
+        bench(&format!("order_dp/{gamma}"), || {
+            order_preserving_biases(&fecs, &spec, gamma)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_schemes, bench_order_dp_gamma);
-criterion_main!(benches);
+fn main() {
+    bench_schemes();
+    bench_order_dp_gamma();
+}

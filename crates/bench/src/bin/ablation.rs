@@ -41,7 +41,13 @@ fn main() {
 fn breach_prevalence() {
     let mut table = Table::new(
         "Ablation 1: vulnerable patterns inferable per window from RAW output",
-        &["dataset", "windows", "intra_total", "inter_total", "per_window"],
+        &[
+            "dataset",
+            "windows",
+            "intra_total",
+            "inter_total",
+            "per_window",
+        ],
     );
     for profile in DatasetProfile::all() {
         let cfg = figure_config(profile);
@@ -59,8 +65,7 @@ fn breach_prevalence() {
             intra_total += find_intra_window_breaches(full.as_map(), cfg.k).len();
             if let Some(p) = &prev {
                 inter_total +=
-                    find_inter_window_breaches(p.as_map(), full.as_map(), cfg.c, 1, cfg.k)
-                        .len();
+                    find_inter_window_breaches(p.as_map(), full.as_map(), cfg.c, 1, cfg.k).len();
             }
             prev = Some(full);
         }
@@ -69,7 +74,10 @@ fn breach_prevalence() {
             cfg.windows.to_string(),
             intra_total.to_string(),
             inter_total.to_string(),
-            format!("{:.1}", (intra_total + inter_total) as f64 / cfg.windows as f64),
+            format!(
+                "{:.1}",
+                (intra_total + inter_total) as f64 / cfg.windows as f64
+            ),
         ]);
     }
     table.print();
@@ -112,12 +120,18 @@ fn republication_ablation() {
         table.row(vec![
             "pinned (Butterfly)".into(),
             n.to_string(),
-            format!("{:.3}", (averaging_attack(&pinned[..n]) - truth as f64).abs()),
+            format!(
+                "{:.3}",
+                (averaging_attack(&pinned[..n]) - truth as f64).abs()
+            ),
         ]);
         table.row(vec![
             "fresh redraw (naive)".into(),
             n.to_string(),
-            format!("{:.3}", (averaging_attack(&fresh[..n]) - truth as f64).abs()),
+            format!(
+                "{:.3}",
+                (averaging_attack(&fresh[..n]) - truth as f64).abs()
+            ),
         ]);
     }
     table.print();
@@ -133,7 +147,13 @@ fn incremental_ablation() {
 
     let mut table = Table::new(
         "Ablation 3: incremental vs window-based order-preserving optimizer",
-        &["variant", "ms_per_window", "full_reuse", "patches", "full_solves"],
+        &[
+            "variant",
+            "ms_per_window",
+            "full_reuse",
+            "patches",
+            "full_solves",
+        ],
     );
     for incremental in [false, true] {
         let mut source = profile.source(cfg.seed);
@@ -157,7 +177,11 @@ fn incremental_ablation() {
         }
         let (reuse, patches, solves) = publisher.incremental_stats().unwrap_or((0, 0, 0));
         table.row(vec![
-            if incremental { "incremental".into() } else { "window-based".to_string() },
+            if incremental {
+                "incremental".into()
+            } else {
+                "window-based".to_string()
+            },
             format!("{:.3}", elapsed.as_secs_f64() * 1000.0 / cfg.windows as f64),
             reuse.to_string(),
             patches.to_string(),
@@ -192,30 +216,31 @@ fn dp_baseline() {
         &["variant", "avg_pred", "avg_prig", "ropp", "rrpp"],
     );
     let trials = 20u64;
-    let mut add_row = |name: String, mut publish: Box<dyn FnMut(u64) -> bfly_core::SanitizedRelease>| {
-        let (mut pred, mut prig, mut o, mut r, mut prig_n) = (0.0, 0.0, 0.0, 0.0, 0u64);
-        for seed in 0..trials {
-            let release = publish(seed);
-            pred += avg_pred(&release);
-            o += ropp(&release);
-            r += rrpp(&release, 0.95);
-            if let Some(p) = avg_prig(&breaches, &release.view(), None) {
-                prig += p;
-                prig_n += 1;
+    let mut add_row =
+        |name: String, mut publish: Box<dyn FnMut(u64) -> bfly_core::SanitizedRelease>| {
+            let (mut pred, mut prig, mut o, mut r, mut prig_n) = (0.0, 0.0, 0.0, 0.0, 0u64);
+            for seed in 0..trials {
+                let release = publish(seed);
+                pred += avg_pred(&release);
+                o += ropp(&release);
+                r += rrpp(&release, 0.95);
+                if let Some(p) = avg_prig(&breaches, &release.view(), None) {
+                    prig += p;
+                    prig_n += 1;
+                }
             }
-        }
-        table.row(vec![
-            name,
-            format!("{:.5}", pred / trials as f64),
-            if prig_n > 0 {
-                format!("{:.2}", prig / prig_n as f64)
-            } else {
-                "n/a".into()
-            },
-            format!("{:.3}", o / trials as f64),
-            format!("{:.3}", r / trials as f64),
-        ]);
-    };
+            table.row(vec![
+                name,
+                format!("{:.5}", pred / trials as f64),
+                if prig_n > 0 {
+                    format!("{:.2}", prig / prig_n as f64)
+                } else {
+                    "n/a".into()
+                },
+                format!("{:.3}", o / trials as f64),
+                format!("{:.3}", r / trials as f64),
+            ]);
+        };
     for eps_w in [0.5f64, 2.0, 10.0] {
         let full_ref = full.clone();
         add_row(
@@ -223,7 +248,13 @@ fn dp_baseline() {
             Box::new(move |seed| DpPublisher::new(eps_w, seed).publish(&full_ref)),
         );
     }
-    for scheme in [BiasScheme::Basic, BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }] {
+    for scheme in [
+        BiasScheme::Basic,
+        BiasScheme::Hybrid {
+            lambda: 0.4,
+            gamma: 2,
+        },
+    ] {
         let full_ref = full.clone();
         add_row(
             format!("Butterfly {}", scheme.name()),
@@ -251,7 +282,7 @@ fn residual_attack() {
     }
     let db = window.database();
     let full = expand_closed(&miner.closed_frequent());
-    let spans: Vec<bfly_common::ItemSet> = full.as_map().keys().cloned().collect();
+    let spans: Vec<bfly_common::ItemSet> = full.iter().map(|e| e.itemset().clone()).collect();
 
     let mut table = Table::new(
         "Ablation 5: residual thresholding attack after sanitization (one window)",

@@ -34,12 +34,32 @@ fn main() {
         );
 
         let mut prig = Table::new(
-            &format!("Fig 4 (top) avg_prig vs δ — {} (ppr = {PPR})", profile.name()),
-            &["delta", "epsilon", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
+            &format!(
+                "Fig 4 (top) avg_prig vs δ — {} (ppr = {PPR})",
+                profile.name()
+            ),
+            &[
+                "delta",
+                "epsilon",
+                "Basic",
+                "Opt l=1",
+                "Opt l=0.4",
+                "Opt l=0",
+            ],
         );
         let mut pred = Table::new(
-            &format!("Fig 4 (bottom) avg_pred vs ε — {} (ppr = {PPR})", profile.name()),
-            &["epsilon", "delta", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
+            &format!(
+                "Fig 4 (bottom) avg_pred vs ε — {} (ppr = {PPR})",
+                profile.name()
+            ),
+            &[
+                "epsilon",
+                "delta",
+                "Basic",
+                "Opt l=1",
+                "Opt l=0.4",
+                "Opt l=0",
+            ],
         );
         for &delta in &deltas {
             let epsilon = PPR * delta;

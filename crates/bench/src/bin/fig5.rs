@@ -23,11 +23,17 @@ fn main() {
         let truths = collect_truths(&cfg);
 
         let mut ropp_t = Table::new(
-            &format!("Fig 5 (top) avg_ropp vs ε/δ — {} (δ = {DELTA})", profile.name()),
+            &format!(
+                "Fig 5 (top) avg_ropp vs ε/δ — {} (δ = {DELTA})",
+                profile.name()
+            ),
             &["ppr", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
         );
         let mut rrpp_t = Table::new(
-            &format!("Fig 5 (bottom) avg_rrpp vs ε/δ — {} (δ = {DELTA})", profile.name()),
+            &format!(
+                "Fig 5 (bottom) avg_rrpp vs ε/δ — {} (δ = {DELTA})",
+                profile.name()
+            ),
             &["ppr", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
         );
         for &ppr in &pprs {

@@ -23,7 +23,10 @@ fn main() {
         let truths = collect_truths(&cfg);
 
         let mut table = Table::new(
-            &format!("Fig 7 rrpp vs ropp tradeoff — {} (δ = {DELTA})", profile.name()),
+            &format!(
+                "Fig 7 rrpp vs ropp tradeoff — {} (δ = {DELTA})",
+                profile.name()
+            ),
             &["ppr", "lambda", "avg_ropp", "avg_rrpp"],
         );
         for &ppr in &pprs {

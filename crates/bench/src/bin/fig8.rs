@@ -55,7 +55,10 @@ fn main() {
             let mut basic = Publisher::new(spec, BiasScheme::Basic, 1);
             let mut opt = Publisher::new(
                 spec,
-                BiasScheme::Hybrid { lambda: 0.4, gamma: 2 },
+                BiasScheme::Hybrid {
+                    lambda: 0.4,
+                    gamma: 2,
+                },
                 2,
             );
             let mut t_mining = Duration::ZERO;

@@ -16,7 +16,11 @@ use bfly_mining::{MomentMiner, WindowMiner};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let (steps, check_every) = if quick_mode() { (2_000, 97) } else { (20_000, 211) };
+    let (steps, check_every) = if quick_mode() {
+        (2_000, 97)
+    } else {
+        (20_000, 211)
+    };
     let mut failures = 0usize;
 
     // Configuration matrix: two stream models × two (window, C) shapes.
@@ -25,8 +29,14 @@ fn main() -> ExitCode {
             let label = format!("{name} w={window_size} C={c}");
             eprintln!("[soak] {label}: {steps} slides, checking every {check_every} ...");
             let spec = PrivacySpec::new(c, k, 0.1, 0.5);
-            let mut publisher =
-                Publisher::new(spec, BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }, 7);
+            let mut publisher = Publisher::new(
+                spec,
+                BiasScheme::Hybrid {
+                    lambda: 0.4,
+                    gamma: 2,
+                },
+                7,
+            );
             let mut window = SlidingWindow::new(window_size);
             let mut moment = MomentMiner::new(c);
             let mut oracle = RescanMiner::new(c);
@@ -71,10 +81,7 @@ fn main() -> ExitCode {
 }
 
 /// Fresh stream per configuration so runs are independent and seeded.
-fn stream_by_name(
-    name: &str,
-    salt: usize,
-) -> Box<dyn Iterator<Item = bfly_common::Transaction>> {
+fn stream_by_name(name: &str, salt: usize) -> Box<dyn Iterator<Item = bfly_common::Transaction>> {
     match name {
         "quest-webview1" => Box::new(DatasetProfile::WebView1.source(12345 + salt as u64)),
         "markov-sessions" => Box::new(MarkovSessionGenerator::new(

@@ -17,7 +17,13 @@ fn main() {
 
     let mut table = Table::new(
         &format!("Auto-tuned parameters (δ = {DELTA}, ε/δ = {PPR})"),
-        &["dataset", "gamma", "lambda_order", "lambda_balanced", "lambda_ratio"],
+        &[
+            "dataset",
+            "gamma",
+            "lambda_order",
+            "lambda_balanced",
+            "lambda_ratio",
+        ],
     );
     for profile in DatasetProfile::all() {
         let cfg = figure_config(profile);
@@ -38,7 +44,5 @@ fn main() {
     }
     table.print();
     write_csv(&table, "tune_parameters");
-    println!(
-        "\npaper's hand-tuned values: γ = 2, λ = 0.4 for balanced order/ratio utility."
-    );
+    println!("\npaper's hand-tuned values: γ = 2, λ = 0.4 for balanced order/ratio utility.");
 }

@@ -11,10 +11,12 @@
 
 pub mod runner;
 pub mod table;
+pub mod timing;
 pub mod tuning;
 
 pub use runner::{collect_truths, evaluate_scheme, EvalResult, ExperimentConfig, WindowTruth};
 pub use table::{write_csv, Table};
+pub use timing::bench;
 pub use tuning::{tune_gamma, tune_lambda};
 
 /// `--quick` on a figure binary's command line shrinks the sweep (smaller

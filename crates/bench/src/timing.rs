@@ -1,0 +1,44 @@
+//! Minimal wall-clock micro-benchmark harness (dependency-free stand-in for
+//! a criterion-style runner): warm up, pick an iteration count that fills a
+//! fixed measurement budget, report mean time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const BUDGET: Duration = Duration::from_millis(400);
+
+/// One benchmark's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Iterations actually timed.
+    pub iters: u64,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    fn per_iter(total: Duration, iters: u64) -> Self {
+        Measurement {
+            iters,
+            mean: total / iters.max(1) as u32,
+        }
+    }
+}
+
+/// Time `f` (a closure producing a value that is black-boxed) and print one
+/// aligned report line `group/name  mean  (iters)`.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    // Calibration pass: one run to size the batch.
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let m = Measurement::per_iter(start.elapsed(), iters);
+    println!("{:<44} {:>12.3?}   ({} iters)", name, m.mean, m.iters);
+    m
+}

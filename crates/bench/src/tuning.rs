@@ -20,12 +20,11 @@ pub fn tune_gamma(
 ) -> usize {
     assert!(max_gamma >= 1, "need at least γ = 1 to compare against 0");
     assert!(min_gain >= 0.0, "min_gain must be non-negative");
-    let mut prev = evaluate_scheme(truths, spec, BiasScheme::OrderPreserving { gamma: 0 }, 1)
-        .avg_ropp;
+    let mut prev =
+        evaluate_scheme(truths, spec, BiasScheme::OrderPreserving { gamma: 0 }, 1).avg_ropp;
     let mut best = 0usize;
     for gamma in 1..=max_gamma {
-        let ropp = evaluate_scheme(truths, spec, BiasScheme::OrderPreserving { gamma }, 1)
-            .avg_ropp;
+        let ropp = evaluate_scheme(truths, spec, BiasScheme::OrderPreserving { gamma }, 1).avg_ropp;
         if ropp - prev < min_gain {
             break;
         }
@@ -102,6 +101,7 @@ mod tests {
             k: 3,
             windows: 6,
             seed: 11,
+            backend: bfly_mining::BackendKind::Moment,
         })
     }
 

@@ -70,8 +70,7 @@ impl DenseItemSet {
 
     /// Membership test.
     pub fn contains(&self, item: Item) -> bool {
-        item.0 < self.universe
-            && self.words[(item.0 / 64) as usize] & (1u64 << (item.0 % 64)) != 0
+        item.0 < self.universe && self.words[(item.0 / 64) as usize] & (1u64 << (item.0 % 64)) != 0
     }
 
     /// Number of items.

@@ -16,6 +16,13 @@ pub enum Error {
     OverlappingPattern,
     /// A lattice operation required `I ⊆ J` and it did not hold.
     NotSubset,
+    /// A publish was requested before the sliding window filled.
+    PartialWindow {
+        /// Transactions currently in the window.
+        have: usize,
+        /// Window capacity that must be reached before publishing.
+        need: usize,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -29,6 +36,9 @@ impl fmt::Display for Error {
                 write!(f, "pattern asserts and negates the same item")
             }
             Error::NotSubset => write!(f, "lattice bounds must satisfy I ⊆ J"),
+            Error::PartialWindow { have, need } => {
+                write!(f, "partial window: {have} of {need} transactions")
+            }
             Error::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -60,6 +70,7 @@ mod tests {
             Error::Unsorted,
             Error::OverlappingPattern,
             Error::NotSubset,
+            Error::PartialWindow { have: 3, need: 10 },
             Error::Io(std::io::Error::other("boom")),
         ];
         for e in cases {

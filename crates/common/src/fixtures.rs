@@ -19,11 +19,13 @@ use crate::{Database, ItemSet, Transaction};
 
 /// The 12-record stream of Fig. 2 (reconstructed; see module docs).
 pub fn fig2_stream() -> Vec<Transaction> {
-    ["abcd", "a", "ab", "abc", "abc", "acd", "bcd", "abcd", "ac", "bc", "abc", "cd"]
-        .iter()
-        .enumerate()
-        .map(|(i, s)| Transaction::new(i as u64 + 1, s.parse::<ItemSet>().unwrap()))
-        .collect()
+    [
+        "abcd", "a", "ab", "abc", "abc", "acd", "bcd", "abcd", "ac", "bc", "abc", "cd",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| Transaction::new(i as u64 + 1, s.parse::<ItemSet>().unwrap()))
+    .collect()
 }
 
 /// The window `Ds(N, 8)` of the Fig. 2 stream, for `8 <= N <= 12`.

@@ -1,0 +1,147 @@
+//! Hash-consed itemset interner.
+//!
+//! The publish path used to deep-clone `ItemSet` values at every layer
+//! (miner result → FEC partition → republication cache → release entries →
+//! attack views). Interning collapses all of that to a copyable
+//! [`ItemsetId`]: each distinct itemset is stored once in a global arena
+//! and every later mention is a 4-byte handle. Resolution returns
+//! `&'static ItemSet` — the arena deliberately never frees (the id space
+//! is bounded by the number of *distinct* itemsets ever published, which
+//! hash-consing keeps small), so handles stay valid without lifetimes or
+//! reference counting.
+//!
+//! Equality of ids is equality of itemsets: `intern` is injective over
+//! itemset values, which is what lets FECs, caches, and views key on the
+//! id directly.
+
+use crate::ItemSet;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// Copyable handle to an interned [`ItemSet`].
+///
+/// Two ids are equal iff the itemsets they intern are equal. Ids are
+/// *not* ordered (order of allocation is an artifact of publish order, so
+/// `Ord` is deliberately not derived); sort by [`ItemsetId::resolve`]
+/// when a canonical order is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ItemsetId(u32);
+
+struct Interner {
+    arena: Vec<&'static ItemSet>,
+    ids: HashMap<&'static ItemSet, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            arena: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl ItemsetId {
+    /// Intern `itemset`, returning its stable handle. Equal itemsets always
+    /// receive the same id, no matter how often or from which thread they
+    /// are interned.
+    pub fn intern(itemset: &ItemSet) -> ItemsetId {
+        // Fast path: already interned (read lock only).
+        if let Some(id) = Self::get(itemset) {
+            return id;
+        }
+        let mut w = interner().write().expect("interner lock poisoned");
+        // Re-check under the write lock: another thread may have won.
+        if let Some(&id) = w.ids.get(itemset) {
+            return ItemsetId(id);
+        }
+        let stored: &'static ItemSet = Box::leak(Box::new(itemset.clone()));
+        let id = u32::try_from(w.arena.len()).expect("interner full");
+        w.arena.push(stored);
+        w.ids.insert(stored, id);
+        ItemsetId(id)
+    }
+
+    /// Look up the id of an itemset **without** interning it. `None` means
+    /// the itemset has never been interned — for attack views built from
+    /// published releases that reads as "never published", which is exactly
+    /// the missing-support semantics the derivation code wants.
+    pub fn get(itemset: &ItemSet) -> Option<ItemsetId> {
+        interner()
+            .read()
+            .expect("interner lock poisoned")
+            .ids
+            .get(itemset)
+            .copied()
+            .map(ItemsetId)
+    }
+
+    /// The interned itemset. O(1); the reference is `'static` because the
+    /// arena never frees.
+    pub fn resolve(self) -> &'static ItemSet {
+        interner().read().expect("interner lock poisoned").arena[self.0 as usize]
+    }
+
+    /// The raw index (useful only for dense side tables / diagnostics).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ItemsetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.resolve())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_resolve_round_trips() {
+        let s: ItemSet = "abc".parse().unwrap();
+        let id = ItemsetId::intern(&s);
+        assert_eq!(id.resolve(), &s);
+    }
+
+    #[test]
+    fn equal_itemsets_share_an_id() {
+        let a: ItemSet = "xy".parse().unwrap();
+        let b = ItemSet::from_ids([a.items()[0].id(), a.items()[1].id()]);
+        assert_eq!(ItemsetId::intern(&a), ItemsetId::intern(&b));
+        assert_ne!(
+            ItemsetId::intern(&a),
+            ItemsetId::intern(&"xyz".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let probe = ItemSet::from_ids([9_000_001, 9_000_002, 9_000_003]);
+        assert_eq!(ItemsetId::get(&probe), None);
+        let id = ItemsetId::intern(&probe);
+        assert_eq!(ItemsetId::get(&probe), Some(id));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let sets: Vec<ItemSet> = (0..64)
+            .map(|i| ItemSet::from_ids([8_000_000 + i, 8_000_100 + i]))
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sets = sets.clone();
+                std::thread::spawn(move || sets.iter().map(ItemsetId::intern).collect::<Vec<_>>())
+            })
+            .collect();
+        let results: Vec<Vec<ItemsetId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ids in &results[1..] {
+            assert_eq!(ids, &results[0]);
+        }
+        for (s, id) in sets.iter().zip(&results[0]) {
+            assert_eq!(id.resolve(), s);
+        }
+    }
+}

@@ -1,6 +1,5 @@
 //! Item identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single item (an element of the universe `I = {i_1, ..., i_M}` in the
@@ -10,7 +9,7 @@ use std::fmt;
 /// The `Ord` on items is the canonical order used everywhere: itemsets are
 /// sorted by it, FP-trees order their paths by it (after a frequency
 /// re-mapping), and the lattice enumeration in `bfly-inference` relies on it.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Item(pub u32);
 
 impl Item {

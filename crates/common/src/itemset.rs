@@ -1,7 +1,6 @@
 //! Sorted itemsets and their algebra.
 
 use crate::{Error, Item, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An itemset `I ⊆ 𝕀`: a set of items kept as a strictly-sorted vector.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(ab.intersection(&bc).to_string(), "b");
 /// assert!(ab.is_subset_of(&"abc".parse().unwrap()));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ItemSet(Vec<Item>);
 
 impl ItemSet {

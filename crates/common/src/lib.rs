@@ -15,19 +15,25 @@ pub mod bitset;
 pub mod database;
 pub mod error;
 pub mod fixtures;
+pub mod intern;
 pub mod io;
 pub mod item;
 pub mod itemset;
+pub mod json;
 pub mod pattern;
+pub mod rng;
 pub mod transaction;
 pub mod window;
 
 pub use bitset::DenseItemSet;
 pub use database::Database;
 pub use error::{Error, Result};
+pub use intern::ItemsetId;
 pub use item::Item;
 pub use itemset::ItemSet;
+pub use json::Json;
 pub use pattern::Pattern;
+pub use rng::{Rng, SmallRng};
 pub use transaction::Transaction;
 pub use window::{SlidingWindow, WindowDelta};
 

@@ -1,7 +1,6 @@
 //! Generalized patterns: itemsets with negated items (§III-A of the paper).
 
 use crate::{Error, Item, ItemSet, Result, Transaction};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A pattern `p = I(J\I)̄`: a conjunction of *positive* items that a record
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert!(p.matches(&record));
 /// assert!(!p.matches(&Transaction::new(2, "abc".parse().unwrap())));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pattern {
     positive: ItemSet,
     negative: ItemSet,

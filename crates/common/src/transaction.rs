@@ -1,7 +1,6 @@
 //! Stream records.
 
 use crate::ItemSet;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Transaction ids are positions in the stream, 1-based like the paper's
@@ -10,7 +9,7 @@ pub type Tid = u64;
 
 /// A single stream record `r_i`: a non-empty itemset stamped with its
 /// position in the stream.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Transaction {
     tid: Tid,
     items: ItemSet,

@@ -65,7 +65,7 @@ pub fn audit_release(spec: &PrivacySpec, release: &SanitizedRelease) -> Vec<Audi
     for entry in release.iter() {
         if entry.true_support < spec.c() {
             errors.push(AuditError::BelowMinSupport {
-                itemset: entry.itemset.to_string(),
+                itemset: entry.itemset().to_string(),
                 truth: entry.true_support,
             });
             continue;
@@ -74,7 +74,7 @@ pub fn audit_release(spec: &PrivacySpec, release: &SanitizedRelease) -> Vec<Audi
         let deviation = (entry.sanitized - entry.true_support as i64).abs() as f64;
         if deviation > allowed {
             errors.push(AuditError::OutOfRegion {
-                itemset: entry.itemset.to_string(),
+                itemset: entry.itemset().to_string(),
                 truth: entry.true_support,
                 sanitized: entry.sanitized,
                 allowed,
@@ -119,7 +119,7 @@ mod tests {
     fn detects_out_of_region_values() {
         let s = spec();
         let release = SanitizedRelease::new(vec![SanitizedItemset {
-            itemset: "a".parse().unwrap(),
+            id: bfly_common::ItemsetId::intern(&"a".parse().unwrap()),
             true_support: 30,
             sanitized: 300,
         }]);
@@ -133,7 +133,7 @@ mod tests {
     fn detects_sub_threshold_leakage() {
         let s = spec();
         let release = SanitizedRelease::new(vec![SanitizedItemset {
-            itemset: "a".parse().unwrap(),
+            id: bfly_common::ItemsetId::intern(&"a".parse().unwrap()),
             true_support: 3, // a vulnerable support leaked into the release!
             sanitized: 3,
         }]);

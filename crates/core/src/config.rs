@@ -1,7 +1,6 @@
 //! The `(C, K, ε, δ)` privacy/precision contract (§V-D).
 
 use bfly_common::Support;
-use serde::{Deserialize, Serialize};
 
 /// The parameters Butterfly is configured with:
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(spec.sigma2(), 14.0);       // ≥ δK²/2 = 12.5
 /// assert_eq!(spec.min_ppr(), 0.02);      // K²/(2C²)
 /// ```
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PrivacySpec {
     c: Support,
     k: Support,
@@ -47,7 +46,10 @@ impl PrivacySpec {
     /// `ε/δ ≥ K²/(2C²)` in realized form.
     pub fn new(c: Support, k: Support, epsilon: f64, delta: f64) -> Self {
         assert!(c > 0, "C must be positive");
-        assert!(k > 0 && k < c, "need 0 < K < C (vulnerable ≪ minimum support)");
+        assert!(
+            k > 0 && k < c,
+            "need 0 < K < C (vulnerable ≪ minimum support)"
+        );
         assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
         assert!(delta > 0.0 && delta.is_finite(), "δ must be positive");
         // Inequation 2: σ² ≥ δK²/2, with σ² = ((α+1)²−1)/12 for an integer
@@ -157,7 +159,9 @@ impl PrivacySpec {
     /// the realized σ²): `β^m = sqrt(ε·t² − σ²)`, clamped at 0 when the
     /// precision budget is exactly consumed by the variance.
     pub fn max_bias(&self, t: Support) -> f64 {
-        (self.epsilon * (t * t) as f64 - self.sigma2).max(0.0).sqrt()
+        (self.epsilon * (t * t) as f64 - self.sigma2)
+            .max(0.0)
+            .sqrt()
     }
 }
 

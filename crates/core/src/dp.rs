@@ -17,9 +17,8 @@
 //! what privacy Butterfly gives up relative to DP's worst-case guarantee.
 
 use crate::release::{SanitizedItemset, SanitizedRelease};
+use bfly_common::rng::{Rng, SmallRng};
 use bfly_mining::FrequentItemsets;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A Laplace(0, b) sampler (inverse-CDF).
 #[derive(Clone, Copy, Debug)]
@@ -53,7 +52,7 @@ impl Laplace {
     /// Draw one real-valued sample.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // Inverse CDF: u ∈ (−1/2, 1/2]; x = −b·sgn(u)·ln(1 − 2|u|).
-        let u: f64 = rng.gen::<f64>() - 0.5;
+        let u: f64 = rng.gen_f64() - 0.5;
         -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
     }
 }
@@ -100,7 +99,7 @@ impl DpPublisher {
         let entries = frequent
             .iter()
             .map(|e| SanitizedItemset {
-                itemset: e.itemset.clone(),
+                id: e.id,
                 true_support: e.support,
                 sanitized: (e.support as f64 + lap.sample(&mut self.rng)).round() as i64,
             })
@@ -113,7 +112,6 @@ impl DpPublisher {
 mod tests {
     use super::*;
     use bfly_common::ItemSet;
-    use rand::rngs::SmallRng;
 
     #[test]
     fn laplace_moments() {
@@ -146,7 +144,7 @@ mod tests {
         let r = p.publish(&frequent);
         assert_eq!(r.len(), 2);
         for e in r.iter() {
-            assert_eq!(e.true_support, frequent.support(&e.itemset).unwrap());
+            assert_eq!(e.true_support, frequent.support(e.itemset()).unwrap());
         }
         // Over many draws the noise is unbiased.
         let mut total = 0.0;
@@ -168,7 +166,12 @@ mod tests {
         let mut p = DpPublisher::new(1.0, 77);
         let n = 4000;
         let mean = (0..n)
-            .map(|_| p.publish(&frequent).get(&"a".parse().unwrap()).unwrap().sanitized as f64)
+            .map(|_| {
+                p.publish(&frequent)
+                    .get(&"a".parse().unwrap())
+                    .unwrap()
+                    .sanitized as f64
+            })
             .sum::<f64>()
             / n as f64;
         assert!((mean - 40.0).abs() < 0.2, "averaging failed: {mean}");

@@ -1,16 +1,17 @@
 //! Frequency equivalence classes (Definition 5).
 
-use bfly_common::{ItemSet, Support};
+use bfly_common::{ItemsetId, Support};
 use bfly_mining::FrequentItemsets;
 use std::collections::BTreeMap;
 
 /// A frequency equivalence class: the frequent itemsets sharing one support
 /// value. The optimized Butterfly schemes perturb per-FEC, preserving the
-/// equality of members' supports exactly.
+/// equality of members' supports exactly. Members are interned handles —
+/// partitioning a mining result moves no itemset data.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fec {
     support: Support,
-    members: Vec<ItemSet>,
+    members: Vec<ItemsetId>,
 }
 
 impl Fec {
@@ -19,8 +20,8 @@ impl Fec {
         self.support
     }
 
-    /// Members, in lexicographic order.
-    pub fn members(&self) -> &[ItemSet] {
+    /// Members, in lexicographic itemset order.
+    pub fn members(&self) -> &[ItemsetId] {
         &self.members
     }
 
@@ -33,17 +34,14 @@ impl Fec {
 /// Partition a mining result into FECs, **sorted ascending by support**
 /// (`fec_1 ≺ fec_2 ≺ …` as §VI assumes).
 pub fn partition_into_fecs(frequent: &FrequentItemsets) -> Vec<Fec> {
-    let mut by_support: BTreeMap<Support, Vec<ItemSet>> = BTreeMap::new();
+    let mut by_support: BTreeMap<Support, Vec<ItemsetId>> = BTreeMap::new();
     for e in frequent.iter() {
-        by_support
-            .entry(e.support)
-            .or_default()
-            .push(e.itemset.clone());
+        by_support.entry(e.support).or_default().push(e.id);
     }
     by_support
         .into_iter()
         .map(|(support, mut members)| {
-            members.sort_unstable();
+            members.sort_unstable_by(|a, b| a.resolve().cmp(b.resolve()));
             Fec { support, members }
         })
         .collect()
@@ -52,9 +50,17 @@ pub fn partition_into_fecs(frequent: &FrequentItemsets) -> Vec<Fec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bfly_common::ItemSet;
 
     fn iset(s: &str) -> ItemSet {
         s.parse().unwrap()
+    }
+
+    fn resolved(fec: &Fec) -> Vec<ItemSet> {
+        fec.members()
+            .iter()
+            .map(|id| id.resolve().clone())
+            .collect()
     }
 
     #[test]
@@ -69,7 +75,7 @@ mod tests {
         let fecs = partition_into_fecs(&f);
         assert_eq!(fecs.len(), 3);
         assert_eq!(fecs[0].support(), 3);
-        assert_eq!(fecs[0].members(), &[iset("ab"), iset("bc")]);
+        assert_eq!(resolved(&fecs[0]), vec![iset("ab"), iset("bc")]);
         assert_eq!(fecs[0].size(), 2);
         assert_eq!(fecs[1].support(), 5);
         assert_eq!(fecs[2].support(), 8);

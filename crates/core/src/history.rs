@@ -16,12 +16,12 @@
 //! [`SanitizedItemset`]: crate::release::SanitizedItemset
 
 use crate::release::SanitizedRelease;
-use serde::{Deserialize, Serialize};
+use bfly_common::Json;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
 /// One persisted window release.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistoryEntry {
     /// Stream position `N` of the window `Ds(N, H)`.
     pub stream_len: u64,
@@ -84,8 +84,11 @@ impl ReleaseHistory {
     /// Serialize as JSON lines (one entry per line).
     pub fn write_jsonl<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
         for entry in &self.entries {
-            serde_json::to_writer(&mut writer, entry)?;
-            writeln!(writer)?;
+            let json = Json::obj([
+                ("stream_len", Json::from(entry.stream_len)),
+                ("release", entry.release.to_json()),
+            ]);
+            writeln!(writer, "{json}")?;
         }
         Ok(())
     }
@@ -98,9 +101,18 @@ impl ReleaseHistory {
             if line.trim().is_empty() {
                 continue;
             }
-            let entry: HistoryEntry = serde_json::from_str(&line)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            history.push(entry.stream_len, entry.release);
+            let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+            let json = Json::parse(&line).map_err(|e| invalid(e.to_string()))?;
+            let stream_len = json
+                .get("stream_len")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| invalid("entry missing stream_len".into()))?;
+            let release = json
+                .get("release")
+                .map(SanitizedRelease::from_json)
+                .ok_or_else(|| invalid("entry missing release".into()))?
+                .map_err(|e| invalid(e.to_string()))?;
+            history.push(stream_len, release);
         }
         Ok(history)
     }
@@ -129,8 +141,7 @@ mod tests {
         let mut publisher = Publisher::new(spec, BiasScheme::Basic, 5);
         let mut history = ReleaseHistory::new();
         for (n, support) in [(2000u64, 40u64), (2001, 40), (2002, 41)] {
-            let mined =
-                FrequentItemsets::new(vec![("ab".parse().unwrap(), support)]);
+            let mined = FrequentItemsets::new(vec![("ab".parse().unwrap(), support)]);
             history.push(n, publisher.publish(&mined));
         }
         history

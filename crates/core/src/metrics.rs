@@ -1,7 +1,7 @@
 //! The evaluation metrics of §VII-B: `avg_pred`, `avg_prig`, `ropp`, `rrpp`.
 
 use crate::release::SanitizedRelease;
-use bfly_common::{ItemSet, SanitizedSupport, Support};
+use bfly_common::{ItemSet, ItemsetId, SanitizedSupport, Support};
 use bfly_inference::adversary::squared_relative_deviation;
 use bfly_inference::attack::Breach;
 use bfly_inference::derive::{derive_pattern_support_f64, SupportView};
@@ -43,15 +43,18 @@ pub fn avg_pred(release: &SanitizedRelease) -> f64 {
 /// adversary attacking an inter-window breach completes the lattice with the
 /// previous window's sanitized values (her best transition estimate).
 pub struct ChainView<'a> {
-    primary: &'a HashMap<ItemSet, SanitizedSupport>,
-    fallback: Option<&'a HashMap<ItemSet, SanitizedSupport>>,
+    primary: &'a HashMap<ItemsetId, SanitizedSupport>,
+    fallback: Option<&'a HashMap<ItemsetId, SanitizedSupport>>,
 }
 
 impl<'a> ChainView<'a> {
-    /// Build a chained view.
+    /// Build a chained view over interned sanitized views (the shape
+    /// [`SanitizedRelease::view`] produces).
+    ///
+    /// [`SanitizedRelease::view`]: crate::release::SanitizedRelease::view
     pub fn new(
-        primary: &'a HashMap<ItemSet, SanitizedSupport>,
-        fallback: Option<&'a HashMap<ItemSet, SanitizedSupport>>,
+        primary: &'a HashMap<ItemsetId, SanitizedSupport>,
+        fallback: Option<&'a HashMap<ItemsetId, SanitizedSupport>>,
     ) -> Self {
         ChainView { primary, fallback }
     }
@@ -59,9 +62,10 @@ impl<'a> ChainView<'a> {
 
 impl SupportView for ChainView<'_> {
     fn get(&self, itemset: &ItemSet) -> Option<f64> {
+        let id = ItemsetId::get(itemset)?;
         self.primary
-            .get(itemset)
-            .or_else(|| self.fallback.and_then(|f| f.get(itemset)))
+            .get(&id)
+            .or_else(|| self.fallback.and_then(|f| f.get(&id)))
             .map(|&v| v as f64)
     }
 }
@@ -74,8 +78,8 @@ impl SupportView for ChainView<'_> {
 /// perfectly protected and are skipped (she has no estimator at all).
 pub fn avg_prig(
     breaches: &[Breach],
-    current: &HashMap<ItemSet, SanitizedSupport>,
-    previous: Option<&HashMap<ItemSet, SanitizedSupport>>,
+    current: &HashMap<ItemsetId, SanitizedSupport>,
+    previous: Option<&HashMap<ItemsetId, SanitizedSupport>>,
 ) -> Option<f64> {
     let view = ChainView::new(current, previous);
     let mut total = 0.0;
@@ -100,10 +104,7 @@ fn pair_groups(release: &SanitizedRelease) -> Vec<(Support, SanitizedSupport, u6
     for e in release.iter() {
         *groups.entry((e.true_support, e.sanitized)).or_insert(0) += 1;
     }
-    groups
-        .into_iter()
-        .map(|((t, s), c)| (t, s, c))
-        .collect()
+    groups.into_iter().map(|((t, s), c)| (t, s, c)).collect()
 }
 
 /// Rate of order-preserved pairs over all unordered pairs of published
@@ -175,7 +176,7 @@ pub fn rrpp(release: &SanitizedRelease, k: f64) -> f64 {
 pub fn window_metrics(
     release: &SanitizedRelease,
     breaches: &[Breach],
-    previous_view: Option<&HashMap<ItemSet, SanitizedSupport>>,
+    previous_view: Option<&HashMap<ItemsetId, SanitizedSupport>>,
     ratio_k: f64,
 ) -> WindowMetrics {
     let view = release.view();
@@ -198,7 +199,7 @@ mod tests {
 
     fn entry(s: &str, t: Support, sanitized: SanitizedSupport) -> SanitizedItemset {
         SanitizedItemset {
-            itemset: iset(s),
+            id: ItemsetId::intern(&iset(s)),
             true_support: t,
             sanitized,
         }
@@ -255,14 +256,14 @@ mod tests {
 
     #[test]
     fn avg_prig_uses_adversary_estimate() {
-        use bfly_inference::attack::{Breach, BreachKind};
         use bfly_common::Pattern;
+        use bfly_inference::attack::{Breach, BreachKind};
         // Lattice X_c^{abc} sanitized to 9, 4, 6, 2 → estimate 1; truth 1.
-        let mut view: HashMap<ItemSet, SanitizedSupport> = HashMap::new();
-        view.insert(iset("c"), 9);
-        view.insert(iset("ac"), 4);
-        view.insert(iset("bc"), 6);
-        view.insert(iset("abc"), 2);
+        let mut view: HashMap<ItemsetId, SanitizedSupport> = HashMap::new();
+        view.insert(ItemsetId::intern(&iset("c")), 9);
+        view.insert(ItemsetId::intern(&iset("ac")), 4);
+        view.insert(ItemsetId::intern(&iset("bc")), 6);
+        view.insert(ItemsetId::intern(&iset("abc")), 2);
         let breach = Breach {
             pattern: "c¬a¬b".parse::<Pattern>().unwrap(),
             base: iset("c"),
@@ -272,12 +273,12 @@ mod tests {
         };
         let prig = avg_prig(std::slice::from_ref(&breach), &view, None).unwrap();
         assert_eq!(prig, 0.0); // estimate happens to hit the truth
-        // Remove a lattice member: the adversary has no estimator at all.
-        view.remove(&iset("abc"));
+                               // Remove a lattice member: the adversary has no estimator at all.
+        view.remove(&ItemsetId::intern(&iset("abc")));
         assert_eq!(avg_prig(std::slice::from_ref(&breach), &view, None), None);
         // But a previous window's sanitized value completes the lattice.
         let mut prev = HashMap::new();
-        prev.insert(iset("abc"), 4i64);
+        prev.insert(ItemsetId::intern(&iset("abc")), 4i64);
         let prig = avg_prig(&[breach], &view, Some(&prev)).unwrap();
         // estimate = 9−4−6+4 = 3; deviation (1−3)²/1 = 4.
         assert_eq!(prig, 4.0);

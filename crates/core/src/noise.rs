@@ -1,6 +1,6 @@
 //! Discrete-uniform perturbation regions (§V-C, Definition 6).
 
-use rand::Rng;
+use bfly_common::rng::Rng;
 
 /// A discrete uniform noise region: integers `l ..= l+α`, i.e. width `α`,
 /// centred as closely as integrality allows on the requested bias `β`.
@@ -48,7 +48,7 @@ impl NoiseRegion {
 
     /// Draw one noise value.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
-        rng.gen_range(self.lo..=self.hi())
+        rng.gen_range_i64(self.lo, self.hi())
     }
 
     /// Number of integers in the region (`α + 1`).
@@ -93,8 +93,7 @@ pub fn inversion_probability(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bfly_common::rng::SmallRng;
 
     #[test]
     fn centering_and_edges() {
@@ -144,13 +143,17 @@ mod tests {
         }
         assert!(seen_lo && seen_hi, "edges never sampled");
         let mean = sum / n as f64;
-        assert!((mean - r.bias()).abs() < 0.1, "empirical mean {mean} vs bias {}", r.bias());
+        assert!(
+            (mean - r.bias()).abs() < 0.1,
+            "empirical mean {mean} vs bias {}",
+            r.bias()
+        );
     }
 
     #[test]
     fn inversion_probability_basics() {
         let r = NoiseRegion::centered(0.0, 4); // [-2, 2], 5 values
-        // Identical supports: P[T̃_i ≥ T̃_j] counts u ≥ v pairs = 15/25.
+                                               // Identical supports: P[T̃_i ≥ T̃_j] counts u ≥ v pairs = 15/25.
         assert!((inversion_probability(10, &r, 10, &r) - 0.6).abs() < 1e-12);
         // Disjoint regions (gap > α): inversion impossible.
         assert_eq!(inversion_probability(10, &r, 20, &r), 0.0);

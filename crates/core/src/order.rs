@@ -96,8 +96,7 @@ pub fn order_preserving_biases_pinned(
             let window_start = i - prev_state.len();
             for &b in &candidates[i] {
                 let e_i = fecs[i].support() as i64 + b;
-                let e_prev =
-                    fecs[i - 1].support() as i64 + prev_state[prev_state.len() - 1];
+                let e_prev = fecs[i - 1].support() as i64 + prev_state[prev_state.len() - 1];
                 if e_i <= e_prev {
                     continue; // chain constraint e_{i−1} < e_i
                 }
@@ -335,8 +334,7 @@ mod tests {
         let fecs = fecs_with_supports(&[30, 32, 34, 60]);
         let s = spec();
         let pinned = vec![None, Some(2i64), None, None];
-        let biases =
-            crate::order::order_preserving_biases_pinned(&fecs, &s, 2, &pinned);
+        let biases = crate::order::order_preserving_biases_pinned(&fecs, &s, 2, &pinned);
         assert_eq!(biases[1], 2.0, "pin ignored: {biases:?}");
         // Remaining positions still satisfy the chain around the pin.
         let e: Vec<f64> = fecs

@@ -1,9 +1,9 @@
-//! End-to-end stream pipeline: window → miner → Butterfly publisher.
+//! End-to-end stream pipeline: window → miner backend → Butterfly publisher.
 
 use crate::publisher::Publisher;
 use crate::release::SanitizedRelease;
-use bfly_common::{SlidingWindow, Transaction};
-use bfly_mining::{FrequentItemsets, MomentMiner, WindowMiner};
+use bfly_common::{Error, Result, SlidingWindow, Transaction};
+use bfly_mining::{BackendKind, FrequentItemsets, MinerBackend, MomentMiner};
 
 /// One published window: the miner's (true) closed frequent itemsets and the
 /// sanitized release the outside world sees.
@@ -18,23 +18,45 @@ pub struct WindowRelease {
 }
 
 /// Glue object running the full Butterfly deployment of Fig. 1's last step:
-/// a sliding window feeds the incremental Moment miner; each full window's
+/// a sliding window feeds a pluggable [`MinerBackend`]; each full window's
 /// closed frequent itemsets pass through the perturbation publisher.
+///
+/// The backend is a type parameter so the paper's default (the incremental
+/// Moment miner) pays no dynamic dispatch, while deployments picking a
+/// backend at runtime use [`StreamPipeline::from_kind`] and get a boxed one.
 #[derive(Clone, Debug)]
-pub struct StreamPipeline {
+pub struct StreamPipeline<B: MinerBackend = MomentMiner> {
     window: SlidingWindow,
-    miner: MomentMiner,
+    miner: B,
     publisher: Publisher,
 }
 
-impl StreamPipeline {
-    /// Build a pipeline. The publisher's spec supplies the miner's minimum
-    /// support `C`.
+impl StreamPipeline<MomentMiner> {
+    /// Build a pipeline on the paper's default backend (Moment). The
+    /// publisher's spec supplies the miner's minimum support `C`.
     pub fn new(window_size: usize, publisher: Publisher) -> Self {
         let c = publisher.spec().c();
+        StreamPipeline::with_backend(window_size, MomentMiner::new(c), publisher)
+    }
+}
+
+impl StreamPipeline<Box<dyn MinerBackend>> {
+    /// Build a pipeline with a backend chosen at runtime by
+    /// [`BackendKind`]. The publisher's spec supplies the minimum support.
+    pub fn from_kind(window_size: usize, kind: BackendKind, publisher: Publisher) -> Self {
+        let c = publisher.spec().c();
+        StreamPipeline::with_backend(window_size, kind.build(c), publisher)
+    }
+}
+
+impl<B: MinerBackend> StreamPipeline<B> {
+    /// Build a pipeline around an already-constructed backend. The backend's
+    /// minimum support should match the publisher's `C`; the contract audit
+    /// in [`StreamPipeline::step`] catches mismatches in debug builds.
+    pub fn with_backend(window_size: usize, miner: B, publisher: Publisher) -> Self {
         StreamPipeline {
             window: SlidingWindow::new(window_size),
-            miner: MomentMiner::new(c),
+            miner,
             publisher,
         }
     }
@@ -42,6 +64,11 @@ impl StreamPipeline {
     /// Records seen so far.
     pub fn stream_len(&self) -> u64 {
         self.window.stream_len()
+    }
+
+    /// The backend's self-reported name (for logs and bench tables).
+    pub fn backend_name(&self) -> &'static str {
+        self.miner.name()
     }
 
     /// Feed one transaction. Returns a release once the window is full
@@ -73,16 +100,26 @@ impl StreamPipeline {
         self.miner.apply(&delta);
     }
 
-    /// Publish the current window explicitly (window must be full).
-    pub fn publish_now(&mut self) -> WindowRelease {
-        assert!(self.window.is_full(), "cannot publish a partial window");
+    /// Publish the current window explicitly.
+    ///
+    /// # Errors
+    /// [`Error::PartialWindow`] when the window has not filled yet — a
+    /// partial window's supports are not comparable to full-window ones, so
+    /// publishing them would both skew utility and leak the warm-up phase.
+    pub fn publish_now(&mut self) -> Result<WindowRelease> {
+        if !self.window.is_full() {
+            return Err(Error::PartialWindow {
+                have: self.window.len(),
+                need: self.window.capacity(),
+            });
+        }
         let closed = self.miner.closed_frequent();
         let release = self.publisher.publish(&closed);
-        WindowRelease {
+        Ok(WindowRelease {
             stream_len: self.window.stream_len(),
             closed,
             release,
-        }
+        })
     }
 
     /// Access the live window (e.g. to materialize the ground-truth
@@ -123,7 +160,14 @@ mod tests {
     #[test]
     fn sanitized_supports_track_truth_within_alpha() {
         let spec = PrivacySpec::new(25, 5, 0.04, 0.4);
-        let publisher = Publisher::new(spec, BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }, 3);
+        let publisher = Publisher::new(
+            spec,
+            BiasScheme::Hybrid {
+                lambda: 0.4,
+                gamma: 2,
+            },
+            3,
+        );
         let mut pipe = StreamPipeline::new(500, publisher);
         let mut src = DatasetProfile::WebView1.source(5);
         let mut releases = 0;
@@ -134,8 +178,7 @@ mod tests {
                     assert!(e.true_support >= 25, "miner leaked sub-C itemset");
                     let err = (e.sanitized - e.true_support as i64).unsigned_abs();
                     // |bias| ≤ β^m ≤ √ε·t plus half the region width.
-                    let budget = (spec.epsilon().sqrt() * e.true_support as f64).ceil()
-                        as u64
+                    let budget = (spec.epsilon().sqrt() * e.true_support as f64).ceil() as u64
                         + spec.alpha() / 2
                         + 1;
                     assert!(err <= budget, "error {err} beyond budget {budget}");
@@ -146,10 +189,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "partial window")]
     fn publish_now_requires_full_window() {
         let spec = PrivacySpec::new(4, 1, 0.2, 0.5);
         let mut pipe = StreamPipeline::new(8, Publisher::new(spec, BiasScheme::Basic, 1));
-        pipe.publish_now();
+        for t in fig2_stream().into_iter().take(3) {
+            pipe.advance(t);
+        }
+        match pipe.publish_now() {
+            Err(Error::PartialWindow { have, need }) => {
+                assert_eq!((have, need), (3, 8));
+            }
+            other => panic!("expected PartialWindow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_selected_backends_publish_identical_truths() {
+        // The same stream through four runtime-selected exact backends must
+        // agree on the ground-truth closed itemsets of every window.
+        let stream = fig2_stream();
+        let mut per_backend: Vec<Vec<FrequentItemsets>> = Vec::new();
+        for kind in [
+            BackendKind::Apriori,
+            BackendKind::Eclat,
+            BackendKind::Closed,
+            BackendKind::Moment,
+        ] {
+            let spec = PrivacySpec::new(4, 1, 0.2, 0.5);
+            let publisher = Publisher::new(spec, BiasScheme::Basic, 1);
+            let mut pipe = StreamPipeline::from_kind(8, kind, publisher);
+            assert_eq!(pipe.backend_name(), kind.name());
+            per_backend.push(
+                stream
+                    .iter()
+                    .cloned()
+                    .filter_map(|t| pipe.step(t))
+                    .map(|r| r.closed)
+                    .collect(),
+            );
+        }
+        for others in &per_backend[1..] {
+            assert_eq!(others, &per_backend[0]);
+        }
+        assert_eq!(per_backend[0].len(), 5);
     }
 }

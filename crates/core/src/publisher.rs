@@ -7,10 +7,9 @@ use crate::noise::NoiseRegion;
 use crate::ratio::ratio_preserving_biases;
 use crate::release::{SanitizedItemset, SanitizedRelease};
 use crate::scheme::BiasScheme;
-use bfly_common::{ItemSet, SanitizedSupport, Support};
+use bfly_common::rng::SmallRng;
+use bfly_common::{ItemsetId, SanitizedSupport, Support};
 use bfly_mining::FrequentItemsets;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Publishes sanitized windows: partitions the mined itemsets into FECs,
@@ -39,8 +38,10 @@ pub struct Publisher {
     spec: PrivacySpec,
     scheme: BiasScheme,
     rng: SmallRng,
-    /// itemset → (true support at last publication, sanitized value then).
-    cache: HashMap<ItemSet, (Support, SanitizedSupport)>,
+    /// interned itemset → (true support at last publication, sanitized
+    /// value then). Keyed by handle: the republication check costs one
+    /// 4-byte hash, and no itemset is cloned anywhere in the publish loop.
+    cache: HashMap<ItemsetId, (Support, SanitizedSupport)>,
     /// When present, order-preserving biases come from the incremental
     /// patcher instead of a fresh full DP each window (the paper's §VII
     /// future-work optimization).
@@ -100,8 +101,8 @@ impl Publisher {
             // One draw per FEC: members share their perturbation so the
             // class's internal equalities survive sanitization exactly.
             let noise = region.sample(&mut self.rng);
-            for member in fec.members() {
-                let sanitized = match self.cache.get(member) {
+            for &member in fec.members() {
+                let sanitized = match self.cache.get(&member) {
                     // Republication rule: unchanged true support in the
                     // directly preceding window ⇒ identical sanitized value.
                     Some(&(prev_true, prev_sanitized)) if prev_true == fec.support() => {
@@ -109,9 +110,9 @@ impl Publisher {
                     }
                     _ => fec.support() as SanitizedSupport + noise,
                 };
-                next_cache.insert(member.clone(), (fec.support(), sanitized));
+                next_cache.insert(member, (fec.support(), sanitized));
                 entries.push(SanitizedItemset {
-                    itemset: member.clone(),
+                    id: member,
                     true_support: fec.support(),
                     sanitized,
                 });
@@ -155,6 +156,7 @@ impl Publisher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bfly_common::ItemSet;
 
     fn iset(s: &str) -> ItemSet {
         s.parse().unwrap()
@@ -177,7 +179,10 @@ mod tests {
         for e in r.iter() {
             let noise = e.sanitized - e.true_support as i64;
             // Basic: bias 0, region ⊂ [−α/2−1, α/2+1].
-            assert!(noise.abs() <= spec().alpha() as i64 / 2 + 1, "noise {noise}");
+            assert!(
+                noise.abs() <= spec().alpha() as i64 / 2 + 1,
+                "noise {noise}"
+            );
         }
     }
 
@@ -268,9 +273,8 @@ mod tests {
             let r = p.publish(w);
             for e in r.iter() {
                 let err = (e.sanitized - e.true_support as i64).unsigned_abs();
-                let budget = (s.epsilon().sqrt() * e.true_support as f64).ceil() as u64
-                    + s.alpha() / 2
-                    + 1;
+                let budget =
+                    (s.epsilon().sqrt() * e.true_support as f64).ceil() as u64 + s.alpha() / 2 + 1;
                 assert!(err <= budget);
             }
         }

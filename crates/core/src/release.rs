@@ -1,15 +1,15 @@
 //! Sanitized output: what Butterfly publishes instead of raw supports.
 
-use bfly_common::{ItemSet, SanitizedSupport, Support};
-use serde::{Deserialize, Serialize};
+use bfly_common::{Error, ItemSet, ItemsetId, Json, Result, SanitizedSupport, Support};
 use std::collections::HashMap;
 
 /// One published itemset: its sanitized support, plus (for evaluation only —
-/// a deployment would not ship it) the true support.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// a deployment would not ship it) the true support. Carries an interned
+/// handle, so a release entry is three machine words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SanitizedItemset {
-    /// The frequent itemset.
-    pub itemset: ItemSet,
+    /// Interned handle to the frequent itemset.
+    pub id: ItemsetId,
     /// Ground-truth support, retained for measuring `pred`/`prig`.
     pub true_support: Support,
     /// The published, perturbed support. May dip below zero for small
@@ -19,6 +19,11 @@ pub struct SanitizedItemset {
 }
 
 impl SanitizedItemset {
+    /// The itemset behind the handle.
+    pub fn itemset(&self) -> &'static ItemSet {
+        self.id.resolve()
+    }
+
     /// The value a UI would display: the sanitized support clamped at zero.
     pub fn display_support(&self) -> Support {
         self.sanitized.max(0) as Support
@@ -26,7 +31,7 @@ impl SanitizedItemset {
 }
 
 /// A full sanitized release for one window.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SanitizedRelease {
     entries: Vec<SanitizedItemset>,
 }
@@ -53,25 +58,91 @@ impl SanitizedRelease {
         self.entries.iter()
     }
 
-    /// The adversary's view: itemset → sanitized support.
-    pub fn view(&self) -> HashMap<ItemSet, SanitizedSupport> {
+    /// The adversary's view: interned itemset → sanitized support.
+    pub fn view(&self) -> HashMap<ItemsetId, SanitizedSupport> {
+        self.entries.iter().map(|e| (e.id, e.sanitized)).collect()
+    }
+
+    /// The evaluation oracle's view: interned itemset → true support.
+    pub fn truth(&self) -> HashMap<ItemsetId, Support> {
         self.entries
             .iter()
-            .map(|e| (e.itemset.clone(), e.sanitized))
+            .map(|e| (e.id, e.true_support))
             .collect()
     }
 
-    /// The evaluation oracle's view: itemset → true support.
-    pub fn truth(&self) -> HashMap<ItemSet, Support> {
-        self.entries
-            .iter()
-            .map(|e| (e.itemset.clone(), e.true_support))
-            .collect()
-    }
-
-    /// Lookup one entry.
+    /// Lookup one entry by itemset value.
     pub fn get(&self, itemset: &ItemSet) -> Option<&SanitizedItemset> {
-        self.entries.iter().find(|e| &e.itemset == itemset)
+        let id = ItemsetId::get(itemset)?;
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Serialize to the workspace's JSON value type.
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "entries",
+            Json::Arr(
+                self.entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            (
+                                "itemset",
+                                Json::Arr(
+                                    e.itemset()
+                                        .items()
+                                        .iter()
+                                        .map(|i| Json::from(i.id() as u64))
+                                        .collect(),
+                                ),
+                            ),
+                            ("true_support", Json::from(e.true_support)),
+                            ("sanitized", Json::from(e.sanitized)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Parse the JSON produced by [`SanitizedRelease::to_json`]. Itemsets
+    /// are (re-)interned on load, so handles from a reloaded history compare
+    /// equal to live ones.
+    pub fn from_json(json: &Json) -> Result<SanitizedRelease> {
+        let entries = json
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| Error::Parse("release missing entries".into()))?;
+        let mut out = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let ids = entry
+                .get("itemset")
+                .and_then(Json::as_array)
+                .ok_or_else(|| Error::Parse("entry missing itemset".into()))?;
+            let items: Vec<u32> = ids
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|id| u32::try_from(id).ok())
+                        .ok_or_else(|| Error::Parse("bad item id".into()))
+                })
+                .collect::<Result<_>>()?;
+            let itemset = ItemSet::from_ids(items);
+            let true_support = entry
+                .get("true_support")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| Error::Parse("entry missing true_support".into()))?;
+            let sanitized = entry
+                .get("sanitized")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| Error::Parse("entry missing sanitized".into()))?;
+            out.push(SanitizedItemset {
+                id: ItemsetId::intern(&itemset),
+                true_support,
+                sanitized,
+            });
+        }
+        Ok(SanitizedRelease::new(out))
     }
 }
 
@@ -86,12 +157,12 @@ mod tests {
     fn release() -> SanitizedRelease {
         SanitizedRelease::new(vec![
             SanitizedItemset {
-                itemset: iset("a"),
+                id: ItemsetId::intern(&iset("a")),
                 true_support: 30,
                 sanitized: 27,
             },
             SanitizedItemset {
-                itemset: iset("ab"),
+                id: ItemsetId::intern(&iset("ab")),
                 true_support: 26,
                 sanitized: -1,
             },
@@ -102,17 +173,30 @@ mod tests {
     fn views_split_truth_from_publication() {
         let r = release();
         assert_eq!(r.len(), 2);
-        assert_eq!(r.view()[&iset("a")], 27);
-        assert_eq!(r.truth()[&iset("a")], 30);
-        assert_eq!(r.view()[&iset("ab")], -1);
+        let a = ItemsetId::intern(&iset("a"));
+        let ab = ItemsetId::intern(&iset("ab"));
+        assert_eq!(r.view()[&a], 27);
+        assert_eq!(r.truth()[&a], 30);
+        assert_eq!(r.view()[&ab], -1);
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = release();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: SanitizedRelease = serde_json::from_str(&json).unwrap();
+        let json = r.to_json();
+        let back = SanitizedRelease::from_json(&Json::parse(&json.to_string()).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        for bad in [
+            "{}",
+            "{\"entries\":[{}]}",
+            "{\"entries\":[{\"itemset\":[1],\"sanitized\":2}]}",
+        ] {
+            assert!(SanitizedRelease::from_json(&Json::parse(bad).unwrap()).is_err());
+        }
     }
 
     #[test]
@@ -120,6 +204,6 @@ mod tests {
         let r = release();
         assert_eq!(r.get(&iset("ab")).unwrap().display_support(), 0);
         assert_eq!(r.get(&iset("a")).unwrap().display_support(), 27);
-        assert!(r.get(&iset("zz")).is_none());
+        assert!(r.get(&ItemSet::from_ids([6_543_210])).is_none());
     }
 }

@@ -4,10 +4,9 @@ use crate::config::PrivacySpec;
 use crate::fec::Fec;
 use crate::order::order_preserving_biases;
 use crate::ratio::ratio_preserving_biases;
-use serde::{Deserialize, Serialize};
 
 /// Which bias-setting strategy a [`crate::Publisher`] applies per window.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BiasScheme {
     /// β = 0 everywhere: the basic Butterfly with minimum ppr (§V-C).
     Basic,
@@ -44,9 +43,7 @@ impl BiasScheme {
     pub fn biases(&self, fecs: &[Fec], spec: &PrivacySpec) -> Vec<f64> {
         match *self {
             BiasScheme::Basic => vec![0.0; fecs.len()],
-            BiasScheme::OrderPreserving { gamma } => {
-                order_preserving_biases(fecs, spec, gamma)
-            }
+            BiasScheme::OrderPreserving { gamma } => order_preserving_biases(fecs, spec, gamma),
             BiasScheme::RatioPreserving => ratio_preserving_biases(fecs, spec),
             BiasScheme::Hybrid { lambda, gamma } => {
                 assert!(
@@ -106,8 +103,16 @@ mod tests {
         let s = spec();
         let op = BiasScheme::OrderPreserving { gamma: 2 }.biases(&f, &s);
         let rp = BiasScheme::RatioPreserving.biases(&f, &s);
-        let h1 = BiasScheme::Hybrid { lambda: 1.0, gamma: 2 }.biases(&f, &s);
-        let h0 = BiasScheme::Hybrid { lambda: 0.0, gamma: 2 }.biases(&f, &s);
+        let h1 = BiasScheme::Hybrid {
+            lambda: 1.0,
+            gamma: 2,
+        }
+        .biases(&f, &s);
+        let h0 = BiasScheme::Hybrid {
+            lambda: 0.0,
+            gamma: 2,
+        }
+        .biases(&f, &s);
         for i in 0..f.len() {
             assert!((h1[i] - op[i]).abs() < 1e-12);
             assert!((h0[i] - rp[i]).abs() < 1e-12);
@@ -118,7 +123,11 @@ mod tests {
     fn hybrid_blend_is_convex_and_within_budget() {
         let f = fecs(&[25, 27, 29, 60, 200]);
         let s = spec();
-        let h = BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }.biases(&f, &s);
+        let h = BiasScheme::Hybrid {
+            lambda: 0.4,
+            gamma: 2,
+        }
+        .biases(&f, &s);
         for (fec, b) in f.iter().zip(&h) {
             // A convex combination of two in-budget biases is in budget.
             assert!(b.abs() <= s.max_bias(fec.support()) + 1e-9);
@@ -128,7 +137,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "λ must be in")]
     fn hybrid_rejects_bad_lambda() {
-        BiasScheme::Hybrid { lambda: 1.5, gamma: 2 }.biases(&fecs(&[25]), &spec());
+        BiasScheme::Hybrid {
+            lambda: 1.5,
+            gamma: 2,
+        }
+        .biases(&fecs(&[25]), &spec());
     }
 
     #[test]
@@ -137,7 +150,11 @@ mod tests {
         assert_eq!(BiasScheme::OrderPreserving { gamma: 2 }.name(), "Opt λ=1");
         assert_eq!(BiasScheme::RatioPreserving.name(), "Opt λ=0");
         assert_eq!(
-            BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }.name(),
+            BiasScheme::Hybrid {
+                lambda: 0.4,
+                gamma: 2
+            }
+            .name(),
             "Opt λ=0.4"
         );
         assert_eq!(BiasScheme::paper_variants(2).len(), 4);

@@ -9,9 +9,8 @@
 //! deeper correlation than pattern superposition does. Used by tests and
 //! available to experiments via [`MarkovConfig`].
 
+use bfly_common::rng::{Rng, SmallRng};
 use bfly_common::{Item, ItemSet, Transaction};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::zipf::Zipf;
 
@@ -115,15 +114,12 @@ impl MarkovSessionGenerator {
             if out.is_empty() {
                 break;
             }
-            page = out[self.rng.gen_range(0..out.len())];
+            page = out[self.rng.gen_range_usize(out.len())];
             if !visited.contains(&page) {
                 visited.push(page);
             }
         }
-        Transaction::new(
-            self.emitted,
-            ItemSet::new(visited.into_iter().map(Item)),
-        )
+        Transaction::new(self.emitted, ItemSet::new(visited.into_iter().map(Item)))
     }
 
     /// Generate `n` sessions.

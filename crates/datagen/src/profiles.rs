@@ -14,10 +14,9 @@
 
 use crate::quest::{QuestConfig, QuestGenerator};
 use bfly_common::Transaction;
-use serde::{Deserialize, Serialize};
 
 /// Which synthetic stand-in to generate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DatasetProfile {
     /// Clickstream: short sessions over ~500 page items.
     WebView1,

@@ -9,9 +9,8 @@
 //! has something to measure.
 
 use crate::zipf::Zipf;
+use bfly_common::rng::{Rng, SmallRng};
 use bfly_common::{Item, ItemSet, Transaction};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of a [`QuestGenerator`].
 #[derive(Clone, Debug)]
@@ -157,8 +156,7 @@ impl QuestGenerator {
             guard += 1;
         }
         // Corruption level: exponential around the mean, capped below 1.
-        let corruption =
-            (-config.corruption_mean * (1.0 - rng.gen::<f64>()).ln()).clamp(0.0, 0.9);
+        let corruption = (-config.corruption_mean * (1.0 - rng.gen_f64()).ln()).clamp(0.0, 0.9);
         PoolPattern {
             items: ItemSet::new(items),
             corruption,
@@ -169,8 +167,8 @@ impl QuestGenerator {
     pub fn next_transaction(&mut self) -> Transaction {
         self.maybe_drift();
         self.emitted += 1;
-        let target =
-            poisson(self.config.avg_transaction_len, &mut self.rng).clamp(1, self.config.max_transaction_len);
+        let target = poisson(self.config.avg_transaction_len, &mut self.rng)
+            .clamp(1, self.config.max_transaction_len);
         let mut items: Vec<Item> = Vec::with_capacity(target + 4);
         let mut guard = 0;
         while items.len() < target && guard < 200 {
@@ -189,7 +187,8 @@ impl QuestGenerator {
             if instance.len() > room {
                 // Quest rule: keep the oversized instance half the time,
                 // otherwise trim it to the remaining room.
-                if self.rng.gen_bool(0.5) && items.len() + instance.len() <= self.config.max_transaction_len
+                if self.rng.gen_bool(0.5)
+                    && items.len() + instance.len() <= self.config.max_transaction_len
                 {
                     items.extend(instance);
                 } else {
@@ -238,7 +237,7 @@ fn poisson(mean: f64, rng: &mut SmallRng) -> usize {
     let mut k = 0usize;
     let mut p = 1.0;
     loop {
-        p *= rng.gen::<f64>();
+        p *= rng.gen_f64();
         if p <= l || k > 10_000 {
             return k;
         }

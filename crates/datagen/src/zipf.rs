@@ -1,6 +1,6 @@
 //! Zipfian sampling over a finite alphabet.
 
-use rand::Rng;
+use bfly_common::rng::Rng;
 
 /// A Zipf(s) distribution over ranks `0..n`: rank `r` has probability
 /// proportional to `1/(r+1)^s`. Implemented by inverse-CDF lookup over a
@@ -48,7 +48,7 @@ impl Zipf {
 
     /// Draw one rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         // partition_point returns the first index with cdf[i] >= u.
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -67,8 +67,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bfly_common::rng::SmallRng;
 
     #[test]
     fn pmf_sums_to_one_and_decreases() {

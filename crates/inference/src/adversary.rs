@@ -96,7 +96,9 @@ mod tests {
     #[test]
     fn averaging_reduces_toward_truth_with_fresh_noise() {
         // Symmetric ±1 noise around 10: the mean converges to 10.
-        let obs: Vec<i64> = (0..1000).map(|i| 10 + if i % 2 == 0 { 1 } else { -1 }).collect();
+        let obs: Vec<i64> = (0..1000)
+            .map(|i| 10 + if i % 2 == 0 { 1 } else { -1 })
+            .collect();
         let mean = averaging_attack(&obs);
         assert!((mean - 10.0).abs() < 0.01);
     }

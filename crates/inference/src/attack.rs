@@ -3,7 +3,7 @@
 //! inter-window inferences"), built from §IV's two attack techniques.
 
 use crate::bounds::{support_bounds, SupportBounds};
-use bfly_common::{ItemSet, Pattern, Support};
+use bfly_common::{ItemSet, ItemsetId, Pattern, Support};
 use std::collections::HashMap;
 
 /// How a breach was uncovered.
@@ -44,9 +44,10 @@ const MAX_SPAN: usize = 16;
 /// over `J`'s subset lattice computes the derived support of *every* base at
 /// once in `O(2^{|J|}·|J|)` — the inclusion–exclusion sums share almost all
 /// their terms.
-pub fn find_intra_window_breaches(view: &HashMap<ItemSet, Support>, k: Support) -> Vec<Breach> {
+pub fn find_intra_window_breaches(view: &HashMap<ItemsetId, Support>, k: Support) -> Vec<Breach> {
     let mut breaches = Vec::new();
-    for span in view.keys() {
+    for id in view.keys() {
+        let span = id.resolve();
         if span.len() < 2 || span.len() > MAX_SPAN {
             continue;
         }
@@ -59,11 +60,11 @@ pub fn find_intra_window_breaches(view: &HashMap<ItemSet, Support>, k: Support) 
 /// `must_use` is given, only patterns whose lattice contains one of those
 /// itemsets are reported (used to isolate purely inter-window breaches).
 fn collect_span_breaches(
-    view: &HashMap<ItemSet, Support>,
+    view: &HashMap<ItemsetId, Support>,
     span: &ItemSet,
     k: Support,
     kind: BreachKind,
-    must_use: Option<&HashMap<ItemSet, Support>>,
+    must_use: Option<&HashMap<ItemsetId, Support>>,
     out: &mut Vec<Breach>,
 ) {
     let n = span.len();
@@ -74,7 +75,8 @@ fn collect_span_breaches(
     // because bases are non-empty).
     let mut f = vec![0i64; 1 << n];
     for mask in 1..=full_mask {
-        match view.get(&span.subset_by_mask(mask)) {
+        let subset = span.subset_by_mask(mask);
+        match ItemsetId::get(&subset).and_then(|id| view.get(&id)) {
             Some(&s) => f[mask as usize] = s as i64,
             None => return,
         }
@@ -101,8 +103,8 @@ fn collect_span_breaches(
             // augmented (not directly published) itemset.
             let uses_augmented = crate::lattice::Lattice::new(&base, span)
                 .expect("base ⊂ span")
-                .members()
-                .any(|(x, _)| required.contains_key(&x));
+                .members_interned()
+                .any(|(x, _)| x.is_some_and(|id| required.contains_key(&id)));
             if !uses_augmented {
                 continue;
             }
@@ -130,23 +132,32 @@ fn split_mut(v: &mut [i64], a: usize, b: usize) -> (&mut i64, &mut i64) {
 /// whose support the bounds pin down exactly, given that unpublished means
 /// `T < C`. Returns the augmented entries.
 pub fn complete_negative_border(
-    view: &HashMap<ItemSet, Support>,
+    view: &HashMap<ItemsetId, Support>,
     min_support: Support,
-) -> HashMap<ItemSet, Support> {
-    let singles: Vec<&ItemSet> = view.keys().filter(|i| i.len() == 1).collect();
+) -> HashMap<ItemsetId, Support> {
+    let singles: Vec<&'static ItemSet> = view
+        .keys()
+        .map(|id| id.resolve())
+        .filter(|i| i.len() == 1)
+        .collect();
     let mut augmented = HashMap::new();
-    for itemset in view.keys() {
+    for id in view.keys() {
+        let itemset = id.resolve();
         for single in &singles {
             let item = single.items()[0];
             if itemset.contains(item) {
                 continue;
             }
             let candidate = itemset.with(item);
-            if candidate.len() > MAX_SPAN || view.contains_key(&candidate) {
+            if candidate.len() > MAX_SPAN {
                 continue;
             }
-            if augmented.contains_key(&candidate) {
-                continue;
+            // A candidate already in either map is settled; probe by handle
+            // first so unseen candidates cost no interning.
+            if let Some(cid) = ItemsetId::get(&candidate) {
+                if view.contains_key(&cid) || augmented.contains_key(&cid) {
+                    continue;
+                }
             }
             let Some(b) = support_bounds(view, &candidate) else {
                 continue;
@@ -157,7 +168,7 @@ pub fn complete_negative_border(
             };
             if let Some(tight) = b.intersect(&capped) {
                 if tight.is_tight() && tight.lower >= 0 {
-                    augmented.insert(candidate, tight.lower as Support);
+                    augmented.insert(ItemsetId::intern(&candidate), tight.lower as Support);
                 }
             }
         }
@@ -174,16 +185,17 @@ pub fn complete_negative_border(
 /// are reported; intra-window ones are found by
 /// [`find_intra_window_breaches`].
 pub fn find_inter_window_breaches(
-    prev: &HashMap<ItemSet, Support>,
-    curr: &HashMap<ItemSet, Support>,
+    prev: &HashMap<ItemsetId, Support>,
+    curr: &HashMap<ItemsetId, Support>,
     min_support: Support,
     slide: u64,
     k: Support,
 ) -> Vec<Breach> {
     // Stage 1: pin down supports that dropped out of the current release.
-    let mut augmented: HashMap<ItemSet, Support> = HashMap::new();
-    for (itemset, &prev_support) in prev {
-        if curr.contains_key(itemset) || itemset.len() > MAX_SPAN {
+    let mut augmented: HashMap<ItemsetId, Support> = HashMap::new();
+    for (&id, &prev_support) in prev {
+        let itemset = id.resolve();
+        if curr.contains_key(&id) || itemset.len() > MAX_SPAN {
             continue;
         }
         let transition = SupportBounds {
@@ -204,7 +216,7 @@ pub fn find_inter_window_breaches(
             }
         }
         if combined.is_tight() && combined.lower >= 0 {
-            augmented.insert(itemset.clone(), combined.lower as Support);
+            augmented.insert(id, combined.lower as Support);
         }
     }
     if augmented.is_empty() {
@@ -214,9 +226,10 @@ pub fn find_inter_window_breaches(
     // Stage 2: derive vulnerable patterns over the augmented view, keeping
     // only derivations that consume an augmented support.
     let mut full_view = curr.clone();
-    full_view.extend(augmented.iter().map(|(i, &s)| (i.clone(), s)));
+    full_view.extend(augmented.iter().map(|(&i, &s)| (i, s)));
     let mut breaches = Vec::new();
-    for span in full_view.keys() {
+    for id in full_view.keys() {
+        let span = id.resolve();
         if span.len() < 2 || span.len() > MAX_SPAN {
             continue;
         }
@@ -244,8 +257,12 @@ mod tests {
     }
 
     /// The full frequent output of a window at threshold `c`, as a view.
-    fn release(db: &Database, c: Support) -> HashMap<ItemSet, Support> {
+    fn release(db: &Database, c: Support) -> HashMap<ItemsetId, Support> {
         Apriori::new(c).mine(db).as_map().clone()
+    }
+
+    fn view_has(view: &HashMap<ItemsetId, Support>, itemset: &ItemSet) -> bool {
+        ItemsetId::get(itemset).is_some_and(|id| view.contains_key(&id))
     }
 
     #[test]
@@ -280,20 +297,19 @@ mod tests {
                     b.pattern
                 );
                 assert!(b.support >= 1 && b.support <= k);
-                assert!(view.contains_key(&b.span));
+                assert!(view_has(&view, &b.span));
             }
             // And complete: every vulnerable pattern spanned by a published
             // itemset is found.
-            for span in view.keys() {
+            for id in view.keys() {
+                let span = id.resolve();
                 if span.len() < 2 {
                     continue;
                 }
                 for base in span.proper_subsets() {
                     let p = Pattern::from_lattice(&base, span).unwrap();
                     let truth = db.pattern_support(&p);
-                    let reported = breaches
-                        .iter()
-                        .any(|b| b.base == base && b.span == *span);
+                    let reported = breaches.iter().any(|b| b.base == base && b.span == *span);
                     assert_eq!(
                         reported,
                         truth >= 1 && truth <= k,
@@ -321,8 +337,9 @@ mod tests {
         let prev = release(&fig2_window(11), 4);
         let curr_db = fig2_window(12);
         let curr = release(&curr_db, 4);
-        assert_eq!(prev.get(&iset("abc")), Some(&4));
-        assert!(!curr.contains_key(&iset("abc")));
+        let abc_id = ItemsetId::get(&iset("abc")).expect("interned by mining");
+        assert_eq!(prev.get(&abc_id), Some(&4));
+        assert!(!view_has(&curr, &iset("abc")));
 
         // No intra breach at K=1 in the current window alone.
         assert!(find_intra_window_breaches(&curr, 1).is_empty());
@@ -354,7 +371,8 @@ mod tests {
         let db = fig2_window(12);
         let view = release(&db, 4);
         let aug = complete_negative_border(&view, 4);
-        for (itemset, support) in &aug {
+        for (id, support) in &aug {
+            let itemset = id.resolve();
             assert_eq!(
                 db.support(itemset),
                 *support,
@@ -366,7 +384,7 @@ mod tests {
 
     #[test]
     fn empty_views_yield_nothing() {
-        let empty: HashMap<ItemSet, Support> = HashMap::new();
+        let empty: HashMap<ItemsetId, Support> = HashMap::new();
         assert!(find_intra_window_breaches(&empty, 5).is_empty());
         assert!(find_inter_window_breaches(&empty, &empty, 5, 1, 5).is_empty());
         assert!(complete_negative_border(&empty, 5).is_empty());

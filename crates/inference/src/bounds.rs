@@ -68,7 +68,11 @@ pub fn support_bounds<V: SupportView>(view: &V, j: &ItemSet) -> Option<SupportBo
                 continue 'bases; // sub-lattice incomplete: this base unusable
             };
             // (−1)^{|J\X|+1} where |J\X| = diff_len − dist.
-            let sign = if (diff_len - dist) % 2 == 1 { 1.0 } else { -1.0 };
+            let sign = if (diff_len - dist) % 2 == 1 {
+                1.0
+            } else {
+                -1.0
+            };
             sum += sign * support;
         }
         let bound = sum.round() as i64;

@@ -45,10 +45,7 @@ const MAX_SPAN: usize = 12;
 /// * `|J\I|` even ⇒ new lower bound for `T(J)`;
 ///
 /// plus plain monotonicity `T(J) ≤ T(I)` for `I ⊂ J` both constrained.
-pub fn propagate(
-    constraints: &HashMap<ItemSet, SupportBounds>,
-    max_rounds: usize,
-) -> Propagation {
+pub fn propagate(constraints: &HashMap<ItemSet, SupportBounds>, max_rounds: usize) -> Propagation {
     let mut state: HashMap<ItemSet, SupportBounds> = constraints.clone();
     // Universe check: reject pathological inputs early.
     for (itemset, b) in &state {

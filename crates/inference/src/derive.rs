@@ -1,12 +1,13 @@
 //! Deriving pattern support by inclusion–exclusion (§IV-A).
 
 use crate::lattice::Lattice;
-use bfly_common::{ItemSet, Pattern, Result};
+use bfly_common::{ItemSet, ItemsetId, Pattern, Result};
 use std::collections::HashMap;
 
 /// A view of published supports the adversary works from. Implemented for
-/// plain maps (exact or sanitized) and by `bfly-mining`'s result type via
-/// the map accessor.
+/// plain maps keyed by value or by interned [`ItemsetId`] (exact or
+/// sanitized); `bfly-mining`'s result type plugs in via its id-keyed map
+/// accessor.
 pub trait SupportView {
     /// The published support of `itemset`, if it was published.
     fn get(&self, itemset: &ItemSet) -> Option<f64>;
@@ -27,6 +28,26 @@ impl SupportView for HashMap<ItemSet, i64> {
 impl SupportView for HashMap<ItemSet, f64> {
     fn get(&self, itemset: &ItemSet) -> Option<f64> {
         HashMap::get(self, itemset).copied()
+    }
+}
+
+// Id-keyed views: an itemset that was never interned was never published,
+// so the lookup correctly reads as missing.
+impl SupportView for HashMap<ItemsetId, u64> {
+    fn get(&self, itemset: &ItemSet) -> Option<f64> {
+        ItemsetId::get(itemset).and_then(|id| HashMap::get(self, &id).map(|&v| v as f64))
+    }
+}
+
+impl SupportView for HashMap<ItemsetId, i64> {
+    fn get(&self, itemset: &ItemSet) -> Option<f64> {
+        ItemsetId::get(itemset).and_then(|id| HashMap::get(self, &id).map(|&v| v as f64))
+    }
+}
+
+impl SupportView for HashMap<ItemsetId, f64> {
+    fn get(&self, itemset: &ItemSet) -> Option<f64> {
+        ItemsetId::get(itemset).and_then(|id| HashMap::get(self, &id).copied())
     }
 }
 
@@ -87,16 +108,18 @@ pub fn derive_pattern_support_f64<V: SupportView>(
 
 /// Exact-arithmetic variant for unperturbed integer supports: derives the
 /// pattern support as an `i64` (always ≥ 0 when the view is consistent with
-/// a real database).
+/// a real database). Takes the interned view a mining result exposes via
+/// `as_map()`; lattice members route through the interner, so no itemset is
+/// cloned or re-hashed per lookup beyond the handle resolution.
 pub fn derive_pattern_support(
-    view: &HashMap<ItemSet, u64>,
+    view: &HashMap<ItemsetId, u64>,
     base: &ItemSet,
     full: &ItemSet,
 ) -> Result<Option<i64>> {
     let lattice = Lattice::new(base, full)?;
     let mut total = 0i64;
-    for (member, dist) in lattice.members() {
-        match view.get(&member) {
+    for (member, dist) in lattice.members_interned() {
+        match member.and_then(|id| view.get(&id)) {
             Some(&support) => {
                 let signed = support as i64;
                 if dist % 2 == 0 {
@@ -126,12 +149,12 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn view_of(db: &Database, sets: &[&str]) -> HashMap<ItemSet, u64> {
+    fn view_of(db: &Database, sets: &[&str]) -> HashMap<ItemsetId, u64> {
         sets.iter()
             .map(|s| {
                 let i: ItemSet = s.parse().unwrap();
                 let sup = db.support(&i);
-                (i, sup)
+                (ItemsetId::intern(&i), sup)
             })
             .collect()
     }
@@ -160,7 +183,7 @@ mod tests {
         for mask in 1u32..(1 << n) {
             let x = alphabet.subset_by_mask(mask);
             let sup = db.support(&x);
-            view.insert(x, sup);
+            view.insert(ItemsetId::intern(&x), sup);
         }
         for full_mask in 1u32..(1 << n) {
             let full = alphabet.subset_by_mask(full_mask);
@@ -203,7 +226,7 @@ mod tests {
 
     #[test]
     fn invalid_lattice_is_error() {
-        let view: HashMap<ItemSet, u64> = HashMap::new();
+        let view: HashMap<ItemsetId, u64> = HashMap::new();
         assert!(derive_pattern_support(&view, &iset("d"), &iset("abc")).is_err());
     }
 }

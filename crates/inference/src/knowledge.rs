@@ -94,7 +94,10 @@ pub fn theoretical_prig(
 /// it must assume published side channels.
 pub fn required_sigma2(delta: f64, k: Support, lattice_members: usize, known: usize) -> f64 {
     assert!(lattice_members >= 2, "an inference involves ≥ 2 itemsets");
-    assert!(known < lattice_members, "all members known ⇒ no protection possible");
+    assert!(
+        known < lattice_members,
+        "all members known ⇒ no protection possible"
+    );
     // δ ≤ (members − known)·σ² / K²
     delta * (k * k) as f64 / (lattice_members - known) as f64
 }
@@ -120,13 +123,11 @@ mod tests {
     fn knowledge_erodes_pattern_variance() {
         // X_c^{abc}: four members at σ²=14 → 56 without side information.
         let none = KnowledgeModel::none();
-        let full = pattern_variance_with_knowledge(&iset("c"), &iset("abc"), 14.0, &none)
-            .unwrap();
+        let full = pattern_variance_with_knowledge(&iset("c"), &iset("abc"), 14.0, &none).unwrap();
         assert_eq!(full, 56.0);
         // Knowing T(c) exactly removes one member's contribution.
         let m = KnowledgeModel::none().with_point(iset("c"), 0.0);
-        let reduced =
-            pattern_variance_with_knowledge(&iset("c"), &iset("abc"), 14.0, &m).unwrap();
+        let reduced = pattern_variance_with_knowledge(&iset("c"), &iset("abc"), 14.0, &m).unwrap();
         assert_eq!(reduced, 42.0);
     }
 
@@ -150,8 +151,7 @@ mod tests {
         assert_eq!(boosted, 25.0);
         // And indeed the boosted variance restores prig ≥ δ:
         let m = KnowledgeModel::none().with_point(iset("a"), 0.0);
-        let prig =
-            theoretical_prig(&iset("a"), &iset("ab"), 5, boosted, &m).unwrap();
+        let prig = theoretical_prig(&iset("a"), &iset("ab"), 5, boosted, &m).unwrap();
         assert!(prig >= 1.0 - 1e-12);
     }
 

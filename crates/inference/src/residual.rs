@@ -141,8 +141,8 @@ mod tests {
     use bfly_common::fixtures::fig2_window;
     use bfly_mining::Apriori;
 
-    fn spans_of(view: &HashMap<ItemSet, u64>) -> Vec<ItemSet> {
-        view.keys().cloned().collect()
+    fn spans_of(released: &bfly_mining::FrequentItemsets) -> Vec<ItemSet> {
+        released.iter().map(|e| e.itemset().clone()).collect()
     }
 
     #[test]
@@ -151,7 +151,7 @@ mod tests {
         // the breach enumerator: precision = recall = 1.
         let db = fig2_window(12);
         let released = Apriori::new(3).mine(&db);
-        let spans = spans_of(released.as_map());
+        let spans = spans_of(&released);
         let claims = claim_breaches(released.as_map(), &spans, 1, 12);
         let score = score_claims(&claims, &db, &spans, 1, 12);
         assert!(score.true_positives > 0);
@@ -170,11 +170,11 @@ mod tests {
         // claim band, so the adversary must lose it.
         let db = fig2_window(12);
         let released = Apriori::new(3).mine(&db);
-        let spans = spans_of(released.as_map());
+        let spans = spans_of(&released);
         let mut noisy: HashMap<ItemSet, i64> = HashMap::new();
         for e in released.iter() {
-            let shift = if e.itemset.len() % 2 == 1 { 3 } else { -3 };
-            noisy.insert(e.itemset.clone(), e.support as i64 + shift);
+            let shift = if e.itemset().len() % 2 == 1 { 3 } else { -3 };
+            noisy.insert(e.itemset().clone(), e.support as i64 + shift);
         }
         let claims = claim_breaches(&noisy, &spans, 1, 12);
         let c: ItemSet = "c".parse().unwrap();
@@ -205,7 +205,7 @@ mod tests {
     fn oversized_spans_are_skipped() {
         let db = fig2_window(12);
         let released = Apriori::new(3).mine(&db);
-        let spans = spans_of(released.as_map());
+        let spans = spans_of(&released);
         let claims = claim_breaches(released.as_map(), &spans, 1, 2);
         // Only 2-item spans are analysed; abc-span claims are gone.
         assert!(claims.iter().all(|c| c.span.len() <= 2));

@@ -103,10 +103,7 @@ impl Apriori {
 fn count_candidates(db: &Database, candidates: &[ItemSet]) -> HashMap<ItemSet, Support> {
     let mut by_first: HashMap<Item, Vec<&ItemSet>> = HashMap::new();
     for cand in candidates {
-        by_first
-            .entry(cand.items()[0])
-            .or_default()
-            .push(cand);
+        by_first.entry(cand.items()[0]).or_default().push(cand);
     }
     let mut counts: HashMap<ItemSet, Support> = HashMap::with_capacity(candidates.len());
     for record in db.records() {

@@ -1,0 +1,528 @@
+//! Pluggable miner backends for the stream pipeline.
+//!
+//! The paper's deployment (Fig. 1) is stream → miner → publisher, with the
+//! miner as a replaceable component. [`MinerBackend`] is that seam: every
+//! miner in this crate — incremental (Moment), batch (Apriori, Eclat,
+//! FP-Growth, Charm, rescan-closed), and approximate stream miners
+//! (FP-stream, damped) — drives the same window → mine → sanitize →
+//! publish loop through it. [`BackendKind`] is the runtime registry:
+//! `BackendKind::Moment.build(c)` hands back a boxed backend for pipeline
+//! construction from CLI flags or config.
+//!
+//! Semantics: [`MinerBackend::frequent`] returns **all** frequent itemsets;
+//! [`MinerBackend::closed_frequent`] (what Butterfly publishes, §III-A)
+//! defaults to deriving the closed subset and is overridden by miners that
+//! maintain closed sets natively. Exact backends produce identical results
+//! on the same window — the backend-matrix test in `tests/` holds them to
+//! that; approximate ones ([`MinerBackend::is_exact`] `== false`) trade
+//! exactness for bounded state and are exempt.
+
+use crate::closed::{closed_subset, expand_closed};
+use crate::result::FrequentItemsets;
+use crate::window_miner::{RescanMiner, WindowMiner};
+use crate::{
+    Apriori, Charm, DampedConfig, DampedMiner, Eclat, FpGrowth, FpStream, FpStreamConfig,
+    MomentMiner,
+};
+use bfly_common::{Database, Support, Transaction, WindowDelta};
+
+/// A miner that the stream pipeline can drive: consume window deltas,
+/// answer frequent-itemset queries.
+pub trait MinerBackend {
+    /// Apply one window movement (arrival + optional eviction).
+    fn apply(&mut self, delta: &WindowDelta);
+
+    /// All frequent itemsets of the current window, with supports.
+    fn frequent(&self) -> FrequentItemsets;
+
+    /// The closed frequent itemsets — what Butterfly publishes. Derived
+    /// from [`MinerBackend::frequent`] by default; miners that maintain
+    /// closed sets natively override this.
+    fn closed_frequent(&self) -> FrequentItemsets {
+        closed_subset(&self.frequent())
+    }
+
+    /// The minimum support `C` the miner enforces.
+    fn min_support(&self) -> Support;
+
+    /// Stable backend name (matches [`BackendKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Whether results are exact window counts. Approximate stream miners
+    /// (FP-stream, damped) return `false` and are excluded from exactness
+    /// checks.
+    fn is_exact(&self) -> bool {
+        true
+    }
+}
+
+impl MinerBackend for Box<dyn MinerBackend> {
+    fn apply(&mut self, delta: &WindowDelta) {
+        (**self).apply(delta)
+    }
+
+    fn frequent(&self) -> FrequentItemsets {
+        (**self).frequent()
+    }
+
+    fn closed_frequent(&self) -> FrequentItemsets {
+        (**self).closed_frequent()
+    }
+
+    fn min_support(&self) -> Support {
+        (**self).min_support()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn is_exact(&self) -> bool {
+        (**self).is_exact()
+    }
+}
+
+/// A stateless full-database miner usable per-query by [`BatchBackend`].
+pub trait BatchMiner {
+    /// Mine all frequent itemsets of `db`.
+    fn mine_all(&self, db: &Database) -> FrequentItemsets;
+
+    /// The minimum support `C`.
+    fn min_support(&self) -> Support;
+
+    /// Stable miner name.
+    fn name(&self) -> &'static str;
+}
+
+impl BatchMiner for Apriori {
+    fn mine_all(&self, db: &Database) -> FrequentItemsets {
+        self.mine(db)
+    }
+
+    fn min_support(&self) -> Support {
+        Apriori::min_support(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "apriori"
+    }
+}
+
+impl BatchMiner for Eclat {
+    fn mine_all(&self, db: &Database) -> FrequentItemsets {
+        self.mine(db)
+    }
+
+    fn min_support(&self) -> Support {
+        Eclat::min_support(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "eclat"
+    }
+}
+
+impl BatchMiner for FpGrowth {
+    fn mine_all(&self, db: &Database) -> FrequentItemsets {
+        self.mine(db)
+    }
+
+    fn min_support(&self) -> Support {
+        FpGrowth::min_support(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "fpgrowth"
+    }
+}
+
+impl BatchMiner for Charm {
+    fn mine_all(&self, db: &Database) -> FrequentItemsets {
+        expand_closed(&self.mine_closed(db))
+    }
+
+    fn min_support(&self) -> Support {
+        Charm::min_support(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "charm"
+    }
+}
+
+/// Adapter running a [`BatchMiner`] as a window backend: it mirrors the
+/// window contents and re-mines on every query. Exact, `O(window)` work per
+/// query — the cost baseline the incremental miners are measured against.
+#[derive(Clone, Debug)]
+pub struct BatchBackend<M> {
+    miner: M,
+    window: Vec<Transaction>,
+}
+
+impl<M: BatchMiner> BatchBackend<M> {
+    /// Wrap a batch miner.
+    pub fn new(miner: M) -> Self {
+        BatchBackend {
+            miner,
+            window: Vec::new(),
+        }
+    }
+
+    /// Current number of transactions mirrored.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+impl<M: BatchMiner> MinerBackend for BatchBackend<M> {
+    fn apply(&mut self, delta: &WindowDelta) {
+        if let Some(evicted) = &delta.evicted {
+            let pos = self
+                .window
+                .iter()
+                .position(|t| t.tid() == evicted.tid())
+                .expect("evicting a transaction that is not in the window");
+            self.window.remove(pos);
+        }
+        self.window.push(delta.added.clone());
+    }
+
+    fn frequent(&self) -> FrequentItemsets {
+        self.miner
+            .mine_all(&Database::from_records(self.window.clone()))
+    }
+
+    fn min_support(&self) -> Support {
+        self.miner.min_support()
+    }
+
+    fn name(&self) -> &'static str {
+        self.miner.name()
+    }
+}
+
+impl MinerBackend for MomentMiner {
+    fn apply(&mut self, delta: &WindowDelta) {
+        WindowMiner::apply(self, delta)
+    }
+
+    fn frequent(&self) -> FrequentItemsets {
+        self.all_frequent()
+    }
+
+    fn closed_frequent(&self) -> FrequentItemsets {
+        WindowMiner::closed_frequent(self)
+    }
+
+    fn min_support(&self) -> Support {
+        WindowMiner::min_support(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "moment"
+    }
+}
+
+impl MinerBackend for RescanMiner {
+    fn apply(&mut self, delta: &WindowDelta) {
+        WindowMiner::apply(self, delta)
+    }
+
+    fn frequent(&self) -> FrequentItemsets {
+        expand_closed(&WindowMiner::closed_frequent(self))
+    }
+
+    fn closed_frequent(&self) -> FrequentItemsets {
+        WindowMiner::closed_frequent(self)
+    }
+
+    fn min_support(&self) -> Support {
+        WindowMiner::min_support(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "closed"
+    }
+}
+
+/// FP-stream as a backend: approximate supports over tilted-time windows.
+/// Evictions are ignored — the tilted-time structure ages batches out
+/// logarithmically instead of by a sharp window edge.
+#[derive(Clone, Debug)]
+pub struct FpStreamBackend {
+    stream: FpStream,
+    min_support: Support,
+}
+
+impl FpStreamBackend {
+    /// Wrap an FP-stream miner; `min_support` is applied as a post-filter
+    /// on the approximate counts.
+    pub fn new(stream: FpStream, min_support: Support) -> Self {
+        assert!(min_support > 0, "min_support must be positive");
+        FpStreamBackend {
+            stream,
+            min_support,
+        }
+    }
+}
+
+impl MinerBackend for FpStreamBackend {
+    fn apply(&mut self, delta: &WindowDelta) {
+        self.stream.push(delta.added.clone());
+    }
+
+    fn frequent(&self) -> FrequentItemsets {
+        // Flush a clone so a query never mutates batch alignment.
+        let mut snapshot = self.stream.clone();
+        snapshot.flush();
+        let horizon = snapshot.batches();
+        snapshot
+            .frequent_over(horizon)
+            .filter_min_support(self.min_support)
+    }
+
+    fn min_support(&self) -> Support {
+        self.min_support
+    }
+
+    fn name(&self) -> &'static str {
+        "fpstream"
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+}
+
+/// The damped-window miner as a backend: exponentially decayed counts, no
+/// sharp evictions (the decay *is* the forgetting).
+#[derive(Clone, Debug)]
+pub struct DampedBackend {
+    miner: DampedMiner,
+    min_support: Support,
+}
+
+impl DampedBackend {
+    /// Wrap a damped miner; itemsets whose decayed count rounds to at least
+    /// `min_support` are reported frequent.
+    pub fn new(miner: DampedMiner, min_support: Support) -> Self {
+        assert!(min_support > 0, "min_support must be positive");
+        DampedBackend { miner, min_support }
+    }
+}
+
+impl MinerBackend for DampedBackend {
+    fn apply(&mut self, delta: &WindowDelta) {
+        self.miner.insert(delta.added.items());
+    }
+
+    fn frequent(&self) -> FrequentItemsets {
+        FrequentItemsets::new(
+            self.miner
+                .frequent(self.min_support as f64)
+                .into_iter()
+                .map(|(itemset, count)| (itemset, count.round() as Support)),
+        )
+    }
+
+    fn min_support(&self) -> Support {
+        self.min_support
+    }
+
+    fn name(&self) -> &'static str {
+        "damped"
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+}
+
+/// Registry of every backend the workspace ships, for runtime selection
+/// (CLI `--backend`, bench matrices, config files).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Level-wise batch miner (test oracle).
+    Apriori,
+    /// Vertical tidset batch miner.
+    Eclat,
+    /// FP-tree batch miner.
+    FpGrowth,
+    /// Vertical closed-itemset batch miner, expanded to all frequent.
+    Charm,
+    /// Rescan-on-query closed miner (FP-Growth + closed subset).
+    Closed,
+    /// Incremental CET sliding-window closed miner (the paper's host).
+    Moment,
+    /// FP-stream with tilted-time windows (approximate).
+    FpStream,
+    /// Exponential-decay damped-window miner (approximate).
+    Damped,
+}
+
+impl BackendKind {
+    /// Every backend, in registry order.
+    pub const ALL: [BackendKind; 8] = [
+        BackendKind::Apriori,
+        BackendKind::Eclat,
+        BackendKind::FpGrowth,
+        BackendKind::Charm,
+        BackendKind::Closed,
+        BackendKind::Moment,
+        BackendKind::FpStream,
+        BackendKind::Damped,
+    ];
+
+    /// The backends whose results are exact window counts (and therefore
+    /// must agree pairwise on every window).
+    pub const EXACT: [BackendKind; 6] = [
+        BackendKind::Apriori,
+        BackendKind::Eclat,
+        BackendKind::FpGrowth,
+        BackendKind::Charm,
+        BackendKind::Closed,
+        BackendKind::Moment,
+    ];
+
+    /// Stable name (what `--backend` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Apriori => "apriori",
+            BackendKind::Eclat => "eclat",
+            BackendKind::FpGrowth => "fpgrowth",
+            BackendKind::Charm => "charm",
+            BackendKind::Closed => "closed",
+            BackendKind::Moment => "moment",
+            BackendKind::FpStream => "fpstream",
+            BackendKind::Damped => "damped",
+        }
+    }
+
+    /// Reverse of [`BackendKind::name`].
+    pub fn from_name(name: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether the backend reports exact window counts.
+    pub fn is_exact(self) -> bool {
+        BackendKind::EXACT.contains(&self)
+    }
+
+    /// Construct the backend with minimum support `C`. Approximate
+    /// backends derive reasonable stream parameters from `C`; use their
+    /// concrete constructors for full control.
+    pub fn build(self, min_support: Support) -> Box<dyn MinerBackend> {
+        assert!(min_support > 0, "min_support must be positive");
+        match self {
+            BackendKind::Apriori => Box::new(BatchBackend::new(Apriori::new(min_support))),
+            BackendKind::Eclat => Box::new(BatchBackend::new(Eclat::new(min_support))),
+            BackendKind::FpGrowth => Box::new(BatchBackend::new(FpGrowth::new(min_support))),
+            BackendKind::Charm => Box::new(BatchBackend::new(Charm::new(min_support))),
+            BackendKind::Closed => Box::new(RescanMiner::new(min_support)),
+            BackendKind::Moment => Box::new(MomentMiner::new(min_support)),
+            BackendKind::FpStream => {
+                let config = FpStreamConfig {
+                    batch_size: 32,
+                    sigma: 0.05,
+                    epsilon: 0.01,
+                };
+                Box::new(FpStreamBackend::new(FpStream::new(config), min_support))
+            }
+            BackendKind::Damped => {
+                let config = DampedConfig {
+                    insert_threshold: (min_support as f64 / 2.0).max(1.0),
+                    prune_threshold: (min_support as f64 / 4.0).max(0.5),
+                    ..DampedConfig::default()
+                };
+                Box::new(DampedBackend::new(DampedMiner::new(config), min_support))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = bfly_common::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::from_name(s)
+            .ok_or_else(|| bfly_common::Error::Parse(format!("unknown backend {s:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_common::fixtures::fig2_stream;
+    use bfly_common::SlidingWindow;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!(BackendKind::from_name("nope").is_none());
+        assert!("nope".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn exact_backends_agree_on_the_paper_window() {
+        let mut backends: Vec<Box<dyn MinerBackend>> =
+            BackendKind::EXACT.into_iter().map(|k| k.build(4)).collect();
+        let mut window = SlidingWindow::new(8);
+        for t in fig2_stream() {
+            let delta = window.slide(t);
+            for b in &mut backends {
+                b.apply(&delta);
+            }
+        }
+        let reference_all = backends[0].frequent();
+        let reference_closed = backends[0].closed_frequent();
+        assert!(!reference_all.is_empty());
+        for b in &backends[1..] {
+            assert!(b.is_exact());
+            assert_eq!(b.frequent(), reference_all, "{} disagrees", b.name());
+            assert_eq!(
+                b.closed_frequent(),
+                reference_closed,
+                "{} closed sets disagree",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_backends_run_and_flag_themselves() {
+        for kind in [BackendKind::FpStream, BackendKind::Damped] {
+            let mut backend = kind.build(2);
+            assert!(!backend.is_exact());
+            let mut window = SlidingWindow::new(8);
+            for t in fig2_stream() {
+                let delta = window.slide(t);
+                backend.apply(&delta);
+            }
+            // Approximate miners may differ from the exact window counts,
+            // but they must produce a well-formed result honouring C.
+            let f = backend.frequent();
+            assert!(f.iter().all(|e| e.support >= 2));
+            assert_eq!(backend.min_support(), 2);
+        }
+    }
+
+    #[test]
+    fn batch_backend_mirrors_evictions() {
+        let mut backend = BatchBackend::new(Apriori::new(1));
+        let mut window = SlidingWindow::new(4);
+        for t in fig2_stream() {
+            let delta = window.slide(t);
+            backend.apply(&delta);
+        }
+        assert_eq!(backend.window_len(), 4);
+    }
+}

@@ -94,9 +94,8 @@ impl Charm {
                 }
             }
             if !children.is_empty() {
-                children.sort_unstable_by(|a, b| {
-                    a.1.len().cmp(&b.1.len()).then_with(|| a.0.cmp(&b.0))
-                });
+                children
+                    .sort_unstable_by(|a, b| a.1.len().cmp(&b.1.len()).then_with(|| a.0.cmp(&b.0)));
                 self.charm_extend(&children, closed);
             }
             self.insert_if_closed(x, x_tids.len() as Support, closed);

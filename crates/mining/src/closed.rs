@@ -11,15 +11,15 @@ use std::collections::HashMap;
 
 /// Filter a complete frequent-itemset result down to its closed members.
 pub fn closed_subset(frequent: &FrequentItemsets) -> FrequentItemsets {
-    FrequentItemsets::new(
+    FrequentItemsets::from_ids(
         frequent
             .iter()
             .filter(|e| {
                 !frequent.iter().any(|other| {
-                    other.support == e.support && e.itemset.is_proper_subset_of(&other.itemset)
+                    other.support == e.support && e.itemset().is_proper_subset_of(other.itemset())
                 })
             })
-            .map(|e| (e.itemset.clone(), e.support)),
+            .map(|e| (e.id, e.support)),
     )
 }
 
@@ -34,10 +34,13 @@ pub fn expand_closed(closed: &FrequentItemsets) -> FrequentItemsets {
     // Descending support (the canonical order) means first write wins:
     // the first closed superset seen for a subset is the max-support one.
     for entry in closed.iter() {
-        let n = entry.itemset.len();
-        assert!(n <= 24, "closed itemset with {n} items: expansion too large");
+        let n = entry.itemset().len();
+        assert!(
+            n <= 24,
+            "closed itemset with {n} items: expansion too large"
+        );
         for mask in 1u64..(1 << n) {
-            let sub = entry.itemset.subset_by_mask(mask as u32);
+            let sub = entry.itemset().subset_by_mask(mask as u32);
             supports.entry(sub).or_insert(entry.support);
         }
     }
@@ -49,9 +52,9 @@ pub fn is_closed(frequent: &FrequentItemsets, itemset: &ItemSet) -> bool {
     let Some(support) = frequent.support(itemset) else {
         return false;
     };
-    !frequent.iter().any(|other| {
-        other.support == support && itemset.is_proper_subset_of(&other.itemset)
-    })
+    !frequent
+        .iter()
+        .any(|other| other.support == support && itemset.is_proper_subset_of(other.itemset()))
 }
 
 #[cfg(test)]
@@ -79,7 +82,7 @@ mod tests {
         // c (8) is closed: no superset reaches 8.
         assert!(closed.contains(&iset("c")));
         for e in closed.iter() {
-            assert!(is_closed(&all, &e.itemset));
+            assert!(is_closed(&all, e.itemset()));
         }
     }
 

@@ -183,8 +183,7 @@ impl DampedMiner {
         let decay = self.config.decay;
         let threshold = self.config.prune_threshold;
         self.table.retain(|itemset, e| {
-            itemset.len() == 1
-                || e.count * decay.powi((clock - e.last_update) as i32) >= threshold
+            itemset.len() == 1 || e.count * decay.powi((clock - e.last_update) as i32) >= threshold
         });
     }
 

@@ -108,7 +108,10 @@ impl FpGrowth {
             .filter(|&(_, c)| c >= self.min_support)
             .collect();
         let n = viable.len();
-        assert!(n <= 24, "single path of {n} frequent items: unexpected blowup");
+        assert!(
+            n <= 24,
+            "single path of {n} frequent items: unexpected blowup"
+        );
         for mask in 1u32..(1 << n) {
             let mut support = Support::MAX;
             let mut items = suffix.clone();

@@ -63,7 +63,13 @@ impl TiltedTimeWindow {
     /// per-span invariant by merging the two *oldest* slots of any span that
     /// reaches three, cascading like a binary-counter carry.
     pub fn push(&mut self, batch_support: Support) {
-        self.slots.insert(0, Slot { support: batch_support, span: 1 });
+        self.slots.insert(
+            0,
+            Slot {
+                support: batch_support,
+                span: 1,
+            },
+        );
         let mut span = 1u32;
         loop {
             let run: Vec<usize> = self
@@ -218,7 +224,7 @@ impl FpStream {
         }
         for entry in mined.iter() {
             self.patterns
-                .entry(entry.itemset.clone())
+                .entry(entry.itemset().clone())
                 .or_insert_with(|| {
                     let mut w = TiltedTimeWindow::new();
                     w.push(entry.support);
@@ -345,29 +351,29 @@ mod tests {
         let answer = fps.frequent_over(10);
         for e in truth.iter() {
             assert!(
-                answer.contains(&e.itemset),
+                answer.contains(e.itemset()),
                 "missed truly frequent {} (support {})",
-                e.itemset,
+                e.itemset(),
                 e.support
             );
             // Estimate under-counts by at most eps*N.
-            let (est, _) = fps.approx_support(&e.itemset, 10);
-            assert!(est <= e.support, "over-count for {}", e.itemset);
+            let (est, _) = fps.approx_support(e.itemset(), 10);
+            assert!(est <= e.support, "over-count for {}", e.itemset());
             assert!(
                 e.support - est <= (0.02 * n).ceil() as u64,
                 "estimate for {} off by more than eps*N: {} vs {}",
-                e.itemset,
+                e.itemset(),
                 est,
                 e.support
             );
         }
         // Nothing wildly infrequent gets reported.
         for e in answer.iter() {
-            let true_support = db.support(&e.itemset);
+            let true_support = db.support(e.itemset());
             assert!(
                 true_support as f64 >= (0.10 - 2.0 * 0.02) * n,
                 "{} reported but true frequency only {}",
-                e.itemset,
+                e.itemset(),
                 true_support as f64 / n
             );
         }

@@ -153,10 +153,7 @@ impl Default for FpTree {
 /// Order a transaction's items by descending frequency (ties by id), keeping
 /// only items present in `freq` — the canonical FP-tree insertion order.
 pub fn order_items(itemset: &ItemSet, freq: &HashMap<Item, Support>) -> Vec<Item> {
-    let mut items: Vec<Item> = itemset
-        .iter()
-        .filter(|it| freq.contains_key(it))
-        .collect();
+    let mut items: Vec<Item> = itemset.iter().filter(|it| freq.contains_key(it)).collect();
     items.sort_unstable_by(|a, b| freq[b].cmp(&freq[a]).then_with(|| a.cmp(b)));
     items
 }
@@ -205,10 +202,7 @@ mod tests {
         t.insert(&items(&[1, 2]), 3);
         t.insert(&items(&[1, 2, 3]), 1);
         let path = t.single_path().expect("should be a single path");
-        assert_eq!(
-            path,
-            vec![(Item(1), 4), (Item(2), 4), (Item(3), 1)]
-        );
+        assert_eq!(path, vec![(Item(1), 4), (Item(2), 4), (Item(3), 1)]);
         t.insert(&items(&[5]), 1);
         assert!(t.single_path().is_none());
     }
@@ -222,8 +216,9 @@ mod tests {
 
     #[test]
     fn order_items_by_frequency() {
-        let freq: HashMap<Item, Support> =
-            [(Item(5), 10), (Item(2), 3), (Item(7), 10)].into_iter().collect();
+        let freq: HashMap<Item, Support> = [(Item(5), 10), (Item(2), 3), (Item(7), 10)]
+            .into_iter()
+            .collect();
         let ordered = order_items(&ItemSet::from_ids([2, 5, 7, 9]), &freq);
         // 9 dropped (not frequent); 5 and 7 tie at 10 → id order; then 2.
         assert_eq!(ordered, items(&[5, 7, 2]));

@@ -23,6 +23,7 @@
 //! All miners agree on [`FrequentItemsets`] as their output vocabulary.
 
 pub mod apriori;
+pub mod backend;
 pub mod charm;
 pub mod closed;
 pub mod damped;
@@ -36,6 +37,9 @@ pub mod rules;
 pub mod window_miner;
 
 pub use apriori::Apriori;
+pub use backend::{
+    BackendKind, BatchBackend, BatchMiner, DampedBackend, FpStreamBackend, MinerBackend,
+};
 pub use charm::Charm;
 pub use damped::{DampedConfig, DampedMiner};
 pub use eclat::Eclat;
@@ -44,4 +48,4 @@ pub use fpstream::{FpStream, FpStreamConfig};
 pub use moment::MomentMiner;
 pub use result::{FrequentItemset, FrequentItemsets};
 pub use rules::{generate_rules, AssociationRule};
-pub use window_miner::WindowMiner;
+pub use window_miner::{RescanMiner, WindowMiner};

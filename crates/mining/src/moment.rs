@@ -467,7 +467,10 @@ mod tests {
         assert_eq!(at11.support(&iset("c")), Some(8));
         m.apply(&w.slide(stream[11].clone()));
         let at12 = m.closed_frequent();
-        assert!(!at12.contains(&iset("abc")), "abc dropped below C in Ds(12,8)");
+        assert!(
+            !at12.contains(&iset("abc")),
+            "abc dropped below C in Ds(12,8)"
+        );
         assert_eq!(at12.support(&iset("ac")), Some(5));
         assert_eq!(at12.support(&iset("bc")), Some(5));
     }
@@ -533,8 +536,7 @@ mod tests {
             m.insert(t);
         }
         let db = bfly_common::Database::from_records(stream[4..8].to_vec());
-        let expected =
-            crate::closed::closed_subset(&crate::apriori::Apriori::new(2).mine(&db));
+        let expected = crate::closed::closed_subset(&crate::apriori::Apriori::new(2).mine(&db));
         assert_eq!(m.closed_frequent(), expected);
     }
 

@@ -7,7 +7,7 @@
 //! the rules and measures exactly that.
 
 use crate::result::FrequentItemsets;
-use bfly_common::{ItemSet, Support};
+use bfly_common::{ItemSet, ItemsetId, Support};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -49,20 +49,20 @@ pub fn generate_rules(frequent: &FrequentItemsets, min_confidence: f64) -> Vec<A
     );
     let mut rules = Vec::new();
     for entry in frequent.iter() {
-        let n = entry.itemset.len();
+        let n = entry.itemset().len();
         if n < 2 {
             continue;
         }
         assert!(n <= 20, "rule generation over an itemset of {n} items");
         for mask in 1u32..((1 << n) - 1) {
-            let antecedent = entry.itemset.subset_by_mask(mask);
+            let antecedent = entry.itemset().subset_by_mask(mask);
             let t_a = frequent
                 .support(&antecedent)
                 .expect("subsets of frequent itemsets are frequent");
             let confidence = entry.support as f64 / t_a as f64;
             if confidence >= min_confidence {
                 rules.push(AssociationRule {
-                    consequent: entry.itemset.difference(&antecedent),
+                    consequent: entry.itemset().difference(&antecedent),
                     antecedent,
                     support: entry.support,
                     confidence,
@@ -85,11 +85,11 @@ pub fn generate_rules(frequent: &FrequentItemsets, min_confidence: f64) -> Vec<A
 /// sanitized support is non-positive.
 pub fn confidence_under_view(
     rule: &AssociationRule,
-    view: &HashMap<ItemSet, i64>,
+    view: &HashMap<ItemsetId, i64>,
 ) -> Option<f64> {
     let union = rule.antecedent.union(&rule.consequent);
-    let t_ab = *view.get(&union)?;
-    let t_a = *view.get(&rule.antecedent)?;
+    let t_ab = *view.get(&ItemsetId::get(&union)?)?;
+    let t_a = *view.get(&ItemsetId::get(&rule.antecedent)?)?;
     (t_a > 0).then(|| t_ab as f64 / t_a as f64)
 }
 
@@ -98,7 +98,7 @@ pub fn confidence_under_view(
 /// downstream-utility measure ratio preservation is designed for.
 pub fn confidence_preservation_rate(
     rules: &[AssociationRule],
-    view: &HashMap<ItemSet, i64>,
+    view: &HashMap<ItemsetId, i64>,
     tolerance: f64,
 ) -> f64 {
     assert!(tolerance > 0.0, "tolerance must be positive");
@@ -171,16 +171,16 @@ mod tests {
             support: 50,
             confidence: 0.5,
         };
-        let mut view: HashMap<ItemSet, i64> = HashMap::new();
-        view.insert(iset("a"), 98);
-        view.insert(iset("ab"), 51);
+        let mut view: HashMap<ItemsetId, i64> = HashMap::new();
+        view.insert(ItemsetId::intern(&iset("a")), 98);
+        view.insert(ItemsetId::intern(&iset("ab")), 51);
         let c = confidence_under_view(&rule, &view).unwrap();
         assert!((c - 51.0 / 98.0).abs() < 1e-12);
         // Missing member → None; non-positive antecedent → None.
-        view.remove(&iset("ab"));
+        view.remove(&ItemsetId::intern(&iset("ab")));
         assert_eq!(confidence_under_view(&rule, &view), None);
-        view.insert(iset("ab"), 51);
-        view.insert(iset("a"), 0);
+        view.insert(ItemsetId::intern(&iset("ab")), 51);
+        view.insert(ItemsetId::intern(&iset("a")), 0);
         assert_eq!(confidence_under_view(&rule, &view), None);
     }
 
@@ -192,11 +192,14 @@ mod tests {
             support: 50,
             confidence: 0.5,
         };
-        let mut view: HashMap<ItemSet, i64> = HashMap::new();
-        view.insert(iset("a"), 100);
-        view.insert(iset("ab"), 50);
-        assert_eq!(confidence_preservation_rate(std::slice::from_ref(&rule), &view, 0.05), 1.0);
-        view.insert(iset("ab"), 80);
+        let mut view: HashMap<ItemsetId, i64> = HashMap::new();
+        view.insert(ItemsetId::intern(&iset("a")), 100);
+        view.insert(ItemsetId::intern(&iset("ab")), 50);
+        assert_eq!(
+            confidence_preservation_rate(std::slice::from_ref(&rule), &view, 0.05),
+            1.0
+        );
+        view.insert(ItemsetId::intern(&iset("ab")), 80);
         assert_eq!(confidence_preservation_rate(&[rule], &view, 0.05), 0.0);
         assert_eq!(confidence_preservation_rate(&[], &view, 0.05), 1.0);
     }

@@ -40,10 +40,10 @@ fn main() {
             answer.len()
         );
         for e in answer.iter().take(5) {
-            let truth = db.support(&e.itemset);
+            let truth = db.support(e.itemset());
             println!(
                 "   {:<20} est {:>5}  true {:>5}  (under-count ≤ ε·N = {})",
-                e.itemset.to_string(),
+                e.itemset().to_string(),
                 e.support,
                 truth,
                 (config.epsilon * records as f64).ceil() as u64

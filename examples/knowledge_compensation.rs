@@ -54,8 +54,7 @@ fn main() {
         hardened.sigma2(),
         hardened.alpha()
     );
-    let prig_fixed =
-        theoretical_prig(&base, &span, truth, hardened.sigma2(), &leaky).unwrap();
+    let prig_fixed = theoretical_prig(&base, &span, truth, hardened.sigma2(), &leaky).unwrap();
     println!(
         "  adversary WITH side info vs hardened deployment: prig(p) = {prig_fixed:.2}  (≥ δ {})",
         if prig_fixed >= delta { "✓" } else { "✗" }

@@ -8,9 +8,9 @@
 //! The stream and supports are exactly those of the paper's Fig. 2/3 and
 //! Examples 2–5.
 
-use butterfly_repro::butterfly::{BiasScheme, Publisher, PrivacySpec};
+use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher};
 use butterfly_repro::common::fixtures::{fig2_stream, fig2_window};
-use butterfly_repro::common::Pattern;
+use butterfly_repro::common::{ItemSet, ItemsetId, Pattern};
 use butterfly_repro::inference::adversary::estimate_pattern;
 use butterfly_repro::inference::{find_inter_window_breaches, find_intra_window_breaches};
 use butterfly_repro::mining::Apriori;
@@ -26,10 +26,17 @@ fn main() {
     let prev = Apriori::new(c).mine(&prev_db);
     let curr = Apriori::new(c).mine(&curr_db);
 
-    println!("Ds(11,8) publishes {} itemsets, Ds(12,8) publishes {}", prev.len(), curr.len());
+    println!(
+        "Ds(11,8) publishes {} itemsets, Ds(12,8) publishes {}",
+        prev.len(),
+        curr.len()
+    );
 
     let intra = find_intra_window_breaches(curr.as_map(), k);
-    println!("intra-window breaches in Ds(12,8) at K={k}: {}", intra.len());
+    println!(
+        "intra-window breaches in Ds(12,8) at K={k}: {}",
+        intra.len()
+    );
 
     let inter = find_inter_window_breaches(prev.as_map(), curr.as_map(), c, 1, k);
     println!("inter-window breaches at K={k}: {}", inter.len());
@@ -43,9 +50,7 @@ fn main() {
             b.base,
             b.span.difference(&b.base)
         );
-        println!(
-            "  (Alice knows Bob has those symptoms → Bob is identifiable, as in Example 1)"
-        );
+        println!("  (Alice knows Bob has those symptoms → Bob is identifiable, as in Example 1)");
     }
 
     // ---- With Butterfly -------------------------------------------------
@@ -69,9 +74,11 @@ fn main() {
     // with the previous window's sanitized value.
     let mut view = curr_release.view();
     let prev_view = prev_release.view();
-    let abc = "abc".parse().unwrap();
-    if let Some(v) = prev_view.get(&abc) {
-        view.insert(abc, *v);
+    let abc: ItemSet = "abc".parse().unwrap();
+    if let Some(id) = ItemsetId::get(&abc) {
+        if let Some(v) = prev_view.get(&id) {
+            view.insert(id, *v);
+        }
     }
     let estimate = estimate_pattern(&view, &"c".parse().unwrap(), &"abc".parse().unwrap())
         .unwrap()
@@ -81,7 +88,10 @@ fn main() {
          (truth: {truth})"
     );
     let rel_err = ((truth as f64 - estimate) / truth as f64).powi(2);
-    println!("squared relative error: {rel_err:.2} (privacy floor δ = {})", spec.delta());
+    println!(
+        "squared relative error: {rel_err:.2} (privacy floor δ = {})",
+        spec.delta()
+    );
     println!(
         "\nthe derived value no longer pins a unique patient: the uncertainty of four \
          perturbed supports accumulates in the inference (§V-C.3)."

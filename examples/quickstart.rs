@@ -6,8 +6,8 @@
 //! a window; Moment maintains the closed frequent itemsets; the Butterfly
 //! publisher sanitizes each window's supports under an (ε, δ) contract.
 
-use butterfly_repro::butterfly::{BiasScheme, Publisher, PrivacySpec, StreamPipeline};
 use butterfly_repro::butterfly::metrics;
+use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
 use butterfly_repro::datagen::DatasetProfile;
 
 fn main() {
@@ -23,7 +23,10 @@ fn main() {
         spec.sigma2()
     );
 
-    let scheme = BiasScheme::Hybrid { lambda: 0.4, gamma: 2 };
+    let scheme = BiasScheme::Hybrid {
+        lambda: 0.4,
+        gamma: 2,
+    };
     let publisher = Publisher::new(spec, scheme, 42);
     let mut pipeline = StreamPipeline::new(2000, publisher);
 
@@ -45,7 +48,7 @@ fn main() {
     for entry in release.release.iter().take(15) {
         println!(
             "{:<28} {:>8} {:>10}",
-            entry.itemset.to_string(),
+            entry.itemset().to_string(),
             entry.true_support,
             entry.sanitized
         );

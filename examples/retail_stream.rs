@@ -8,7 +8,7 @@
 //! averages — a miniature of the paper's Fig. 4/5 sweep.
 
 use butterfly_repro::butterfly::metrics;
-use butterfly_repro::butterfly::{BiasScheme, Publisher, PrivacySpec, StreamPipeline};
+use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
 use butterfly_repro::datagen::DatasetProfile;
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
             for _ in 0..publish_every {
                 pipeline.advance(stream.next_transaction());
             }
-            let release = pipeline.publish_now();
+            let release = pipeline.publish_now().expect("window is full");
             let m = metrics::window_metrics(&release.release, &[], None, 0.95);
             pred_sum += m.avg_pred;
             ropp_sum += m.ropp;

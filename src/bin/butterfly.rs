@@ -13,11 +13,11 @@
 //! deployment would have.
 
 use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
-use butterfly_repro::common::{io as dat, Database};
+use butterfly_repro::common::{io as dat, Database, Json};
 use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::inference::find_intra_window_breaches;
 use butterfly_repro::mining::closed::closed_subset;
-use butterfly_repro::mining::{Apriori, Eclat, FpGrowth};
+use butterfly_repro::mining::{Apriori, BackendKind, Eclat, FpGrowth};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -65,6 +65,7 @@ USAGE:
   butterfly attack  --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
   butterfly protect --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
                     --epsilon <E> --delta <D> [--scheme <basic|order|ratio|hybrid>]
+                    [--backend <moment|apriori|eclat|fpgrowth|charm|closed|fpstream|damped>]
                     [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--out <file.jsonl>]";
 
 type Flags = HashMap<String, String>;
@@ -137,7 +138,11 @@ fn cmd_mine(flags: &Flags) -> Result<(), String> {
         frequent = closed_subset(&frequent);
     }
     print!("{frequent}");
-    eprintln!("{} itemsets at C={c} over {} records", frequent.len(), db.len());
+    eprintln!(
+        "{} itemsets at C={c} over {} records",
+        frequent.len(),
+        db.len()
+    );
     Ok(())
 }
 
@@ -165,7 +170,10 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
     let c: u64 = parse(req(flags, "min-support")?, "min-support")?;
     let k: u64 = parse(req(flags, "vulnerable")?, "vulnerable")?;
     if db.len() < window {
-        return Err(format!("stream has {} records, window is {window}", db.len()));
+        return Err(format!(
+            "stream has {} records, window is {window}",
+            db.len()
+        ));
     }
     let tail = Database::from_records(db.records()[db.len() - window..].to_vec());
     let full = FpGrowth::new(c).mine(&tail);
@@ -205,9 +213,14 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
     if every == 0 {
         return Err("--every must be positive".into());
     }
+    let backend: BackendKind = flags
+        .get("backend")
+        .map_or("moment", String::as_str)
+        .parse()
+        .map_err(|e: butterfly_repro::common::Error| e.to_string())?;
     let spec = PrivacySpec::new(c, k, epsilon, delta);
     let publisher = Publisher::new(spec, scheme, seed);
-    let mut pipeline = StreamPipeline::new(window, publisher);
+    let mut pipeline = StreamPipeline::from_kind(window, backend, publisher);
 
     let mut out: Box<dyn Write> = match flags.get("out") {
         Some(path) => Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?),
@@ -220,28 +233,38 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
         since_last += 1;
         if pipeline.stream_len() as usize >= window && since_last >= every {
             since_last = 0;
-            let release = pipeline.publish_now();
-            let entries: Vec<serde_json::Value> = release
+            let release = pipeline.publish_now().map_err(|e| e.to_string())?;
+            let entries: Vec<Json> = release
                 .release
                 .iter()
                 .map(|e| {
-                    serde_json::json!({
-                        "itemset": e.itemset.items().iter().map(|i| i.id()).collect::<Vec<_>>(),
-                        "support": e.sanitized,
-                    })
+                    Json::obj([
+                        (
+                            "itemset",
+                            Json::Arr(
+                                e.itemset()
+                                    .items()
+                                    .iter()
+                                    .map(|i| Json::from(i.id() as u64))
+                                    .collect(),
+                            ),
+                        ),
+                        ("support", Json::from(e.sanitized)),
+                    ])
                 })
                 .collect();
-            let line = serde_json::json!({
-                "stream_len": release.stream_len,
-                "itemsets": entries,
-            });
+            let line = Json::obj([
+                ("stream_len", Json::from(release.stream_len)),
+                ("itemsets", Json::Arr(entries)),
+            ]);
             writeln!(out, "{line}").map_err(|e| e.to_string())?;
             published += 1;
         }
     }
     eprintln!(
-        "published {published} sanitized windows (C={c}, K={k}, ε={epsilon}, δ={delta}, {})",
-        scheme.name()
+        "published {published} sanitized windows (C={c}, K={k}, ε={epsilon}, δ={delta}, {}, backend {})",
+        scheme.name(),
+        backend.name()
     );
     Ok(())
 }

@@ -1,14 +1,14 @@
 //! Integration: the attacks of §IV succeed against raw output and are
 //! blunted by Butterfly, including the averaging attack of Prior Knowledge 2.
 
-use butterfly_repro::butterfly::{BiasScheme, Publisher, PrivacySpec};
+use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher};
 use butterfly_repro::common::fixtures::fig2_window;
+use butterfly_repro::common::Database;
 use butterfly_repro::common::{ItemSet, Pattern};
 use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::inference::adversary::{averaging_attack, estimate_pattern};
 use butterfly_repro::inference::{find_inter_window_breaches, find_intra_window_breaches};
 use butterfly_repro::mining::{Apriori, FrequentItemsets};
-use butterfly_repro::common::Database;
 
 #[test]
 fn raw_output_leaks_and_examples_reproduce() {
@@ -101,7 +101,10 @@ fn republication_defeats_averaging_attack() {
     let err_fresh = (averaging_attack(&fresh) - truth).abs();
     // Fresh noise averages out (law of large numbers); the pinned value's
     // error stays at its single-draw magnitude unless the draw was lucky.
-    assert!(err_fresh < 0.6, "averaging over fresh noise failed: {err_fresh}");
+    assert!(
+        err_fresh < 0.6,
+        "averaging over fresh noise failed: {err_fresh}"
+    );
     // The pinned sequence gives the adversary exactly one observation's
     // worth of information: its average equals the first draw.
     assert_eq!(averaging_attack(&pinned), pinned[0] as f64);

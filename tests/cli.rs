@@ -18,7 +18,14 @@ fn gen_mine_attack_protect_round_trip() {
     let dat = temp_path("roundtrip.dat");
     let status = bin()
         .args([
-            "gen", "--profile", "webview1", "--count", "1500", "--seed", "7", "--out",
+            "gen",
+            "--profile",
+            "webview1",
+            "--count",
+            "1500",
+            "--seed",
+            "7",
+            "--out",
         ])
         .arg(&dat)
         .status()
@@ -45,7 +52,13 @@ fn gen_mine_attack_protect_round_trip() {
 
     let attack = bin()
         .args([
-            "attack", "--window", "1000", "--min-support", "20", "--vulnerable", "4",
+            "attack",
+            "--window",
+            "1000",
+            "--min-support",
+            "20",
+            "--vulnerable",
+            "4",
             "--input",
         ])
         .arg(&dat)
@@ -58,8 +71,21 @@ fn gen_mine_attack_protect_round_trip() {
     let out = temp_path("releases.jsonl");
     let protect = bin()
         .args([
-            "protect", "--window", "1000", "--min-support", "20", "--vulnerable", "4",
-            "--epsilon", "0.02", "--delta", "0.5", "--scheme", "ratio", "--every", "250",
+            "protect",
+            "--window",
+            "1000",
+            "--min-support",
+            "20",
+            "--vulnerable",
+            "4",
+            "--epsilon",
+            "0.02",
+            "--delta",
+            "0.5",
+            "--scheme",
+            "ratio",
+            "--every",
+            "250",
         ])
         .arg("--input")
         .arg(&dat)
@@ -76,13 +102,20 @@ fn gen_mine_attack_protect_round_trip() {
     let lines: Vec<&str> = jsonl.lines().collect();
     assert!(!lines.is_empty(), "no windows published");
     for line in &lines {
-        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
-        assert!(v["stream_len"].as_u64().unwrap() >= 1000);
-        let itemsets = v["itemsets"].as_array().unwrap();
+        let v = butterfly_repro::common::Json::parse(line).expect("valid JSON");
+        assert!(v.get("stream_len").and_then(|s| s.as_u64()).unwrap() >= 1000);
+        let itemsets = v.get("itemsets").and_then(|i| i.as_array()).unwrap();
         assert!(!itemsets.is_empty());
         for entry in itemsets {
-            assert!(!entry["itemset"].as_array().unwrap().is_empty());
-            entry["support"].as_i64().expect("sanitized support is an integer");
+            assert!(!entry
+                .get("itemset")
+                .and_then(|i| i.as_array())
+                .unwrap()
+                .is_empty());
+            entry
+                .get("support")
+                .and_then(|s| s.as_i64())
+                .expect("sanitized support is an integer");
         }
     }
 
@@ -111,7 +144,16 @@ fn deterministic_generation() {
     let b = temp_path("det_b.dat");
     for path in [&a, &b] {
         let status = bin()
-            .args(["gen", "--profile", "pos", "--count", "300", "--seed", "9", "--out"])
+            .args([
+                "gen",
+                "--profile",
+                "pos",
+                "--count",
+                "300",
+                "--seed",
+                "9",
+                "--out",
+            ])
             .arg(path)
             .status()
             .expect("run gen");

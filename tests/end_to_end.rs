@@ -2,20 +2,14 @@
 //! (ε, δ) contract over real streaming workloads.
 
 use butterfly_repro::butterfly::metrics::{avg_pred, avg_prig};
-use butterfly_repro::butterfly::{BiasScheme, Publisher, PrivacySpec, StreamPipeline};
+use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
 use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::inference::find_intra_window_breaches;
 use butterfly_repro::mining::closed::expand_closed;
 
 /// Drive `windows` published windows and return (mean pred, mean prig over
 /// windows that had breaches).
-fn run(
-    scheme: BiasScheme,
-    delta: f64,
-    ppr: f64,
-    windows: usize,
-    seed: u64,
-) -> (f64, Option<f64>) {
+fn run(scheme: BiasScheme, delta: f64, ppr: f64, windows: usize, seed: u64) -> (f64, Option<f64>) {
     let spec = PrivacySpec::from_ppr(25, 5, ppr, delta);
     let publisher = Publisher::new(spec, scheme, seed);
     let mut pipeline = StreamPipeline::new(1000, publisher);
@@ -30,7 +24,7 @@ fn run(
         for _ in 0..50 {
             pipeline.advance(stream.next_transaction());
         }
-        let release = pipeline.publish_now();
+        let release = pipeline.publish_now().expect("window is full");
         pred_sum += avg_pred(&release.release);
         // The evaluation oracle: expand closed → full frequent view, find
         // the inferable vulnerable patterns, measure the adversary's error.
@@ -84,7 +78,16 @@ fn basic_scheme_has_lowest_precision_loss() {
     // its precision loss is the smallest of the four variants.
     let (basic, _) = run(BiasScheme::Basic, 0.4, 0.4, 25, 3);
     let (ratio, _) = run(BiasScheme::RatioPreserving, 0.4, 0.4, 25, 3);
-    let (hybrid, _) = run(BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }, 0.4, 0.4, 25, 3);
+    let (hybrid, _) = run(
+        BiasScheme::Hybrid {
+            lambda: 0.4,
+            gamma: 2,
+        },
+        0.4,
+        0.4,
+        25,
+        3,
+    );
     assert!(
         basic <= ratio + 1e-6 && basic <= hybrid + 1e-6,
         "basic={basic} ratio={ratio} hybrid={hybrid}"

@@ -27,7 +27,14 @@ fn butterfly_over_fpstream_output() {
     // with C at that floor is feasible and meaningful.
     let c = approx.iter().map(|e| e.support).min().unwrap();
     let spec = PrivacySpec::new(c, 5, 0.02, 0.5);
-    let mut publisher = Publisher::new(spec, BiasScheme::Hybrid { lambda: 0.4, gamma: 2 }, 8);
+    let mut publisher = Publisher::new(
+        spec,
+        BiasScheme::Hybrid {
+            lambda: 0.4,
+            gamma: 2,
+        },
+        8,
+    );
     let release = publisher.publish(&approx);
     assert_eq!(release.len(), approx.len());
     assert!(audit_release(&spec, &release).is_empty());

@@ -1,10 +1,15 @@
-//! Integration: the three independent mining paths agree on streaming
-//! windows of realistic synthetic data.
+//! Integration: the independent mining paths agree on streaming windows of
+//! realistic synthetic data — both directly and through the pluggable
+//! [`MinerBackend`] interface the pipeline consumes.
+//!
+//! [`MinerBackend`]: butterfly_repro::mining::MinerBackend
 
 use butterfly_repro::common::{Database, SlidingWindow};
 use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::mining::closed::{closed_subset, expand_closed};
-use butterfly_repro::mining::{Apriori, FpGrowth, MomentMiner, WindowMiner};
+use butterfly_repro::mining::{
+    Apriori, BackendKind, FpGrowth, MinerBackend, MomentMiner, WindowMiner,
+};
 
 #[test]
 fn moment_fpgrowth_apriori_agree_over_a_sliding_stream() {
@@ -15,7 +20,7 @@ fn moment_fpgrowth_apriori_agree_over_a_sliding_stream() {
 
     for step in 0..900 {
         let delta = window.slide(src.next_transaction());
-        moment.apply(&delta);
+        WindowMiner::apply(&mut moment, &delta);
         // Full checks are expensive; sample the stream at irregular points,
         // always including the window-fill boundary.
         if !(step == 399 || step % 173 == 0 && step > 399) {
@@ -27,7 +32,7 @@ fn moment_fpgrowth_apriori_agree_over_a_sliding_stream() {
         assert_eq!(apriori, fpgrowth, "static miners disagree at step {step}");
         let closed = closed_subset(&apriori);
         assert_eq!(
-            moment.closed_frequent(),
+            WindowMiner::closed_frequent(&moment),
             closed,
             "incremental CET diverged at step {step}"
         );
@@ -43,10 +48,112 @@ fn moment_handles_pos_profile_with_larger_baskets() {
     let c = 15u64;
     let mut moment = MomentMiner::new(c);
     for _ in 0..600 {
-        moment.apply(&window.slide(src.next_transaction()));
+        WindowMiner::apply(&mut moment, &window.slide(src.next_transaction()));
     }
     let db: Database = window.database();
     let expected = closed_subset(&FpGrowth::new(c).mine(&db));
-    assert_eq!(moment.closed_frequent(), expected);
+    assert_eq!(WindowMiner::closed_frequent(&moment), expected);
     assert!(moment.node_count() > 0);
+}
+
+#[test]
+fn exact_backend_matrix_agrees_over_a_sliding_stream() {
+    // Every exact backend, driven through the uniform MinerBackend trait,
+    // must produce identical frequent and closed-frequent results at every
+    // sampled point of a realistic sliding stream (including the warm-up
+    // boundary and post-eviction steady state).
+    let c = 12u64;
+    let mut backends: Vec<Box<dyn MinerBackend>> =
+        BackendKind::EXACT.iter().map(|k| k.build(c)).collect();
+    assert!(backends.len() >= 4, "matrix needs at least four backends");
+    let mut src = DatasetProfile::WebView1.source(13);
+    let mut window = SlidingWindow::new(400);
+
+    for step in 0..700 {
+        let delta = window.slide(src.next_transaction());
+        for b in backends.iter_mut() {
+            b.apply(&delta);
+        }
+        if !(step == 399 || step % 149 == 0 && step > 399) {
+            continue;
+        }
+        let oracle = Apriori::new(c).mine(&window.database());
+        let oracle_closed = closed_subset(&oracle);
+        for (b, kind) in backends.iter().zip(BackendKind::EXACT) {
+            assert_eq!(b.name(), kind.name());
+            assert!(b.is_exact());
+            assert_eq!(b.min_support(), c);
+            assert_eq!(
+                b.frequent(),
+                oracle,
+                "{} frequent() diverged at step {step}",
+                b.name()
+            );
+            assert_eq!(
+                b.closed_frequent(),
+                oracle_closed,
+                "{} closed_frequent() diverged at step {step}",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_backends_cover_the_exact_result() {
+    // FP-stream and the damped miner are approximate (declared via
+    // is_exact), but both err on the side of over-reporting: every truly
+    // frequent itemset appears in their output.
+    let c = 15u64;
+    let mut src = DatasetProfile::WebView1.source(29);
+    let mut window = SlidingWindow::new(300);
+    let mut approx: Vec<Box<dyn MinerBackend>> = [BackendKind::FpStream, BackendKind::Damped]
+        .iter()
+        .map(|k| k.build(c))
+        .collect();
+    let mut truth = MomentMiner::new(c);
+    for _ in 0..300 {
+        let delta = window.slide(src.next_transaction());
+        WindowMiner::apply(&mut truth, &delta);
+        for b in approx.iter_mut() {
+            b.apply(&delta);
+        }
+    }
+    let exact = truth.all_frequent();
+    assert!(!exact.is_empty());
+
+    // FP-stream's σ/ε error bound promises no false negatives among truly
+    // frequent itemsets.
+    let fpstream = approx[0].frequent();
+    assert!(!approx[0].is_exact(), "fpstream claims exactness");
+    for e in exact.iter() {
+        assert!(
+            fpstream.support(e.itemset()).is_some(),
+            "fpstream missed frequent itemset {}",
+            e.itemset()
+        );
+    }
+
+    // The damped miner intentionally forgets decayed history, so it may drop
+    // borderline itemsets — but it must still recover the bulk of the truth
+    // and never hallucinate wildly (reported supports stay plausible).
+    let damped = approx[1].frequent();
+    assert!(!approx[1].is_exact(), "damped claims exactness");
+    let hits = exact
+        .iter()
+        .filter(|e| damped.support(e.itemset()).is_some())
+        .count();
+    assert!(
+        2 * hits >= exact.len(),
+        "damped recovered only {hits} of {} frequent itemsets",
+        exact.len()
+    );
+    for e in damped.iter() {
+        assert!(
+            e.support <= 2 * window.len() as u64,
+            "damped reported absurd support {} for {}",
+            e.support,
+            e.itemset()
+        );
+    }
 }
