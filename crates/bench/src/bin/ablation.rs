@@ -18,7 +18,7 @@
 //! Run: `cargo run --release -p bfly-bench --bin ablation` (`--quick`).
 
 use bfly_bench::{figure_config, write_csv, Table};
-use bfly_common::{ItemSet, SlidingWindow};
+use bfly_common::{pool, ItemSet, SlidingWindow};
 use bfly_core::{BiasScheme, PrivacySpec, Publisher};
 use bfly_datagen::DatasetProfile;
 use bfly_inference::adversary::averaging_attack;
@@ -57,18 +57,33 @@ fn breach_prevalence() {
         for _ in 0..cfg.window - 1 {
             miner.apply(&window.slide(source.next_transaction()));
         }
-        let (mut intra_total, mut inter_total) = (0usize, 0usize);
-        let mut prev: Option<FrequentItemsets> = None;
-        for _ in 0..cfg.windows {
-            miner.apply(&window.slide(source.next_transaction()));
-            let full = expand_closed(&miner.closed_frequent());
-            intra_total += find_intra_window_breaches(full.as_map(), cfg.k).len();
-            if let Some(p) = &prev {
-                inter_total +=
-                    find_inter_window_breaches(p.as_map(), full.as_map(), cfg.c, 1, cfg.k).len();
-            }
-            prev = Some(full);
-        }
+        // Serial mining pass, then per-window breach counting in parallel
+        // (window i only needs views i−1 and i).
+        let fulls: Vec<FrequentItemsets> = (0..cfg.windows)
+            .map(|_| {
+                miner.apply(&window.slide(source.next_transaction()));
+                expand_closed(&miner.closed_frequent())
+            })
+            .collect();
+        let indices: Vec<usize> = (0..fulls.len()).collect();
+        let counts = pool::par_map(&indices, |&i| {
+            let intra = find_intra_window_breaches(fulls[i].as_map(), cfg.k).len();
+            let inter = if i > 0 {
+                find_inter_window_breaches(
+                    fulls[i - 1].as_map(),
+                    fulls[i].as_map(),
+                    cfg.c,
+                    1,
+                    cfg.k,
+                )
+                .len()
+            } else {
+                0
+            };
+            (intra, inter)
+        });
+        let intra_total: usize = counts.iter().map(|&(a, _)| a).sum();
+        let inter_total: usize = counts.iter().map(|&(_, b)| b).sum();
         table.row(vec![
             profile.name().to_string(),
             cfg.windows.to_string(),
@@ -216,15 +231,26 @@ fn dp_baseline() {
         &["variant", "avg_pred", "avg_prig", "ropp", "rrpp"],
     );
     let trials = 20u64;
+    let seeds: Vec<u64> = (0..trials).collect();
     let mut add_row =
-        |name: String, mut publish: Box<dyn FnMut(u64) -> bfly_core::SanitizedRelease>| {
-            let (mut pred, mut prig, mut o, mut r, mut prig_n) = (0.0, 0.0, 0.0, 0.0, 0u64);
-            for seed in 0..trials {
+        |name: String, publish: Box<dyn Fn(u64) -> bfly_core::SanitizedRelease + Sync>| {
+            // Each trial is an independent seeded draw: measure them in
+            // parallel and fold the per-seed stats in seed order.
+            let per_seed = pool::par_map(&seeds, |&seed| {
                 let release = publish(seed);
-                pred += avg_pred(&release);
-                o += ropp(&release);
-                r += rrpp(&release, 0.95);
-                if let Some(p) = avg_prig(&breaches, &release.view(), None) {
+                (
+                    avg_pred(&release),
+                    ropp(&release),
+                    rrpp(&release, 0.95),
+                    avg_prig(&breaches, &release.view(), None),
+                )
+            });
+            let (mut pred, mut prig, mut o, mut r, mut prig_n) = (0.0, 0.0, 0.0, 0.0, 0u64);
+            for (pd, op, rt, pg) in per_seed {
+                pred += pd;
+                o += op;
+                r += rt;
+                if let Some(p) = pg {
                     prig += p;
                     prig_n += 1;
                 }
@@ -298,17 +324,22 @@ fn residual_attack() {
         format!("{:.3}", raw.recall()),
     ]);
     for scheme in BiasScheme::paper_variants(2) {
-        // Average the attack over repeated perturbations.
+        // Average the attack over repeated perturbations; each seeded trial
+        // is independent, so they run in parallel.
         let trials = 10;
-        let (mut p_sum, mut r_sum, mut n_claims) = (0.0, 0.0, 0usize);
-        for seed in 0..trials {
+        let seeds: Vec<u64> = (0..trials).collect();
+        let per_seed = pool::par_map(&seeds, |&seed| {
             let mut publisher = Publisher::new(spec, scheme, seed);
             let release = publisher.publish(&full);
             let claims = claim_breaches(&release.view(), &spans, cfg.k, 10);
             let score = score_claims(&claims, &db, &spans, cfg.k, 10);
-            p_sum += score.precision();
-            r_sum += score.recall();
-            n_claims += claims.len();
+            (score.precision(), score.recall(), claims.len())
+        });
+        let (mut p_sum, mut r_sum, mut n_claims) = (0.0, 0.0, 0usize);
+        for (p, r, n) in per_seed {
+            p_sum += p;
+            r_sum += r;
+            n_claims += n;
         }
         table.row(vec![
             scheme.name(),
@@ -342,14 +373,17 @@ fn confidence_preservation() {
         &["scheme", "rules", "preserved_rate"],
     );
     for scheme in BiasScheme::paper_variants(2) {
-        // Average over repeated draws to smooth noise.
-        let mut total = 0.0;
+        // Average over repeated draws to smooth noise — one parallel task
+        // per seed, folded in seed order.
         let trials = 20;
-        for seed in 0..trials {
+        let seeds: Vec<u64> = (0..trials as u64).collect();
+        let total: f64 = pool::par_map(&seeds, |&seed| {
             let mut p = Publisher::new(spec, scheme, seed);
             let release = p.publish(&full);
-            total += confidence_preservation_rate(&rules, &release.view(), 0.05);
-        }
+            confidence_preservation_rate(&rules, &release.view(), 0.05)
+        })
+        .into_iter()
+        .sum();
         table.row(vec![
             scheme.name(),
             rules.len().to_string(),

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p bfly-bench --bin fig4` (add `--quick` for a
 //! smoke-scale sweep).
 
-use bfly_bench::{collect_truths, evaluate_scheme, figure_config, write_csv, Table};
+use bfly_bench::{collect_truths, evaluate_cells, figure_config, write_csv, Table};
 use bfly_core::{BiasScheme, PrivacySpec};
 use bfly_datagen::DatasetProfile;
 
@@ -61,13 +61,24 @@ fn main() {
                 "Opt l=0",
             ],
         );
-        for &delta in &deltas {
+        // All (δ, scheme) cells are independent: evaluate the whole grid in
+        // one parallel batch (seeds match the historical serial loop).
+        let cells: Vec<(PrivacySpec, BiasScheme, u64)> = deltas
+            .iter()
+            .flat_map(|&delta| {
+                let spec = PrivacySpec::new(cfg.c, cfg.k, PPR * delta, delta);
+                schemes
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &scheme)| (spec, scheme, 100 + i as u64))
+            })
+            .collect();
+        let results = evaluate_cells(&truths, &cells);
+        for (row, &delta) in deltas.iter().enumerate() {
             let epsilon = PPR * delta;
-            let spec = PrivacySpec::new(cfg.c, cfg.k, epsilon, delta);
             let mut prig_cells = vec![format!("{delta:.1}"), format!("{epsilon:.3}")];
             let mut pred_cells = vec![format!("{epsilon:.3}"), format!("{delta:.1}")];
-            for (i, scheme) in schemes.iter().enumerate() {
-                let r = evaluate_scheme(&truths, spec, *scheme, 100 + i as u64);
+            for r in &results[row * schemes.len()..(row + 1) * schemes.len()] {
                 prig_cells.push(format!("{:.3}", r.avg_prig));
                 pred_cells.push(format!("{:.5}", r.avg_pred));
             }

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p bfly-bench --bin fig5` (`--quick` to smoke).
 
-use bfly_bench::{collect_truths, evaluate_scheme, figure_config, write_csv, Table};
+use bfly_bench::{collect_truths, evaluate_cells, figure_config, write_csv, Table};
 use bfly_core::{BiasScheme, PrivacySpec};
 use bfly_datagen::DatasetProfile;
 
@@ -36,12 +36,23 @@ fn main() {
             ),
             &["ppr", "Basic", "Opt l=1", "Opt l=0.4", "Opt l=0"],
         );
-        for &ppr in &pprs {
-            let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, ppr, DELTA);
+        // The (ppr, scheme) grid evaluates as one parallel batch (seeds
+        // match the historical serial loop).
+        let cells: Vec<_> = pprs
+            .iter()
+            .flat_map(|&ppr| {
+                let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, ppr, DELTA);
+                schemes
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &scheme)| (spec, scheme, 500 + i as u64))
+            })
+            .collect();
+        let results = evaluate_cells(&truths, &cells);
+        for (row, &ppr) in pprs.iter().enumerate() {
             let mut o = vec![format!("{ppr:.1}")];
             let mut r = vec![format!("{ppr:.1}")];
-            for (i, scheme) in schemes.iter().enumerate() {
-                let res = evaluate_scheme(&truths, spec, *scheme, 500 + i as u64);
+            for res in &results[row * schemes.len()..(row + 1) * schemes.len()] {
                 o.push(format!("{:.4}", res.avg_ropp));
                 r.push(format!("{:.4}", res.avg_rrpp));
             }

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p bfly-bench --bin fig7` (`--quick` to smoke).
 
-use bfly_bench::{collect_truths, evaluate_scheme, figure_config, write_csv, Table};
+use bfly_bench::{collect_truths, evaluate_cells, figure_config, write_csv, Table};
 use bfly_core::{BiasScheme, PrivacySpec};
 use bfly_datagen::DatasetProfile;
 
@@ -29,22 +29,33 @@ fn main() {
             ),
             &["ppr", "lambda", "avg_ropp", "avg_rrpp"],
         );
-        for &ppr in &pprs {
-            let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, ppr, DELTA);
-            for &lambda in &lambdas {
-                let r = evaluate_scheme(
-                    &truths,
-                    spec,
-                    BiasScheme::Hybrid { lambda, gamma: 2 },
-                    (ppr * 1000.0) as u64 + (lambda * 10.0) as u64,
-                );
-                table.row(vec![
-                    format!("{ppr:.1}"),
-                    format!("{lambda:.1}"),
-                    format!("{:.4}", r.avg_ropp),
-                    format!("{:.4}", r.avg_rrpp),
-                ]);
-            }
+        // One parallel batch over the (ppr, λ) grid (seeds match the
+        // historical serial loop).
+        let cells: Vec<_> = pprs
+            .iter()
+            .flat_map(|&ppr| {
+                let spec = PrivacySpec::from_ppr(cfg.c, cfg.k, ppr, DELTA);
+                lambdas.iter().map(move |&lambda| {
+                    (
+                        spec,
+                        BiasScheme::Hybrid { lambda, gamma: 2 },
+                        (ppr * 1000.0) as u64 + (lambda * 10.0) as u64,
+                    )
+                })
+            })
+            .collect();
+        let results = evaluate_cells(&truths, &cells);
+        for ((&(_, scheme, _), r), cell_idx) in cells.iter().zip(&results).zip(0..) {
+            let ppr = pprs[cell_idx / lambdas.len()];
+            let BiasScheme::Hybrid { lambda, .. } = scheme else {
+                unreachable!("all fig7 cells are hybrid");
+            };
+            table.row(vec![
+                format!("{ppr:.1}"),
+                format!("{lambda:.1}"),
+                format!("{:.4}", r.avg_ropp),
+                format!("{:.4}", r.avg_rrpp),
+            ]);
         }
         table.print();
         write_csv(&table, &format!("fig7_tradeoff_{}", profile.name()));

@@ -1,0 +1,165 @@
+//! `parbench` — measures the parallel execution layer against its own
+//! serial path, stage by stage, and writes `BENCH_parallel.json`.
+//!
+//! Each stage runs the identical workload at `--threads 1` and at the full
+//! worker count (in-process, via `pool::set_threads`), takes the median of
+//! `--reps` repetitions, and reports the speedup. Because the workspace's
+//! determinism contract makes thread count a pure throughput knob, the two
+//! runs produce bit-identical results — only the wall clock differs.
+//!
+//! Run: `cargo run --release -p bfly-bench --bin parbench`
+//!       `[--reps <R>] [--out <path.json>]`
+
+use bfly_bench::{collect_truths, evaluate_cells, ExperimentConfig};
+use bfly_common::{pool, Json, SlidingWindow};
+use bfly_core::{BiasScheme, PrivacySpec, Publisher};
+use bfly_datagen::DatasetProfile;
+use bfly_inference::attack::{find_inter_window_breaches, find_intra_window_breaches};
+use bfly_mining::{mine_backend_matrix, BackendKind, FpGrowth, MinerBackend};
+use std::time::Instant;
+
+/// Median wall-clock of `reps` runs of `f`, in milliseconds.
+fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Time one stage at 1 thread and at `n` threads; print and record a row.
+fn stage<T>(name: &str, reps: usize, n: usize, mut f: impl FnMut() -> T) -> Json {
+    pool::set_threads(1);
+    let t1 = median_ms(reps, &mut f);
+    pool::set_threads(n);
+    let tn = median_ms(reps, &mut f);
+    pool::set_threads(0);
+    let speedup = t1 / tn.max(1e-9);
+    println!("{name:<18} 1 thread {t1:>9.2} ms   {n} threads {tn:>9.2} ms   speedup {speedup:.2}x");
+    Json::obj([
+        ("name", Json::from(name)),
+        ("t1_ms", Json::from(t1)),
+        ("tn_ms", Json::from(tn)),
+        ("speedup", Json::from(speedup)),
+    ])
+}
+
+fn arg(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let reps: usize = arg("--reps").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let out = arg("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    pool::set_threads(0);
+    let n = pool::current_threads();
+    println!("parbench: {reps} reps per point, full worker count = {n}");
+
+    let cfg = ExperimentConfig {
+        profile: DatasetProfile::WebView1,
+        window: 600,
+        c: 12,
+        k: 3,
+        windows: 12,
+        seed: 17,
+        backend: BackendKind::Moment,
+        threads: 0,
+    };
+    let mut rows = Vec::new();
+
+    // Ground-truth collection: serial mining + parallel breach enumeration
+    // across windows (the dominant cost of every figure binary).
+    rows.push(stage("collect_truths", reps, n, || collect_truths(&cfg)));
+
+    // Sweep-cell evaluation: the fig4/fig5/fig7 inner loop, one publisher
+    // per (spec, scheme, seed) cell.
+    let truths = collect_truths(&cfg);
+    let spec = PrivacySpec::new(cfg.c, cfg.k, 0.1, 0.5);
+    let cells: Vec<(PrivacySpec, BiasScheme, u64)> = (0..4u64)
+        .flat_map(|s| {
+            [
+                (spec, BiasScheme::Basic, s),
+                (spec, BiasScheme::RatioPreserving, 10 + s),
+                (
+                    spec,
+                    BiasScheme::Hybrid {
+                        lambda: 0.4,
+                        gamma: 2,
+                    },
+                    20 + s,
+                ),
+            ]
+        })
+        .collect();
+    rows.push(stage("evaluate_cells", reps, n, || {
+        evaluate_cells(&truths, &cells)
+    }));
+
+    // Attack enumeration on a single dense window pair: per-span intra
+    // fan-out plus the two-stage inter-window derivation.
+    let mut source = cfg.profile.source(23);
+    let mut window = SlidingWindow::new(cfg.window);
+    for _ in 0..cfg.window {
+        window.slide(source.next_transaction());
+    }
+    let prev = FpGrowth::new(cfg.c).mine(&window.database());
+    for _ in 0..60 {
+        window.slide(source.next_transaction());
+    }
+    let curr = FpGrowth::new(cfg.c).mine(&window.database());
+    rows.push(stage("attack_breaches", reps, n, || {
+        let mut found = find_intra_window_breaches(curr.as_map(), cfg.k);
+        found.extend(find_inter_window_breaches(
+            prev.as_map(),
+            curr.as_map(),
+            cfg.c,
+            1,
+            cfg.k,
+        ));
+        found
+    }));
+
+    // Backend matrix re-mining: every exact backend queried concurrently.
+    let mut backends: Vec<Box<dyn MinerBackend>> =
+        BackendKind::EXACT.iter().map(|k| k.build(cfg.c)).collect();
+    let mut source = cfg.profile.source(31);
+    let mut window = SlidingWindow::new(400);
+    for _ in 0..600 {
+        let delta = window.slide(source.next_transaction());
+        for b in backends.iter_mut() {
+            b.apply(&delta);
+        }
+    }
+    rows.push(stage("backend_matrix", reps, n, || {
+        mine_backend_matrix(&backends)
+    }));
+
+    // Order-preserving DP: layer expansion fans out over fixed chunks. A
+    // fresh publisher per rep keeps the republication cache cold.
+    let densest = truths
+        .iter()
+        .max_by_key(|t| t.closed.len())
+        .expect("no truths");
+    rows.push(stage("order_dp", reps, n, || {
+        let mut p = Publisher::new(spec, BiasScheme::OrderPreserving { gamma: 3 }, 41);
+        p.publish(&densest.closed)
+    }));
+
+    let doc = Json::obj([
+        ("workers", Json::from(n as u64)),
+        ("reps", Json::from(reps as u64)),
+        ("stages", Json::Arr(rows)),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -14,7 +14,9 @@ pub mod table;
 pub mod timing;
 pub mod tuning;
 
-pub use runner::{collect_truths, evaluate_scheme, EvalResult, ExperimentConfig, WindowTruth};
+pub use runner::{
+    collect_truths, evaluate_cells, evaluate_scheme, EvalResult, ExperimentConfig, WindowTruth,
+};
 pub use table::{write_csv, Table};
 pub use timing::bench;
 pub use tuning::{tune_gamma, tune_lambda};
@@ -26,7 +28,24 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
-/// The experiment configuration for a profile, honouring `--quick`.
+/// `--threads N` on a figure binary's command line pins the worker count
+/// for the parallel phases (otherwise `BFLY_THREADS` or the hardware
+/// decides). Returns 0 when absent or malformed.
+pub fn threads_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// The experiment configuration for a profile, honouring `--quick` and
+/// `--threads`.
 pub fn figure_config(profile: bfly_datagen::DatasetProfile) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper_default(profile);
     if quick_mode() {
@@ -35,5 +54,7 @@ pub fn figure_config(profile: bfly_datagen::DatasetProfile) -> ExperimentConfig 
         cfg.c = 15;
         cfg.k = 3;
     }
+    cfg.threads = threads_flag();
+    cfg.apply_threads();
     cfg
 }

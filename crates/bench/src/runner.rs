@@ -1,6 +1,13 @@
 //! Shared experiment runner.
+//!
+//! The expensive phases parallelize over the workspace pool: breach
+//! enumeration fans out per window (mining itself stays serial — each
+//! window's miner state depends on the previous slide), and sweep cells
+//! fan out per `(spec, scheme, seed)` via [`evaluate_cells`]. Each cell
+//! owns its `Publisher` seeded from the cell tuple, so results are
+//! identical at any thread count.
 
-use bfly_common::{SlidingWindow, Support};
+use bfly_common::{pool, SlidingWindow, Support};
 use bfly_core::metrics::{avg_pred, avg_prig, ropp, rrpp};
 use bfly_core::{BiasScheme, PrivacySpec, Publisher};
 use bfly_datagen::DatasetProfile;
@@ -26,6 +33,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Mining backend producing each window's ground truth.
     pub backend: BackendKind,
+    /// Worker threads for the parallel phases. `0` leaves the process-wide
+    /// setting (CLI `--threads` / `BFLY_THREADS` / hardware) untouched.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -41,6 +51,15 @@ impl ExperimentConfig {
             windows: 100,
             seed: 4242,
             backend: BackendKind::Moment,
+            threads: 0,
+        }
+    }
+
+    /// Install this config's thread count as the pool's worker count (no-op
+    /// when `threads == 0`). Runner entry points call it themselves.
+    pub fn apply_threads(&self) {
+        if self.threads > 0 {
+            pool::set_threads(self.threads);
         }
     }
 }
@@ -60,6 +79,9 @@ pub struct WindowTruth {
 /// `config.backend` — any exact backend yields identical truths; approximate
 /// backends let the sweep measure their deviation.
 pub fn collect_truths(config: &ExperimentConfig) -> Vec<WindowTruth> {
+    config.apply_threads();
+    // Phase 1 (serial): slide the stream and snapshot each window's mining
+    // output. The miner's state is inherently sequential.
     let mut source = config.profile.source(config.seed);
     let mut window = SlidingWindow::new(config.window);
     let mut miner = config.backend.build(config.c);
@@ -67,27 +89,37 @@ pub fn collect_truths(config: &ExperimentConfig) -> Vec<WindowTruth> {
         let delta = window.slide(source.next_transaction());
         miner.apply(&delta);
     }
-    let mut truths = Vec::with_capacity(config.windows);
-    let mut prev_full: Option<FrequentItemsets> = None;
+    let mut mined: Vec<(FrequentItemsets, FrequentItemsets)> = Vec::with_capacity(config.windows);
     for _ in 0..config.windows {
         let delta = window.slide(source.next_transaction());
         miner.apply(&delta);
         let closed = miner.closed_frequent();
         let full = expand_closed(&closed);
-        let mut breaches = find_intra_window_breaches(full.as_map(), config.k);
-        if let Some(prev) = &prev_full {
-            breaches.extend(find_inter_window_breaches(
-                prev.as_map(),
+        mined.push((closed, full));
+    }
+    // Phase 2 (parallel): each window's breach enumeration reads only its
+    // own full view and its predecessor's — by far the dominant cost, and
+    // embarrassingly parallel across windows.
+    let indices: Vec<usize> = (0..mined.len()).collect();
+    let breaches = pool::par_map(&indices, |&i| {
+        let full = &mined[i].1;
+        let mut found = find_intra_window_breaches(full.as_map(), config.k);
+        if i > 0 {
+            found.extend(find_inter_window_breaches(
+                mined[i - 1].1.as_map(),
                 full.as_map(),
                 config.c,
                 1,
                 config.k,
             ));
         }
-        prev_full = Some(full);
-        truths.push(WindowTruth { closed, breaches });
-    }
-    truths
+        found
+    });
+    mined
+        .into_iter()
+        .zip(breaches)
+        .map(|((closed, _), breaches)| WindowTruth { closed, breaches })
+        .collect()
 }
 
 /// Averaged metrics over a run.
@@ -141,6 +173,20 @@ pub fn evaluate_scheme(
     result
 }
 
+/// Evaluate a batch of independent sweep cells `(spec, scheme, seed)`
+/// against shared truths, in parallel, returning results in cell order.
+/// Each cell gets its own seeded `Publisher`, so a cell's result is a pure
+/// function of its tuple — the figure binaries produce identical CSVs at
+/// any thread count.
+pub fn evaluate_cells(
+    truths: &[WindowTruth],
+    cells: &[(PrivacySpec, BiasScheme, u64)],
+) -> Vec<EvalResult> {
+    pool::par_map(cells, |&(spec, scheme, seed)| {
+        evaluate_scheme(truths, spec, scheme, seed)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +200,7 @@ mod tests {
             windows: 8,
             seed: 5,
             backend: BackendKind::Moment,
+            threads: 0,
         }
     }
 
@@ -201,6 +248,27 @@ mod tests {
         assert!((0.0..=1.0).contains(&r.avg_rrpp));
         if r.prig_windows > 0 {
             assert!(r.avg_prig > 0.0);
+        }
+    }
+
+    #[test]
+    fn cell_batch_matches_individual_evaluation() {
+        let cfg = tiny_config();
+        let truths = collect_truths(&cfg);
+        let spec = PrivacySpec::new(cfg.c, cfg.k, 0.1, 0.5);
+        let cells = vec![
+            (spec, BiasScheme::Basic, 1u64),
+            (spec, BiasScheme::RatioPreserving, 2),
+            (spec, BiasScheme::OrderPreserving { gamma: 2 }, 3),
+        ];
+        let batch = evaluate_cells(&truths, &cells);
+        for (r, &(s, scheme, seed)) in batch.iter().zip(&cells) {
+            let solo = evaluate_scheme(&truths, s, scheme, seed);
+            assert_eq!(r.avg_pred, solo.avg_pred);
+            assert_eq!(r.avg_prig, solo.avg_prig);
+            assert_eq!(r.avg_ropp, solo.avg_ropp);
+            assert_eq!(r.avg_rrpp, solo.avg_rrpp);
+            assert_eq!(r.breaches, solo.breaches);
         }
     }
 

@@ -102,6 +102,7 @@ mod tests {
             windows: 6,
             seed: 11,
             backend: bfly_mining::BackendKind::Moment,
+            threads: 0,
         })
     }
 

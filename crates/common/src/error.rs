@@ -16,6 +16,10 @@ pub enum Error {
     OverlappingPattern,
     /// A lattice operation required `I ⊆ J` and it did not hold.
     NotSubset,
+    /// A constrained optimization has no feasible solution (e.g. pinned
+    /// order-preserving biases that violate their budget or make the chain
+    /// constraint unsatisfiable). Carries a human-readable diagnosis.
+    Infeasible(String),
     /// A publish was requested before the sliding window filled.
     PartialWindow {
         /// Transactions currently in the window.
@@ -36,6 +40,7 @@ impl fmt::Display for Error {
                 write!(f, "pattern asserts and negates the same item")
             }
             Error::NotSubset => write!(f, "lattice bounds must satisfy I ⊆ J"),
+            Error::Infeasible(msg) => write!(f, "infeasible: {msg}"),
             Error::PartialWindow { have, need } => {
                 write!(f, "partial window: {have} of {need} transactions")
             }
@@ -70,6 +75,7 @@ mod tests {
             Error::Unsorted,
             Error::OverlappingPattern,
             Error::NotSubset,
+            Error::Infeasible("pinned bias out of budget".into()),
             Error::PartialWindow { have: 3, need: 10 },
             Error::Io(std::io::Error::other("boom")),
         ];

@@ -21,6 +21,7 @@ pub mod item;
 pub mod itemset;
 pub mod json;
 pub mod pattern;
+pub mod pool;
 pub mod rng;
 pub mod transaction;
 pub mod window;

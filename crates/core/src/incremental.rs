@@ -117,13 +117,13 @@ impl IncrementalOrderSetter {
             }
         }
         // Re-solve the patch span only (indices outside it are untouched;
-        // interactions across the span edge are covered by the pins).
+        // interactions across the span edge are covered by the pins). An
+        // infeasible pin set is a normal outcome here — the carried-over
+        // context may simply not admit a consistent patch — so the error
+        // routes to the caller's full-solve fallback.
         let sub_fecs = &fecs[span_start..span_end];
         let sub_pinned: Vec<Option<i64>> = pinned[span_start..span_end].to_vec();
-        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            order_preserving_biases_pinned(sub_fecs, spec, gamma, &sub_pinned)
-        }))
-        .ok()?;
+        let solved = order_preserving_biases_pinned(sub_fecs, spec, gamma, &sub_pinned).ok()?;
         for (offset, b) in solved.into_iter().enumerate() {
             out[span_start + offset] = b;
         }

@@ -13,10 +13,20 @@
 //! FECs, costing interactions only inside that window — the paper's
 //! approximation, accurate whenever FECs are not extremely dense (verified
 //! empirically by Fig 6's knee at `γ ≈ 2–3`).
+//!
+//! **Representation & parallelism.** Each DP layer is a `Vec<LayerEntry>`
+//! sorted by state, so an entry's predecessor is a plain `u32` index into
+//! the previous layer instead of a cloned state vector — backtracking walks
+//! indices, and the per-transition allocation is just the successor state
+//! itself. Layer expansion fans out over fixed-size chunks of the previous
+//! layer via [`bfly_common::pool::par_map`]; the merge that follows (sort
+//! by `(state, cost, Σ|β|, parent)`, keep the first entry per state) is a
+//! pure function of the transition set, so the chosen biases are identical
+//! at any thread count.
 
 use crate::config::PrivacySpec;
 use crate::fec::Fec;
-use std::collections::HashMap;
+use bfly_common::{pool, Error, Result};
 
 /// Bias-grid resolution: candidate biases per FEC are at most this many,
 /// evenly spaced over `[−β^m, β^m]` and always including 0. Controls DP
@@ -24,12 +34,36 @@ use std::collections::HashMap;
 /// integer grid entirely at the paper's support scales.
 const MAX_GRID: usize = 13;
 
+/// Transitions are expanded in chunks of this many previous-layer entries.
+/// The size is fixed (never derived from the thread count) so the chunk
+/// decomposition — and with it every ounce of the computation — is the same
+/// whether 1 or 64 workers run; layers smaller than one chunk stay on the
+/// calling thread with no spawn at all.
+const EXPAND_CHUNK: usize = 48;
+
+/// Trailing window of bias choices identifying a DP state.
+type State = Vec<i64>;
+
+/// One DP state in a layer: the trailing `min(γ, i+1)` bias choices, the
+/// best cost/precision reaching it, and the index of the predecessor entry
+/// in the previous layer (meaningless in layer 0).
+#[derive(Clone, Debug)]
+struct LayerEntry {
+    state: State,
+    cost: f64,
+    /// Σ|β| along the best path — the lexicographic tie-break that makes
+    /// isolated FECs keep β = 0.
+    abs: u64,
+    parent: u32,
+}
+
 /// Compute order-preserving biases for `fecs` (sorted ascending by support).
 ///
 /// Returns one bias per FEC. `gamma = 0` degenerates to all-zero biases
 /// (no interactions are costed, and zero bias is the tie-break winner).
 pub fn order_preserving_biases(fecs: &[Fec], spec: &PrivacySpec, gamma: usize) -> Vec<f64> {
     order_preserving_biases_pinned(fecs, spec, gamma, &[])
+        .expect("unpinned order DP is always feasible: zero biases satisfy the chain")
 }
 
 /// Like [`order_preserving_biases`], but positions with `Some(b)` in
@@ -40,122 +74,171 @@ pub fn order_preserving_biases(fecs: &[Fec], spec: &PrivacySpec, gamma: usize) -
 ///
 /// `pinned` may be shorter than `fecs`; missing tail entries are free.
 ///
-/// # Panics
-/// If a pinned bias violates its FEC's budget or makes the chain
-/// constraint infeasible against an adjacent pinned neighbour.
+/// # Errors
+/// [`Error::Infeasible`] when a pinned bias violates its FEC's budget, or
+/// when no bias assignment satisfies the chain constraint against the pins
+/// (e.g. two adjacent pins whose estimators are forced out of order). With
+/// no pins the problem is always feasible and `Ok` is guaranteed.
 pub fn order_preserving_biases_pinned(
     fecs: &[Fec],
     spec: &PrivacySpec,
     gamma: usize,
     pinned: &[Option<i64>],
-) -> Vec<f64> {
+) -> Result<Vec<f64>> {
     let n = fecs.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let alpha = spec.alpha() as i64;
-    let candidates: Vec<Vec<i64>> = fecs
-        .iter()
-        .enumerate()
-        .map(|(i, f)| match pinned.get(i).copied().flatten() {
+    let mut candidates: Vec<Vec<i64>> = Vec::with_capacity(n);
+    for (i, f) in fecs.iter().enumerate() {
+        match pinned.get(i).copied().flatten() {
             Some(b) => {
-                assert!(
-                    (b.abs() as f64) <= spec.max_bias(f.support()) + 1e-9,
-                    "pinned bias {b} violates budget at t={}",
-                    f.support()
-                );
-                vec![b]
+                let budget = spec.max_bias(f.support());
+                if (b.abs() as f64) > budget + 1e-9 {
+                    return Err(Error::Infeasible(format!(
+                        "pinned bias {b} at FEC {i} (t={}) exceeds budget {budget:.3}",
+                        f.support()
+                    )));
+                }
+                candidates.push(vec![b]);
             }
-            None => bias_candidates_for(spec.max_bias(f.support())),
-        })
-        .collect();
+            None => candidates.push(bias_candidates_for(spec.max_bias(f.support()))),
+        }
+    }
     if gamma == 0 || n == 1 {
         // No pairwise terms: smallest |bias| (= 0, or the pin) is optimal.
-        return (0..n)
+        return Ok((0..n)
             .map(|i| pinned.get(i).copied().flatten().unwrap_or(0) as f64)
-            .collect();
+            .collect());
     }
 
     // DP over states = bias choices of the trailing min(γ, i+1) FECs.
     // The value is (inversion cost, Σ|bias| so far) compared
     // lexicographically: among equal-cost settings the most precise
-    // (smallest total |bias|) wins, so isolated FECs keep β = 0.
-    type State = Vec<i64>;
-    type Value = (f64, u64, Option<State>);
-    let mut layers: Vec<HashMap<State, Value>> = Vec::with_capacity(n);
-    let mut first = HashMap::new();
-    for &b in &candidates[0] {
-        first.insert(vec![b], (0.0, b.unsigned_abs(), None));
-    }
+    // (smallest total |bias|) wins.
+    let mut layers: Vec<Vec<LayerEntry>> = Vec::with_capacity(n);
+    let mut first: Vec<LayerEntry> = candidates[0]
+        .iter()
+        .map(|&b| LayerEntry {
+            state: vec![b],
+            cost: 0.0,
+            abs: b.unsigned_abs(),
+            parent: u32::MAX,
+        })
+        .collect();
+    first.sort_unstable_by(|a, b| a.state.cmp(&b.state));
     layers.push(first);
 
     for i in 1..n {
-        let mut layer: HashMap<State, Value> = HashMap::new();
-        for (prev_state, &(prev_cost, prev_abs, _)) in &layers[i - 1] {
-            // prev_state holds biases of FECs i−L .. i−1 (L = prev len).
-            let window_start = i - prev_state.len();
-            for &b in &candidates[i] {
-                let e_i = fecs[i].support() as i64 + b;
-                let e_prev = fecs[i - 1].support() as i64 + prev_state[prev_state.len() - 1];
-                if e_i <= e_prev {
-                    continue; // chain constraint e_{i−1} < e_i
-                }
-                let mut cost = prev_cost;
-                for (offset, &bj) in prev_state.iter().enumerate() {
-                    let j = window_start + offset;
-                    let e_j = fecs[j].support() as i64 + bj;
-                    let d = e_i - e_j;
-                    if d <= alpha {
-                        let gap = (alpha + 1 - d) as f64;
-                        let weight = (fecs[i].size() + fecs[j].size()) as f64;
-                        cost += weight * gap * gap;
-                    }
-                }
-                let abs = prev_abs + b.unsigned_abs();
-                let mut state: State = prev_state.clone();
-                state.push(b);
-                if state.len() > gamma {
-                    state.remove(0);
-                }
-                match layer.get(&state) {
-                    Some(&(c, a, _)) if (c, a) <= (cost, abs) => {}
-                    _ => {
-                        layer.insert(state, (cost, abs, Some(prev_state.clone())));
-                    }
-                }
-            }
+        let prev = layers.last().expect("at least one layer");
+        let cands = &candidates[i];
+        // Expand every (prev entry × candidate bias) transition, chunked
+        // over the previous layer. `par_map` returns chunk results in input
+        // order, so the concatenation below is thread-count-independent
+        // (and the merge sort would erase any ordering anyway).
+        let ranges: Vec<(usize, usize)> = (0..prev.len())
+            .step_by(EXPAND_CHUNK)
+            .map(|lo| (lo, (lo + EXPAND_CHUNK).min(prev.len())))
+            .collect();
+        let parts = pool::par_map(&ranges, |&(lo, hi)| {
+            expand_range(&prev[lo..hi], lo, i, fecs, cands, alpha, gamma)
+        });
+        // A layer holds at most grid^min(γ, i+1) distinct states; the raw
+        // transition list tops out at |prev| · |cands| before the merge.
+        let mut raw: Vec<LayerEntry> = Vec::with_capacity(prev.len().saturating_mul(cands.len()));
+        for part in parts {
+            raw.extend(part);
         }
-        assert!(
-            !layer.is_empty(),
-            "order DP infeasible at FEC {i} — zero biases should always fit"
-        );
-        layers.push(layer);
+        // Deterministic min-merge: best (cost, Σ|β|, parent) per state. The
+        // parent index breaks exact ties so the surviving entry — and the
+        // backtracked chain — never depends on expansion order.
+        raw.sort_unstable_by(|a, b| {
+            a.state
+                .cmp(&b.state)
+                .then(a.cost.total_cmp(&b.cost))
+                .then(a.abs.cmp(&b.abs))
+                .then(a.parent.cmp(&b.parent))
+        });
+        raw.dedup_by(|a, b| a.state == b.state);
+        if raw.is_empty() {
+            return Err(Error::Infeasible(format!(
+                "no bias choice at FEC {i} (t={}) satisfies the chain constraint \
+                 against the pinned context",
+                fecs[i].support()
+            )));
+        }
+        layers.push(raw);
     }
 
-    // Pick the best final state and walk the parent chain backwards.
-    let mut state = layers[n - 1]
-        .iter()
-        .min_by(|a, b| {
-            let ka = (a.1 .0, a.1 .1);
-            let kb = (b.1 .0, b.1 .1);
-            ka.partial_cmp(&kb).expect("costs are finite")
-        })
-        .map(|(s, _)| s.clone())
-        .expect("non-empty layer");
-    let mut biases = vec![0.0; n];
-    for i in (0..n).rev() {
-        let last = *state.last().expect("states are non-empty");
-        biases[i] = last as f64;
-        if i == 0 {
-            break;
+    // Pick the best final entry; on exact (cost, Σ|β|) ties the smallest
+    // state wins because layers are state-sorted.
+    let last = layers.last().expect("n ≥ 1 layers");
+    let mut best = 0usize;
+    for (idx, e) in last.iter().enumerate().skip(1) {
+        let b = &last[best];
+        if e.cost.total_cmp(&b.cost).then(e.abs.cmp(&b.abs)) == std::cmp::Ordering::Less {
+            best = idx;
         }
-        let parent = layers[i]
-            .get(&state)
-            .and_then(|(_, _, p)| p.clone())
-            .expect("parent chain intact");
-        state = parent;
     }
-    biases
+
+    // Walk the parent indices backwards; entry i's state ends with bias i.
+    let mut biases = vec![0.0; n];
+    let mut idx = best;
+    for i in (0..n).rev() {
+        let e = &layers[i][idx];
+        biases[i] = *e.state.last().expect("states are non-empty") as f64;
+        idx = e.parent as usize;
+    }
+    Ok(biases)
+}
+
+/// Expand all transitions out of `prev[lo..]` (a chunk starting at absolute
+/// index `base` of the previous layer) into candidate entries for layer `i`.
+fn expand_range(
+    prev: &[LayerEntry],
+    base: usize,
+    i: usize,
+    fecs: &[Fec],
+    cands: &[i64],
+    alpha: i64,
+    gamma: usize,
+) -> Vec<LayerEntry> {
+    let mut out = Vec::with_capacity(prev.len() * cands.len());
+    for (offset, entry) in prev.iter().enumerate() {
+        // entry.state holds biases of FECs i−L .. i−1 (L = state len).
+        let window_start = i - entry.state.len();
+        let e_prev =
+            fecs[i - 1].support() as i64 + entry.state.last().expect("states are non-empty");
+        for &b in cands {
+            let e_i = fecs[i].support() as i64 + b;
+            if e_i <= e_prev {
+                continue; // chain constraint e_{i−1} < e_i
+            }
+            let mut cost = entry.cost;
+            for (k, &bj) in entry.state.iter().enumerate() {
+                let j = window_start + k;
+                let e_j = fecs[j].support() as i64 + bj;
+                let d = e_i - e_j;
+                if d <= alpha {
+                    let gap = (alpha + 1 - d) as f64;
+                    let weight = (fecs[i].size() + fecs[j].size()) as f64;
+                    cost += weight * gap * gap;
+                }
+            }
+            let keep = entry.state.len().min(gamma.saturating_sub(1));
+            let mut state: State = Vec::with_capacity(keep + 1);
+            state.extend_from_slice(&entry.state[entry.state.len() - keep..]);
+            state.push(b);
+            out.push(LayerEntry {
+                state,
+                cost,
+                abs: entry.abs + b.unsigned_abs(),
+                parent: (base + offset) as u32,
+            });
+        }
+    }
+    out
 }
 
 /// Integer bias candidates for a budget `β^m`: an odd, symmetric grid over
@@ -308,7 +391,7 @@ mod tests {
 
     #[test]
     fn long_chain_stress_backtracks_correctly() {
-        // 120 FECs with mixed density: the DP's parent-chain reconstruction
+        // 120 FECs with mixed density: the DP's parent-index reconstruction
         // must produce exactly one bias per FEC, all constraints intact.
         let supports: Vec<u64> = (0..120u64)
             .map(|i| 25 + i * 3 + (i % 2)) // strictly increasing, uneven gaps
@@ -330,11 +413,29 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_biases() {
+        // The DP's merge is order-independent: any worker count yields the
+        // exact same bias vector, down to the tie-breaks.
+        let supports: Vec<u64> = (0..80u64).map(|i| 25 + i * 2 + (i % 3)).collect();
+        let fecs = fecs_with_supports(&supports);
+        let s = spec();
+        pool::set_threads(1);
+        let serial = order_preserving_biases(&fecs, &s, 3);
+        pool::set_threads(2);
+        let two = order_preserving_biases(&fecs, &s, 3);
+        pool::set_threads(8);
+        let eight = order_preserving_biases(&fecs, &s, 3);
+        pool::set_threads(0);
+        assert_eq!(serial, two);
+        assert_eq!(serial, eight);
+    }
+
+    #[test]
     fn pinned_positions_are_respected() {
         let fecs = fecs_with_supports(&[30, 32, 34, 60]);
         let s = spec();
         let pinned = vec![None, Some(2i64), None, None];
-        let biases = crate::order::order_preserving_biases_pinned(&fecs, &s, 2, &pinned);
+        let biases = crate::order::order_preserving_biases_pinned(&fecs, &s, 2, &pinned).unwrap();
         assert_eq!(biases[1], 2.0, "pin ignored: {biases:?}");
         // Remaining positions still satisfy the chain around the pin.
         let e: Vec<f64> = fecs
@@ -345,6 +446,28 @@ mod tests {
         for w in e.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn infeasible_pinned_chain_is_an_error_not_a_panic() {
+        // e_0 = 30 + 4 = 34 and e_1 = 31 − 4 = 27: the chain e_0 < e_1 has
+        // no solution, whichever free biases surround the pins.
+        let fecs = fecs_with_supports(&[30, 31]);
+        let pinned = vec![Some(4i64), Some(-4i64)];
+        let err = order_preserving_biases_pinned(&fecs, &spec(), 2, &pinned)
+            .expect_err("forced inversion must be infeasible");
+        let msg = err.to_string();
+        assert!(msg.contains("infeasible"), "{msg}");
+        assert!(msg.contains("chain"), "{msg}");
+    }
+
+    #[test]
+    fn over_budget_pin_is_an_error_not_a_panic() {
+        let fecs = fecs_with_supports(&[30, 60]);
+        let pinned = vec![Some(1000i64), None];
+        let err = order_preserving_biases_pinned(&fecs, &spec(), 2, &pinned)
+            .expect_err("pin far beyond β^m must be rejected");
+        assert!(err.to_string().contains("budget"), "{err}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! inter-window inferences"), built from §IV's two attack techniques.
 
 use crate::bounds::{support_bounds, SupportBounds};
-use bfly_common::{ItemSet, ItemsetId, Pattern, Support};
+use bfly_common::{pool, ItemSet, ItemsetId, Pattern, Support};
 use std::collections::HashMap;
 
 /// How a breach was uncovered.
@@ -43,17 +43,30 @@ const MAX_SPAN: usize = 16;
 /// Implementation: per spanning itemset `J`, one superset Möbius transform
 /// over `J`'s subset lattice computes the derived support of *every* base at
 /// once in `O(2^{|J|}·|J|)` — the inclusion–exclusion sums share almost all
-/// their terms.
+/// their terms. Spans are independent, so their transforms run in parallel;
+/// sorting the spans first makes the breach order (and everything downstream)
+/// identical at any thread count, where the old `HashMap` iteration order
+/// was not even deterministic run to run.
 pub fn find_intra_window_breaches(view: &HashMap<ItemsetId, Support>, k: Support) -> Vec<Breach> {
-    let mut breaches = Vec::new();
-    for id in view.keys() {
-        let span = id.resolve();
-        if span.len() < 2 || span.len() > MAX_SPAN {
-            continue;
-        }
-        collect_span_breaches(view, span, k, BreachKind::IntraWindow, None, &mut breaches);
-    }
-    breaches
+    let spans = eligible_spans(view);
+    pool::par_map(&spans, |span| {
+        collect_span_breaches(view, span, k, BreachKind::IntraWindow, None)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// The spanning itemsets of `view` worth analysing, in canonical (sorted)
+/// order so enumeration results never depend on hash iteration order.
+fn eligible_spans(view: &HashMap<ItemsetId, Support>) -> Vec<&'static ItemSet> {
+    let mut spans: Vec<&'static ItemSet> = view
+        .keys()
+        .map(|id| id.resolve())
+        .filter(|s| s.len() >= 2 && s.len() <= MAX_SPAN)
+        .collect();
+    spans.sort_unstable();
+    spans
 }
 
 /// Möbius-transform breach collection for one spanning itemset. When
@@ -65,8 +78,8 @@ fn collect_span_breaches(
     k: Support,
     kind: BreachKind,
     must_use: Option<&HashMap<ItemsetId, Support>>,
-    out: &mut Vec<Breach>,
-) {
+) -> Vec<Breach> {
+    let mut out = Vec::new();
     let n = span.len();
     let full_mask = (1u32 << n) - 1;
     // Gather the lattice; bail if any subset is unpublished (the empty
@@ -78,7 +91,7 @@ fn collect_span_breaches(
         let subset = span.subset_by_mask(mask);
         match ItemsetId::get(&subset).and_then(|id| view.get(&id)) {
             Some(&s) => f[mask as usize] = s as i64,
-            None => return,
+            None => return out,
         }
     }
     // Superset Möbius transform: g[m] = Σ_{m ⊆ x} (−1)^{|x\m|} f[x], i.e.
@@ -118,6 +131,7 @@ fn collect_span_breaches(
             kind,
         });
     }
+    out
 }
 
 /// Disjoint mutable access to two vector slots.
@@ -192,12 +206,17 @@ pub fn find_inter_window_breaches(
     k: Support,
 ) -> Vec<Breach> {
     // Stage 1: pin down supports that dropped out of the current release.
-    let mut augmented: HashMap<ItemsetId, Support> = HashMap::new();
-    for (&id, &prev_support) in prev {
+    // Each dropped itemset's bound derivation is independent; candidates are
+    // sorted so the fan-out (and the augmented map it produces) is a pure
+    // function of the two views.
+    let mut dropped: Vec<(ItemsetId, Support)> = prev
+        .iter()
+        .filter(|(id, _)| !curr.contains_key(id) && id.resolve().len() <= MAX_SPAN)
+        .map(|(&id, &s)| (id, s))
+        .collect();
+    dropped.sort_unstable_by_key(|(id, _)| id.resolve());
+    let pinned = pool::par_map(&dropped, |&(id, prev_support)| {
         let itemset = id.resolve();
-        if curr.contains_key(&id) || itemset.len() > MAX_SPAN {
-            continue;
-        }
         let transition = SupportBounds {
             lower: prev_support as i64 - slide as i64,
             upper: prev_support as i64 + slide as i64,
@@ -206,43 +225,37 @@ pub fn find_inter_window_breaches(
             lower: 0,
             upper: min_support as i64 - 1,
         };
-        let Some(mut combined) = transition.intersect(&unpublished) else {
-            continue;
-        };
+        let mut combined = transition.intersect(&unpublished)?;
         if let Some(lattice_bounds) = support_bounds(curr, itemset) {
-            match combined.intersect(&lattice_bounds) {
-                Some(tighter) => combined = tighter,
-                None => continue, // inconsistent (shouldn't happen on real data)
-            }
+            // An empty intersection is inconsistent (shouldn't happen on
+            // real data); treat it as "not pinned".
+            combined = combined.intersect(&lattice_bounds)?;
         }
-        if combined.is_tight() && combined.lower >= 0 {
-            augmented.insert(id, combined.lower as Support);
-        }
-    }
+        (combined.is_tight() && combined.lower >= 0).then_some((id, combined.lower as Support))
+    });
+    let augmented: HashMap<ItemsetId, Support> = pinned.into_iter().flatten().collect();
     if augmented.is_empty() {
         return Vec::new();
     }
 
     // Stage 2: derive vulnerable patterns over the augmented view, keeping
-    // only derivations that consume an augmented support.
+    // only derivations that consume an augmented support. Spans fan out as
+    // in the intra-window case.
     let mut full_view = curr.clone();
     full_view.extend(augmented.iter().map(|(&i, &s)| (i, s)));
-    let mut breaches = Vec::new();
-    for id in full_view.keys() {
-        let span = id.resolve();
-        if span.len() < 2 || span.len() > MAX_SPAN {
-            continue;
-        }
+    let spans = eligible_spans(&full_view);
+    pool::par_map(&spans, |span| {
         collect_span_breaches(
             &full_view,
             span,
             k,
             BreachKind::InterWindow,
             Some(&augmented),
-            &mut breaches,
-        );
-    }
-    breaches
+        )
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

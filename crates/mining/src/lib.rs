@@ -38,7 +38,8 @@ pub mod window_miner;
 
 pub use apriori::Apriori;
 pub use backend::{
-    BackendKind, BatchBackend, BatchMiner, DampedBackend, FpStreamBackend, MinerBackend,
+    mine_backend_matrix, BackendKind, BatchBackend, BatchMiner, DampedBackend, FpStreamBackend,
+    MinerBackend,
 };
 pub use charm::Charm;
 pub use damped::{DampedConfig, DampedMiner};

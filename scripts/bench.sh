@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Benchmark gate for the parallel execution layer.
+#
+# 1. parbench: each parallel stage timed at 1 worker and at the full worker
+#    count in-process (median of $PARBENCH_REPS reps), written with speedup
+#    ratios to BENCH_parallel.json at the repo root.
+# 2. The dependency-free overhead + mining micro-benchmark harnesses, run
+#    once at BFLY_THREADS=1 and once at the full worker count, for the
+#    per-stage context numbers.
+#
+# Pass --quick to skip step 2.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${PARBENCH_REPS:-5}"
+
+echo "==> cargo build --release -p bfly-bench"
+cargo build -q --release -p bfly-bench
+
+echo "==> parbench (${REPS} reps, writes BENCH_parallel.json)"
+cargo run -q --release -p bfly-bench --bin parbench -- --reps "${REPS}" \
+  --out BENCH_parallel.json
+
+if [[ "${1:-}" != "--quick" ]]; then
+  for bench in overhead mining; do
+    echo "==> bench ${bench} (1 thread)"
+    BFLY_THREADS=1 cargo bench -q -p bfly-bench --bench "$bench"
+    echo "==> bench ${bench} (all threads)"
+    cargo bench -q -p bfly-bench --bench "$bench"
+  done
+fi
+
+echo "==> wrote BENCH_parallel.json"

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --workspace --all-targets"
+cargo build -q --workspace --all-targets
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 

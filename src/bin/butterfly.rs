@@ -35,6 +35,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--threads` applies to every subcommand: it pins the worker count of
+    // the workspace pool (attack enumeration, order DP). Absent, the
+    // `BFLY_THREADS` env var or the hardware decides.
+    if let Some(threads) = opts.get("threads") {
+        match threads.parse::<usize>() {
+            Ok(n) if n > 0 => butterfly_repro::common::pool::set_threads(n),
+            _ => {
+                eprintln!("error: --threads needs a positive integer, got {threads:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match command.as_str() {
         "gen" => cmd_gen(&opts),
         "mine" => cmd_mine(&opts),
@@ -66,7 +78,11 @@ USAGE:
   butterfly protect --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
                     --epsilon <E> --delta <D> [--scheme <basic|order|ratio|hybrid>]
                     [--backend <moment|apriori|eclat|fpgrowth|charm|closed|fpstream|damped>]
-                    [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--out <file.jsonl>]";
+                    [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--out <file.jsonl>]
+
+Every command also accepts --threads <N> to pin the worker-thread count of
+the parallel phases (default: BFLY_THREADS, else all hardware threads;
+results are identical at any thread count).";
 
 type Flags = HashMap<String, String>;
 
