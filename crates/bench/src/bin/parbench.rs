@@ -1,21 +1,31 @@
 //! `parbench` — measures the parallel execution layer against its own
-//! serial path, stage by stage, and writes `BENCH_parallel.json`.
+//! serial path, stage by stage, and the vertical support-counting engine
+//! against the naive scan path. Appends one timestamped run entry per
+//! invocation to `BENCH_parallel.json` (parallel stages) and
+//! `BENCH_support.json` (counting stages), so the perf trajectory across
+//! changes is preserved.
 //!
-//! Each stage runs the identical workload at `--threads 1` and at the full
-//! worker count (in-process, via `pool::set_threads`), takes the median of
-//! `--reps` repetitions, and reports the speedup. Because the workspace's
-//! determinism contract makes thread count a pure throughput knob, the two
-//! runs produce bit-identical results — only the wall clock differs.
+//! Each parallel stage runs the identical workload at `--threads 1` and at
+//! the full worker count (in-process, via `pool::set_threads`), takes the
+//! median of `--reps` repetitions, and reports the speedup. Because the
+//! workspace's determinism contract makes thread count a pure throughput
+//! knob, the two runs produce bit-identical results — only the wall clock
+//! differs. Each counting stage runs the identical workload through the
+//! per-transaction scan baseline and through the tid-bitmap vertical path.
 //!
 //! Run: `cargo run --release -p bfly-bench --bin parbench`
-//!       `[--reps <R>] [--out <path.json>]`
+//!       `[--reps <R>] [--out <path.json>] [--support-out <path.json>]`
 
-use bfly_bench::{collect_truths, evaluate_cells, ExperimentConfig};
-use bfly_common::{pool, Json, SlidingWindow};
+use bfly_bench::{
+    audit_breaches_scan, audit_breaches_vertical, collect_truths, evaluate_cells, support_workload,
+    ExperimentConfig,
+};
+use bfly_common::{pool, Json, SlidingWindow, Support, TidScratch, VerticalIndex};
 use bfly_core::{BiasScheme, PrivacySpec, Publisher};
 use bfly_datagen::DatasetProfile;
 use bfly_inference::attack::{find_inter_window_breaches, find_intra_window_breaches};
 use bfly_mining::{mine_backend_matrix, BackendKind, FpGrowth, MinerBackend};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Median wall-clock of `reps` runs of `f`, in milliseconds.
@@ -32,20 +42,74 @@ fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// Time one stage at 1 thread and at `n` threads; print and record a row.
+/// The row records the worker count actually installed for the `tn_ms`
+/// measurement (read back from the pool, not assumed).
 fn stage<T>(name: &str, reps: usize, n: usize, mut f: impl FnMut() -> T) -> Json {
     pool::set_threads(1);
     let t1 = median_ms(reps, &mut f);
     pool::set_threads(n);
+    let workers = pool::current_threads();
     let tn = median_ms(reps, &mut f);
     pool::set_threads(0);
     let speedup = t1 / tn.max(1e-9);
-    println!("{name:<18} 1 thread {t1:>9.2} ms   {n} threads {tn:>9.2} ms   speedup {speedup:.2}x");
+    println!(
+        "{name:<18} 1 thread {t1:>9.2} ms   {workers} threads {tn:>9.2} ms   speedup {speedup:.2}x"
+    );
     Json::obj([
         ("name", Json::from(name)),
         ("t1_ms", Json::from(t1)),
         ("tn_ms", Json::from(tn)),
+        ("workers", Json::from(workers as u64)),
         ("speedup", Json::from(speedup)),
     ])
+}
+
+/// Time one counting workload through the scan baseline and through the
+/// vertical tid-bitmap path; print and record a row.
+fn counting_stage<S, V>(
+    name: &str,
+    reps: usize,
+    mut scan: impl FnMut() -> S,
+    mut vertical: impl FnMut() -> V,
+) -> Json {
+    let scan_ms = median_ms(reps, &mut scan);
+    let vertical_ms = median_ms(reps, &mut vertical);
+    let speedup = scan_ms / vertical_ms.max(1e-9);
+    println!(
+        "{name:<18} scan {scan_ms:>11.2} ms   vertical {vertical_ms:>9.2} ms   speedup {speedup:.2}x"
+    );
+    Json::obj([
+        ("name", Json::from(name)),
+        ("scan_ms", Json::from(scan_ms)),
+        ("vertical_ms", Json::from(vertical_ms)),
+        ("speedup", Json::from(speedup)),
+    ])
+}
+
+/// Append `run` to the `runs` array of the JSON document at `path`,
+/// creating the document if absent. A legacy flat-object file (pre-append
+/// format) is preserved as the first run entry.
+fn append_run(path: &str, run: Json) {
+    let mut runs: Vec<Json> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .map(|doc| match doc.get("runs").and_then(Json::as_array) {
+            Some(existing) => existing.to_vec(),
+            None => vec![doc],
+        })
+        .unwrap_or_default();
+    runs.push(run);
+    let doc = Json::obj([("runs", Json::Arr(runs))]);
+    std::fs::write(path, format!("{doc}\n")).expect("write benchmark json");
+    println!("appended run to {path}");
+}
+
+/// Seconds since the Unix epoch, for the run entries' `ts` field.
+fn epoch_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 fn arg(flag: &str) -> Option<String> {
@@ -61,6 +125,7 @@ fn arg(flag: &str) -> Option<String> {
 fn main() {
     let reps: usize = arg("--reps").and_then(|v| v.parse().ok()).unwrap_or(5);
     let out = arg("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let support_out = arg("--support-out").unwrap_or_else(|| "BENCH_support.json".to_string());
     pool::set_threads(0);
     let n = pool::current_threads();
     println!("parbench: {reps} reps per point, full worker count = {n}");
@@ -155,11 +220,61 @@ fn main() {
         p.publish(&densest.closed)
     }));
 
-    let doc = Json::obj([
-        ("workers", Json::from(n as u64)),
-        ("reps", Json::from(reps as u64)),
-        ("stages", Json::Arr(rows)),
-    ]);
-    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark json");
-    println!("wrote {out}");
+    append_run(
+        &out,
+        Json::obj([
+            ("ts", Json::from(epoch_seconds())),
+            ("workers", Json::from(n as u64)),
+            ("reps", Json::from(reps as u64)),
+            ("stages", Json::Arr(rows)),
+        ]),
+    );
+
+    // ------ Vertical vs. scan support counting (serial, algorithmic) ------
+
+    // Positive itemset supports: every frequent itemset of the default
+    // window, counted by the per-transaction subset scan and by build-index-
+    // then-intersect-and-popcount (the transposition cost is charged to the
+    // vertical path).
+    let (db, itemsets) = support_workload(&cfg);
+    println!(
+        "support workload: {} records, {} itemsets",
+        db.len(),
+        itemsets.len()
+    );
+    let mut counting_rows = Vec::new();
+    counting_rows.push(counting_stage(
+        "support_counting",
+        reps,
+        || db.supports(itemsets.iter()),
+        || {
+            let index = VerticalIndex::of_database(&db);
+            let mut scratch = TidScratch::new();
+            let counts: HashMap<&bfly_common::ItemSet, Support> = itemsets
+                .iter()
+                .map(|i| (i, index.support(i, &mut scratch)))
+                .collect();
+            counts
+        },
+    ));
+
+    // Ground-truth pattern counting: re-verify every enumerated breach of
+    // every truth window against the raw stream, once via the incrementally
+    // maintained vertical oracle and once via per-window database scans.
+    counting_rows.push(counting_stage(
+        "truth_counting",
+        reps,
+        || audit_breaches_scan(&cfg, &truths),
+        || audit_breaches_vertical(&cfg, &truths),
+    ));
+
+    append_run(
+        &support_out,
+        Json::obj([
+            ("ts", Json::from(epoch_seconds())),
+            ("workers", Json::from(n as u64)),
+            ("reps", Json::from(reps as u64)),
+            ("stages", Json::Arr(counting_rows)),
+        ]),
+    );
 }

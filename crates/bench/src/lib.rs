@@ -15,7 +15,8 @@ pub mod timing;
 pub mod tuning;
 
 pub use runner::{
-    collect_truths, evaluate_cells, evaluate_scheme, EvalResult, ExperimentConfig, WindowTruth,
+    audit_breaches_scan, audit_breaches_vertical, collect_truths, evaluate_cells, evaluate_scheme,
+    support_workload, EvalResult, ExperimentConfig, WindowTruth,
 };
 pub use table::{write_csv, Table};
 pub use timing::bench;

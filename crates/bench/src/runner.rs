@@ -7,11 +7,12 @@
 //! owns its `Publisher` seeded from the cell tuple, so results are
 //! identical at any thread count.
 
-use bfly_common::{pool, SlidingWindow, Support};
+use bfly_common::{pool, Database, ItemSet, SlidingWindow, Support};
 use bfly_core::metrics::{avg_pred, avg_prig, ropp, rrpp};
 use bfly_core::{BiasScheme, PrivacySpec, Publisher};
 use bfly_datagen::DatasetProfile;
 use bfly_inference::attack::{find_inter_window_breaches, find_intra_window_breaches, Breach};
+use bfly_inference::GroundTruth;
 use bfly_mining::closed::expand_closed;
 use bfly_mining::{BackendKind, FrequentItemsets, MinerBackend};
 
@@ -120,6 +121,81 @@ pub fn collect_truths(config: &ExperimentConfig) -> Vec<WindowTruth> {
         .zip(breaches)
         .map(|((closed, _), breaches)| WindowTruth { closed, breaches })
         .collect()
+}
+
+/// Verify every breach of every truth window against the raw stream using
+/// the **vertical** ground-truth oracle: one [`GroundTruth`] maintained
+/// incrementally across the replayed slides, one AND/AND-NOT + popcount per
+/// pattern. Returns the number of patterns verified.
+///
+/// # Panics
+/// If any breach's claimed support disagrees with the raw window — the
+/// breach enumerator derives supports through the lattice identity, so a
+/// mismatch means either the enumerator or the counting engine is wrong.
+pub fn audit_breaches_vertical(config: &ExperimentConfig, truths: &[WindowTruth]) -> usize {
+    let mut source = config.profile.source(config.seed);
+    let mut window = SlidingWindow::new(config.window);
+    let mut truth = GroundTruth::new(config.window);
+    for _ in 0..config.window - 1 {
+        truth.apply(&window.slide(source.next_transaction()));
+    }
+    let mut verified = 0;
+    for t in truths {
+        truth.apply(&window.slide(source.next_transaction()));
+        truth.seed_supports(t.closed.iter().map(|e| (e.id, e.support)));
+        for b in &t.breaches {
+            assert_eq!(
+                truth.pattern_support(&b.pattern),
+                b.support,
+                "breach {} disagrees with the raw window",
+                b.pattern
+            );
+            verified += 1;
+        }
+    }
+    verified
+}
+
+/// The scan twin of [`audit_breaches_vertical`]: identical replay and
+/// checks, but every pattern is counted by the naive per-transaction subset
+/// scan over the materialized window database. Exists as the baseline the
+/// `truth_counting` parbench stage prices the vertical path against.
+pub fn audit_breaches_scan(config: &ExperimentConfig, truths: &[WindowTruth]) -> usize {
+    let mut source = config.profile.source(config.seed);
+    let mut window = SlidingWindow::new(config.window);
+    for _ in 0..config.window - 1 {
+        window.slide(source.next_transaction());
+    }
+    let mut verified = 0;
+    for t in truths {
+        window.slide(source.next_transaction());
+        let db = window.database();
+        for b in &t.breaches {
+            assert_eq!(
+                db.pattern_support(&b.pattern),
+                b.support,
+                "breach {} disagrees with the raw window",
+                b.pattern
+            );
+            verified += 1;
+        }
+    }
+    verified
+}
+
+/// Workload for the `support_counting` parbench stage: one full window of
+/// the config's stream plus every frequent itemset at `C` — the candidate
+/// set both counting paths must price.
+pub fn support_workload(config: &ExperimentConfig) -> (Database, Vec<ItemSet>) {
+    let mut source = config.profile.source(config.seed);
+    let mut window = SlidingWindow::new(config.window);
+    for _ in 0..config.window {
+        window.slide(source.next_transaction());
+    }
+    let db = window.database();
+    let frequent = bfly_mining::Eclat::new(config.c).mine(&db);
+    let itemsets = frequent.iter().map(|e| e.itemset().clone()).collect();
+    (db, itemsets)
 }
 
 /// Averaged metrics over a run.
@@ -234,6 +310,30 @@ mod tests {
                 assert!(b.support >= 1 && b.support <= cfg.k);
             }
             assert!(!t.closed.is_empty(), "window mined nothing");
+        }
+    }
+
+    #[test]
+    fn vertical_and_scan_audits_agree() {
+        let cfg = tiny_config();
+        let truths = collect_truths(&cfg);
+        let vertical = audit_breaches_vertical(&cfg, &truths);
+        let scan = audit_breaches_scan(&cfg, &truths);
+        assert_eq!(vertical, scan);
+        let total: usize = truths.iter().map(|t| t.breaches.len()).sum();
+        assert_eq!(vertical, total, "every breach must be audited");
+        assert!(total > 0, "audit would be vacuous with no breaches");
+    }
+
+    #[test]
+    fn support_workload_is_countable_both_ways() {
+        let cfg = tiny_config();
+        let (db, itemsets) = support_workload(&cfg);
+        assert!(!itemsets.is_empty());
+        let index = bfly_common::VerticalIndex::of_database(&db);
+        let mut scratch = bfly_common::TidScratch::new();
+        for i in &itemsets {
+            assert_eq!(index.support(i, &mut scratch), db.support(i), "T({i})");
         }
     }
 

@@ -84,14 +84,42 @@ impl DenseItemSet {
     }
 
     /// Subset test — the hot-path operation: `self ⊆ other` iff every word
-    /// of `self` is covered by the corresponding word of `other`.
+    /// of `self` is covered by the corresponding word of `other`. Exits on
+    /// the first mismatching word.
     #[inline]
     pub fn is_subset_of(&self, other: &DenseItemSet) -> bool {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        for (a, b) in self.words.iter().zip(&other.words) {
+            if a & !b != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// In-place union `self |= other` — use instead of [`DenseItemSet::union`]
+    /// when the old value would be dropped anyway.
+    pub fn union_with(&mut self, other: &DenseItemSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection `self &= other`.
+    pub fn intersect_with(&mut self, other: &DenseItemSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference `self \= other`.
+    pub fn difference_with(&mut self, other: &DenseItemSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
     }
 
     /// Union.
@@ -206,6 +234,16 @@ mod tests {
                 "{x} \\ {y}"
             );
             assert_eq!(dx.is_subset_of(&dy), sx.is_subset_of(&sy), "{x} ⊆ {y}");
+            // In-place forms agree with the allocating ones.
+            let mut u = dx.clone();
+            u.union_with(&dy);
+            assert_eq!(u, dx.union(&dy), "{x} ∪= {y}");
+            let mut i = dx.clone();
+            i.intersect_with(&dy);
+            assert_eq!(i, dx.intersection(&dy), "{x} ∩= {y}");
+            let mut d = dx.clone();
+            d.difference_with(&dy);
+            assert_eq!(d, dx.difference(&dy), "{x} \\= {y}");
         }
     }
 

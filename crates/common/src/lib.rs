@@ -23,6 +23,7 @@ pub mod json;
 pub mod pattern;
 pub mod pool;
 pub mod rng;
+pub mod tidmap;
 pub mod transaction;
 pub mod window;
 
@@ -35,6 +36,7 @@ pub use itemset::ItemSet;
 pub use json::Json;
 pub use pattern::Pattern;
 pub use rng::{Rng, SmallRng};
+pub use tidmap::{SupportMemo, TidBitmap, TidScratch, VerticalIndex};
 pub use transaction::Transaction;
 pub use window::{SlidingWindow, WindowDelta};
 

@@ -2,7 +2,8 @@
 
 use crate::publisher::Publisher;
 use crate::release::SanitizedRelease;
-use bfly_common::{Error, Result, SlidingWindow, Transaction};
+use bfly_common::{Error, ItemSet, Pattern, Result, SlidingWindow, Support, Transaction};
+use bfly_inference::GroundTruth;
 use bfly_mining::{BackendKind, FrequentItemsets, MinerBackend, MomentMiner};
 
 /// One published window: the miner's (true) closed frequent itemsets and the
@@ -29,6 +30,10 @@ pub struct StreamPipeline<B: MinerBackend = MomentMiner> {
     window: SlidingWindow,
     miner: B,
     publisher: Publisher,
+    /// Vertical ground-truth oracle maintained from the same deltas the
+    /// miner sees; breach analysis queries it instead of re-scanning the
+    /// materialized window database.
+    truth: GroundTruth,
 }
 
 impl StreamPipeline<MomentMiner> {
@@ -58,6 +63,7 @@ impl<B: MinerBackend> StreamPipeline<B> {
             window: SlidingWindow::new(window_size),
             miner,
             publisher,
+            truth: GroundTruth::new(window_size),
         }
     }
 
@@ -77,10 +83,15 @@ impl<B: MinerBackend> StreamPipeline<B> {
     pub fn step(&mut self, t: Transaction) -> Option<WindowRelease> {
         let delta = self.window.slide(t);
         self.miner.apply(&delta);
+        self.truth.apply(&delta);
         if !self.window.is_full() {
             return None;
         }
         let closed = self.miner.closed_frequent();
+        // The miner already counted every closed support: seed the window's
+        // memo so truth queries for published itemsets cost a map lookup.
+        self.truth
+            .seed_supports(closed.iter().map(|e| (e.id, e.support)));
         let release = self.publisher.publish(&closed);
         debug_assert!(
             crate::audit::audit_release(self.publisher.spec(), &release).is_empty(),
@@ -98,6 +109,7 @@ impl<B: MinerBackend> StreamPipeline<B> {
     pub fn advance(&mut self, t: Transaction) {
         let delta = self.window.slide(t);
         self.miner.apply(&delta);
+        self.truth.apply(&delta);
     }
 
     /// Publish the current window explicitly.
@@ -114,6 +126,8 @@ impl<B: MinerBackend> StreamPipeline<B> {
             });
         }
         let closed = self.miner.closed_frequent();
+        self.truth
+            .seed_supports(closed.iter().map(|e| (e.id, e.support)));
         let release = self.publisher.publish(&closed);
         Ok(WindowRelease {
             stream_len: self.window.stream_len(),
@@ -126,6 +140,23 @@ impl<B: MinerBackend> StreamPipeline<B> {
     /// database for breach analysis).
     pub fn window(&self) -> &SlidingWindow {
         &self.window
+    }
+
+    /// Exact support `T(I)` in the current window, via the maintained
+    /// vertical index (memoized per window; published itemsets are free).
+    pub fn truth_support(&mut self, itemset: &ItemSet) -> Support {
+        self.truth.support(itemset)
+    }
+
+    /// Exact support `T(p)` of a generalized pattern in the current window
+    /// — the query breach verification runs per candidate.
+    pub fn truth_pattern_support(&mut self, pattern: &Pattern) -> Support {
+        self.truth.pattern_support(pattern)
+    }
+
+    /// The maintained ground-truth oracle itself.
+    pub fn ground_truth(&mut self) -> &mut GroundTruth {
+        &mut self.truth
     }
 }
 
@@ -201,6 +232,27 @@ mod tests {
             }
             other => panic!("expected PartialWindow, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn truth_oracle_tracks_the_window() {
+        let spec = PrivacySpec::new(4, 1, 0.2, 0.5);
+        let publisher = Publisher::new(spec, BiasScheme::Basic, 1);
+        let mut pipe = StreamPipeline::new(8, publisher);
+        let ac: ItemSet = "ac".parse().unwrap();
+        let p: Pattern = "c¬a¬b".parse().unwrap();
+        for t in fig2_stream() {
+            pipe.step(t);
+            let db = pipe.window().database();
+            assert_eq!(pipe.truth_support(&ac), db.support(&ac));
+            assert_eq!(pipe.truth_pattern_support(&p), db.pattern_support(&p));
+        }
+        // Fig. 3 / Example 3 values in Ds(12, 8).
+        assert_eq!(pipe.truth_support(&ac), 5);
+        assert_eq!(pipe.truth_pattern_support(&p), 1);
+        // Published itemsets were seeded: at least one lookup hit the memo.
+        let (hits, _) = pipe.ground_truth().memo_stats();
+        assert!(hits > 0);
     }
 
     #[test]

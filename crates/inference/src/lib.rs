@@ -18,6 +18,9 @@
 //!   tractable fragment of FREQSAT (Prior Knowledge 1).
 //! * [`knowledge`] — knowledge points (Prior Knowledge 3) and the variance
 //!   compensation that restores the privacy floor under side information.
+//! * [`truth`] — the exact support oracle the evaluations compare against:
+//!   vertical tid-bitmap counting with cross-window delta maintenance and
+//!   per-window memoization.
 
 pub mod adversary;
 pub mod attack;
@@ -27,6 +30,7 @@ pub mod derive;
 pub mod knowledge;
 pub mod lattice;
 pub mod residual;
+pub mod truth;
 
 pub use attack::{find_inter_window_breaches, find_intra_window_breaches, Breach};
 pub use bounds::support_bounds;
@@ -35,3 +39,4 @@ pub use derive::{derive_pattern_support, derive_pattern_support_f64, SupportView
 pub use knowledge::KnowledgeModel;
 pub use lattice::Lattice;
 pub use residual::{claim_breaches, score_claims, AttackScore, BreachClaim};
+pub use truth::GroundTruth;

@@ -94,8 +94,10 @@ impl AttackScore {
 }
 
 /// Score a claim set against the window's ground truth: every claim is
-/// verified by a direct database scan, and missed vulnerable patterns are
-/// counted over the same candidate space (`spans` × proper bases).
+/// verified against the vertical tid-bitmap oracle (one transposition of
+/// the window, then AND/AND-NOT + popcount per pattern), and missed
+/// vulnerable patterns are counted over the same candidate space
+/// (`spans` × proper bases).
 pub fn score_claims(
     claims: &[BreachClaim],
     db: &Database,
@@ -103,10 +105,11 @@ pub fn score_claims(
     k: Support,
     max_span: usize,
 ) -> AttackScore {
+    let mut truth_oracle = crate::truth::GroundTruth::of_database(db);
     let mut score = AttackScore::default();
     let mut claimed: HashMap<(ItemSet, ItemSet), bool> = HashMap::new();
     for claim in claims {
-        let truth = db.pattern_support(&claim.pattern);
+        let truth = truth_oracle.pattern_support(&claim.pattern);
         let correct = truth >= 1 && truth <= k;
         if correct {
             score.true_positives += 1;
@@ -126,7 +129,7 @@ pub fn score_claims(
                 continue;
             }
             let pattern = Pattern::from_lattice(&base, span).expect("base ⊂ span");
-            let truth = db.pattern_support(&pattern);
+            let truth = truth_oracle.pattern_support(&pattern);
             if truth >= 1 && truth <= k {
                 score.false_negatives += 1;
             }

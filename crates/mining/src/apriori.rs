@@ -1,8 +1,8 @@
 //! Level-wise Apriori miner — the correctness oracle for the other miners.
 
 use crate::result::FrequentItemsets;
-use bfly_common::{Database, Item, ItemSet, Support};
-use std::collections::{HashMap, HashSet};
+use bfly_common::{Database, ItemSet, Support, TidScratch, VerticalIndex};
+use std::collections::HashSet;
 
 /// Classic Apriori (Agrawal & Srikant 1994): generate candidates level by
 /// level, prune by the downward-closure property, count by a database scan.
@@ -35,14 +35,21 @@ impl Apriori {
     pub fn mine(&self, db: &Database) -> FrequentItemsets {
         let mut out: Vec<(ItemSet, Support)> = Vec::new();
 
-        // Level 1 from a single scan.
-        let mut level: Vec<ItemSet> = db
-            .item_frequencies()
+        // One pass transposes the database; all counting below is
+        // intersect-and-popcount on the vertical index.
+        let index = VerticalIndex::of_database(db);
+        let mut scratch = TidScratch::new();
+
+        // Level 1 straight off the item bitmaps.
+        let mut level: Vec<ItemSet> = index
+            .live_items()
             .into_iter()
-            .filter(|&(_, count)| count >= self.min_support)
-            .map(|(item, count)| {
-                out.push((ItemSet::singleton(item), count));
-                ItemSet::singleton(item)
+            .filter_map(|item| {
+                let count = index.item_bits(item).map_or(0, |b| b.count() as Support);
+                (count >= self.min_support).then(|| {
+                    out.push((ItemSet::singleton(item), count));
+                    ItemSet::singleton(item)
+                })
             })
             .collect();
         level.sort_unstable();
@@ -52,10 +59,9 @@ impl Apriori {
             if candidates.is_empty() {
                 break;
             }
-            let counts = count_candidates(db, &candidates);
             let mut next: Vec<ItemSet> = Vec::new();
             for cand in candidates {
-                let support = counts.get(&cand).copied().unwrap_or(0);
+                let support = index.support(&cand, &mut scratch);
                 if support >= self.min_support {
                     out.push((cand.clone(), support));
                     next.push(cand);
@@ -96,28 +102,6 @@ impl Apriori {
         candidates.dedup();
         candidates
     }
-}
-
-/// Count candidate supports with one scan, bucketing candidates by their
-/// first item to avoid testing every candidate against every record.
-fn count_candidates(db: &Database, candidates: &[ItemSet]) -> HashMap<ItemSet, Support> {
-    let mut by_first: HashMap<Item, Vec<&ItemSet>> = HashMap::new();
-    for cand in candidates {
-        by_first.entry(cand.items()[0]).or_default().push(cand);
-    }
-    let mut counts: HashMap<ItemSet, Support> = HashMap::with_capacity(candidates.len());
-    for record in db.records() {
-        for item in record.items().iter() {
-            if let Some(bucket) = by_first.get(&item) {
-                for cand in bucket {
-                    if cand.is_subset_of(record.items()) {
-                        *counts.entry((*cand).clone()).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-    }
-    counts
 }
 
 #[cfg(test)]

@@ -3,14 +3,15 @@
 //! others, and the natural baseline for tidset-based CHARM.
 
 use crate::result::FrequentItemsets;
-use bfly_common::{Database, Item, ItemSet, Support};
-use std::collections::HashMap;
+use bfly_common::{Database, Item, ItemSet, Support, TidBitmap, VerticalIndex};
 
 /// Eclat miner: equivalence-class decomposition with tidset intersection.
 ///
-/// The database is transposed once into per-item tidsets; the search then
-/// extends prefixes depth-first, computing each candidate's support as the
-/// intersection of two tidsets — no further database scans.
+/// The database is transposed once into per-item [`TidBitmap`]s; the search
+/// then extends prefixes depth-first, computing each candidate's support as
+/// a word-level AND + popcount — no further database scans, and no
+/// allocation inside the recursion (one scratch bitmap per search depth,
+/// allocated up front).
 #[derive(Clone, Copy, Debug)]
 pub struct Eclat {
     min_support: Support,
@@ -33,43 +34,55 @@ impl Eclat {
 
     /// Mine all frequent itemsets of `db`.
     pub fn mine(&self, db: &Database) -> FrequentItemsets {
-        // Transpose: item → sorted tid list.
-        let mut vertical: HashMap<Item, Vec<u32>> = HashMap::new();
-        for (pos, record) in db.records().iter().enumerate() {
-            for item in record.items().iter() {
-                vertical.entry(item).or_default().push(pos as u32);
-            }
-        }
-        let mut atoms: Vec<(Item, Vec<u32>)> = vertical
+        // Transpose once into the vertical index, keep the frequent atoms.
+        let index = VerticalIndex::of_database(db);
+        let atoms: Vec<(Item, TidBitmap)> = index
+            .live_items()
             .into_iter()
-            .filter(|(_, tids)| tids.len() as Support >= self.min_support)
+            .filter_map(|item| {
+                let bits = index.item_bits(item)?;
+                (bits.count() as Support >= self.min_support).then(|| (item, bits.clone()))
+            })
             .collect();
-        atoms.sort_unstable_by_key(|(item, _)| *item);
+
+        // One scratch bitmap per possible search depth: the prefix can grow
+        // by at most one atom per level, so `atoms.len()` buffers cover the
+        // deepest branch and the recursion never allocates.
+        let mut bufs = vec![TidBitmap::new(index.capacity()); atoms.len()];
 
         let mut out: Vec<(ItemSet, Support)> = Vec::new();
         for (idx, (item, tids)) in atoms.iter().enumerate() {
             let prefix = ItemSet::singleton(*item);
-            out.push((prefix.clone(), tids.len() as Support));
-            self.extend(&prefix, tids, &atoms[idx + 1..], &mut out);
+            out.push((prefix.clone(), tids.count() as Support));
+            self.extend(&prefix, tids, &atoms[idx + 1..], &mut bufs, &mut out);
         }
         FrequentItemsets::new(out)
     }
 
-    /// Depth-first extension of `prefix` (with tidset `tids`) by each
-    /// remaining atom.
+    /// Depth-first extension of `prefix` (with tid bitmap `tids`) by each
+    /// remaining atom; `bufs` holds one scratch bitmap per remaining depth.
     fn extend(
         &self,
         prefix: &ItemSet,
-        tids: &[u32],
-        rest: &[(Item, Vec<u32>)],
+        tids: &TidBitmap,
+        rest: &[(Item, TidBitmap)],
+        bufs: &mut [TidBitmap],
         out: &mut Vec<(ItemSet, Support)>,
     ) {
+        if rest.is_empty() {
+            return;
+        }
+        let (buf, deeper) = bufs
+            .split_first_mut()
+            .expect("one scratch bitmap per depth");
         for (idx, (item, item_tids)) in rest.iter().enumerate() {
-            let joint = intersect_sorted(tids, item_tids);
-            if joint.len() as Support >= self.min_support {
+            buf.copy_from(tids);
+            buf.intersect_with(item_tids);
+            let support = buf.count() as Support;
+            if support >= self.min_support {
                 let extended = prefix.with(*item);
-                out.push((extended.clone(), joint.len() as Support));
-                self.extend(&extended, &joint, &rest[idx + 1..], out);
+                out.push((extended.clone(), support));
+                self.extend(&extended, buf, &rest[idx + 1..], deeper, out);
             }
         }
     }

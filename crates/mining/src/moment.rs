@@ -26,10 +26,14 @@
 use crate::closed::expand_closed;
 use crate::result::FrequentItemsets;
 use crate::window_miner::WindowMiner;
-use bfly_common::{Item, ItemSet, Support, Transaction};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use bfly_common::{Item, ItemSet, Support, TidBitmap, Transaction, VerticalIndex};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 type Tid = u64;
+
+/// Starting ring size for the miner's vertical index; doubled (and the CET
+/// remapped) whenever the live tid range outgrows it.
+const INITIAL_RING: usize = 64;
 
 /// The four CET node types.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,18 +50,20 @@ enum NodeKind {
 struct CetNode {
     /// Extension item that created this node; `None` only for the root.
     item: Option<Item>,
-    /// Exact tidset of the node's itemset within the current window.
-    tids: HashSet<Tid>,
+    /// Exact tidset of the node's itemset within the current window, as a
+    /// bitmap over the miner's ring slots (cached popcount: `support()` is
+    /// O(1)).
+    tids: TidBitmap,
     kind: NodeKind,
     /// Children keyed by extension item (all `> self.item`).
     children: BTreeMap<Item, CetNode>,
 }
 
 impl CetNode {
-    fn root() -> Self {
+    fn root(capacity: usize) -> Self {
         CetNode {
             item: None,
-            tids: HashSet::new(),
+            tids: TidBitmap::new(capacity),
             // The root is permanently treated as promising so updates always
             // descend into the singleton layer; it is never output.
             kind: NodeKind::Intermediate,
@@ -66,7 +72,7 @@ impl CetNode {
     }
 
     fn support(&self) -> Support {
-        self.tids.len() as Support
+        self.tids.count() as Support
     }
 
     fn is_root(&self) -> bool {
@@ -84,18 +90,20 @@ impl CetNode {
 struct Ctx<'a> {
     min_support: Support,
     txs: &'a HashMap<Tid, ItemSet>,
-    item_tids: &'a HashMap<Item, HashSet<Tid>>,
+    index: &'a VerticalIndex,
 }
 
 impl Ctx<'_> {
     /// LCM prefix-preservation test: is some skipped item (ordered before
     /// `own_item`, not in `itemset`) present in *every* supporting
     /// transaction? Candidates are read off one supporting transaction
-    /// (such an item must occur in all of them, so in particular the first).
-    fn is_unpromising(&self, itemset: &ItemSet, own_item: Item, tids: &HashSet<Tid>) -> bool {
-        let Some(&witness) = tids.iter().next() else {
+    /// (such an item must occur in all of them, so in particular the first);
+    /// the "every" check is a word-level bitmap subset test.
+    fn is_unpromising(&self, itemset: &ItemSet, own_item: Item, tids: &TidBitmap) -> bool {
+        let Some(witness_slot) = tids.first_slot() else {
             return false;
         };
+        let witness = self.index.slot_tid(witness_slot);
         for cand in self.txs[&witness].iter() {
             if cand >= own_item {
                 break; // transaction items are ascending
@@ -103,8 +111,8 @@ impl Ctx<'_> {
             if itemset.contains(cand) {
                 continue;
             }
-            if let Some(cand_tids) = self.item_tids.get(&cand) {
-                if tids.iter().all(|t| cand_tids.contains(t)) {
+            if let Some(cand_tids) = self.index.item_bits(cand) {
+                if tids.is_subset_of(cand_tids) {
                     return true;
                 }
             }
@@ -117,15 +125,24 @@ impl Ctx<'_> {
 /// node is frequent and promising. Sets the node's closed/intermediate kind.
 fn explore(node: &mut CetNode, itemset: &ItemSet, ctx: &Ctx) {
     node.children.clear();
-    let mut child_tids: BTreeMap<Item, HashSet<Tid>> = BTreeMap::new();
-    for &tid in &node.tids {
+    // Candidate extension items come from the supporting transactions; each
+    // child's exact tidset is then one AND with the item's bitmap.
+    let mut cand_items: BTreeSet<Item> = BTreeSet::new();
+    for slot in node.tids.iter_slots() {
+        let tid = ctx.index.slot_tid(slot);
         for item in ctx.txs[&tid].iter() {
             if node.extends(item) {
-                child_tids.entry(item).or_default().insert(tid);
+                cand_items.insert(item);
             }
         }
     }
-    for (item, tids) in child_tids {
+    for item in cand_items {
+        let item_bits = ctx
+            .index
+            .item_bits(item)
+            .expect("candidate item occurs in a live transaction");
+        let mut tids = node.tids.clone();
+        tids.intersect_with(item_bits);
         let child_itemset = itemset.with(item);
         let mut child = CetNode {
             item: Some(item),
@@ -154,18 +171,18 @@ fn classify_and_build(node: &mut CetNode, itemset: &ItemSet, ctx: &Ctx) {
 
 /// Recompute closed-vs-intermediate from the children's supports.
 fn refresh_closure(node: &mut CetNode) {
-    let support = node.tids.len();
-    node.kind = if node.children.values().any(|c| c.tids.len() == support) {
+    let support = node.tids.count();
+    node.kind = if node.children.values().any(|c| c.tids.count() == support) {
         NodeKind::Intermediate
     } else {
         NodeKind::Closed
     };
 }
 
-/// Insert `tid` (with itemset `t`) into every CET node whose itemset it
-/// supports. Precondition: the node's itemset ⊆ `t`.
-fn insert_rec(node: &mut CetNode, itemset: &ItemSet, t: &ItemSet, tid: Tid, ctx: &Ctx) {
-    node.tids.insert(tid);
+/// Insert the transaction at ring slot `slot` (with itemset `t`) into every
+/// CET node whose itemset it supports. Precondition: the node's itemset ⊆ `t`.
+fn insert_rec(node: &mut CetNode, itemset: &ItemSet, t: &ItemSet, slot: usize, ctx: &Ctx) {
+    node.tids.set(slot);
     match node.kind {
         NodeKind::InfrequentGateway | NodeKind::UnpromisingGateway => {
             if node.support() >= ctx.min_support {
@@ -190,14 +207,16 @@ fn insert_rec(node: &mut CetNode, itemset: &ItemSet, t: &ItemSet, tid: Tid, ctx:
                 }
                 let child_itemset = itemset.with(item);
                 match node.children.get_mut(&item) {
-                    Some(child) => insert_rec(child, &child_itemset, t, tid, ctx),
+                    Some(child) => insert_rec(child, &child_itemset, t, slot, ctx),
                     None => {
                         // Every earlier supporting transaction lacked this
                         // item (children are exhaustive for a promising
-                        // node), so the child's tidset is exactly {tid}.
+                        // node), so the child's tidset is exactly {slot}.
+                        let mut tids = TidBitmap::new(ctx.index.capacity());
+                        tids.set(slot);
                         let mut child = CetNode {
                             item: Some(item),
-                            tids: HashSet::from([tid]),
+                            tids,
                             kind: NodeKind::InfrequentGateway,
                             children: BTreeMap::new(),
                         };
@@ -213,9 +232,10 @@ fn insert_rec(node: &mut CetNode, itemset: &ItemSet, t: &ItemSet, tid: Tid, ctx:
     }
 }
 
-/// Remove `tid` (itemset `t`) from every CET node whose itemset it supports.
-fn delete_rec(node: &mut CetNode, itemset: &ItemSet, t: &ItemSet, tid: Tid, ctx: &Ctx) {
-    node.tids.remove(&tid);
+/// Remove the transaction at ring slot `slot` (itemset `t`) from every CET
+/// node whose itemset it supports.
+fn delete_rec(node: &mut CetNode, itemset: &ItemSet, t: &ItemSet, slot: usize, ctx: &Ctx) {
+    node.tids.clear(slot);
     match node.kind {
         // Gateways only shrink further under deletion; their kinds are
         // stable (infrequent stays infrequent; a subsumption over a smaller
@@ -241,7 +261,7 @@ fn delete_rec(node: &mut CetNode, itemset: &ItemSet, t: &ItemSet, tid: Tid, ctx:
                 }
                 if let Some(child) = node.children.get_mut(&item) {
                     let child_itemset = itemset.with(item);
-                    delete_rec(child, &child_itemset, t, tid, ctx);
+                    delete_rec(child, &child_itemset, t, slot, ctx);
                 }
             }
             if !node.is_root() {
@@ -294,7 +314,10 @@ impl CetStats {
 pub struct MomentMiner {
     min_support: Support,
     txs: HashMap<Tid, ItemSet>,
-    item_tids: HashMap<Item, HashSet<Tid>>,
+    /// Vertical view of the window: per-item tid bitmaps over a ring whose
+    /// capacity doubles (remapping the CET) when the live tid range outgrows
+    /// it — O(log max-window) rebuilds over a run, O(1) slides otherwise.
+    index: VerticalIndex,
     root: CetNode,
 }
 
@@ -308,9 +331,48 @@ impl MomentMiner {
         MomentMiner {
             min_support,
             txs: HashMap::new(),
-            item_tids: HashMap::new(),
-            root: CetNode::root(),
+            index: VerticalIndex::new(INITIAL_RING),
+            root: CetNode::root(INITIAL_RING),
         }
+    }
+
+    /// Grow the ring until `tid`'s slot is free, remapping every CET bitmap
+    /// old-slot → tid → new-slot. Called before `tid` enters `txs`/`index`.
+    fn ensure_slot_free(&mut self, tid: Tid) {
+        if !self.index.occupied().contains(self.index.slot_of(tid)) {
+            return;
+        }
+        // Find a capacity where every live tid plus the newcomer lands on a
+        // distinct slot. Live tids span a contiguous window range, so a few
+        // doublings always suffice.
+        let mut cap = self.index.capacity();
+        'grow: loop {
+            cap *= 2;
+            let mut seen = vec![false; cap];
+            for t in self.txs.keys().copied().chain([tid]) {
+                let slot = (t % cap as u64) as usize;
+                if seen[slot] {
+                    continue 'grow;
+                }
+                seen[slot] = true;
+            }
+            break;
+        }
+        let old = std::mem::replace(&mut self.index, VerticalIndex::new(cap));
+        for (&t, items) in &self.txs {
+            self.index.insert_items(t, items);
+        }
+        fn remap(node: &mut CetNode, old: &VerticalIndex, new: &VerticalIndex) {
+            let mut tids = TidBitmap::new(new.capacity());
+            for slot in node.tids.iter_slots() {
+                tids.set(new.slot_of(old.slot_tid(slot)));
+            }
+            node.tids = tids;
+            for child in node.children.values_mut() {
+                remap(child, old, new);
+            }
+        }
+        remap(&mut self.root, &old, &self.index);
     }
 
     /// Number of transactions currently in the window.
@@ -357,7 +419,7 @@ impl MomentMiner {
         Ctx {
             min_support: self.min_support,
             txs: &self.txs,
-            item_tids: &self.item_tids,
+            index: &self.index,
         }
     }
 }
@@ -365,14 +427,14 @@ impl MomentMiner {
 impl WindowMiner for MomentMiner {
     fn insert(&mut self, t: &Transaction) {
         let tid = t.tid();
-        let prev = self.txs.insert(tid, t.items().clone());
-        assert!(prev.is_none(), "tid {tid} inserted twice");
-        for item in t.items().iter() {
-            self.item_tids.entry(item).or_default().insert(tid);
-        }
-        // Split borrows: the tree is mutated while the lookup maps are read.
-        let mut root = std::mem::replace(&mut self.root, CetNode::root());
-        insert_rec(&mut root, &ItemSet::empty(), t.items(), tid, &self.ctx());
+        assert!(!self.txs.contains_key(&tid), "tid {tid} inserted twice");
+        self.ensure_slot_free(tid);
+        self.txs.insert(tid, t.items().clone());
+        self.index.insert_items(tid, t.items());
+        let slot = self.index.slot_of(tid);
+        // Split borrows: the tree is mutated while the lookup state is read.
+        let mut root = std::mem::replace(&mut self.root, CetNode::root(1));
+        insert_rec(&mut root, &ItemSet::empty(), t.items(), slot, &self.ctx());
         self.root = root;
     }
 
@@ -382,20 +444,14 @@ impl WindowMiner for MomentMiner {
             .txs
             .remove(&tid)
             .expect("deleting a transaction that is not in the window");
-        for item in stored.iter() {
-            if let Some(tids) = self.item_tids.get_mut(&item) {
-                tids.remove(&tid);
-                if tids.is_empty() {
-                    self.item_tids.remove(&item);
-                }
-            }
-        }
-        // The checks must see the post-delete item tidsets, and the stored
+        let slot = self.index.slot_of(tid);
+        self.index.evict_items(tid, &stored);
+        // The checks must see the post-delete item bitmaps, and the stored
         // itemset (not the caller's copy) is the ground truth. The deletion
-        // walk itself never resolves the departing tid through Ctx: each
-        // node drops it from its tidset before any subsumption check runs.
-        let mut root = std::mem::replace(&mut self.root, CetNode::root());
-        delete_rec(&mut root, &ItemSet::empty(), &stored, tid, &self.ctx());
+        // walk itself never resolves the departing slot through Ctx: each
+        // node clears it from its bitmap before any subsumption check runs.
+        let mut root = std::mem::replace(&mut self.root, CetNode::root(1));
+        delete_rec(&mut root, &ItemSet::empty(), &stored, slot, &self.ctx());
         self.root = root;
     }
 

@@ -31,9 +31,11 @@ pub trait WindowMiner {
 }
 
 /// Oracle implementation: keeps the window contents and re-mines from
-/// scratch on every query via FP-Growth. Exact but does `O(window)` work per
-/// query; exists to validate [`crate::MomentMiner`] and to serve as the
-/// non-incremental cost baseline.
+/// scratch on every query via the vertical Eclat engine (word-level tid
+/// bitmaps). Exact but does `O(window)` work per query; exists to validate
+/// [`crate::MomentMiner`] and to serve as the non-incremental cost baseline.
+/// (FP-Growth remains independently cross-validated against the same
+/// outputs in the backend-matrix and miner-equivalence tests.)
 #[derive(Clone, Debug)]
 pub struct RescanMiner {
     min_support: bfly_common::Support,
@@ -72,7 +74,7 @@ impl WindowMiner for RescanMiner {
 
     fn closed_frequent(&self) -> FrequentItemsets {
         let db = bfly_common::Database::from_records(self.window.clone());
-        let all = crate::fpgrowth::FpGrowth::new(self.min_support).mine(&db);
+        let all = crate::eclat::Eclat::new(self.min_support).mine(&db);
         crate::closed::closed_subset(&all)
     }
 

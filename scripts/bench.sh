@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Benchmark gate for the parallel execution layer.
+# Benchmark gate for the parallel execution layer and the vertical
+# support-counting engine.
 #
 # 1. parbench: each parallel stage timed at 1 worker and at the full worker
-#    count in-process (median of $PARBENCH_REPS reps), written with speedup
-#    ratios to BENCH_parallel.json at the repo root.
+#    count in-process (median of $PARBENCH_REPS reps), plus the counting
+#    stages (per-transaction scan vs. vertical tid-bitmap). Each invocation
+#    APPENDS one timestamped run entry to BENCH_parallel.json and
+#    BENCH_support.json at the repo root, so the perf trajectory across
+#    changes is preserved — never overwritten.
 # 2. The dependency-free overhead + mining micro-benchmark harnesses, run
 #    once at BFLY_THREADS=1 and once at the full worker count, for the
 #    per-stage context numbers.
@@ -17,9 +21,9 @@ REPS="${PARBENCH_REPS:-5}"
 echo "==> cargo build --release -p bfly-bench"
 cargo build -q --release -p bfly-bench
 
-echo "==> parbench (${REPS} reps, writes BENCH_parallel.json)"
+echo "==> parbench (${REPS} reps, appends to BENCH_parallel.json + BENCH_support.json)"
 cargo run -q --release -p bfly-bench --bin parbench -- --reps "${REPS}" \
-  --out BENCH_parallel.json
+  --out BENCH_parallel.json --support-out BENCH_support.json
 
 if [[ "${1:-}" != "--quick" ]]; then
   for bench in overhead mining; do
@@ -30,4 +34,4 @@ if [[ "${1:-}" != "--quick" ]]; then
   done
 fi
 
-echo "==> wrote BENCH_parallel.json"
+echo "==> appended run entries to BENCH_parallel.json and BENCH_support.json"

@@ -16,4 +16,12 @@ cargo build -q --workspace --all-targets
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> vertical-vs-scan differential tests"
+cargo test -q --release --test vertical_support
+
+echo "==> parbench smoke (1 rep, scratch output under target/)"
+cargo run -q --release -p bfly-bench --bin parbench -- --reps 1 \
+  --out target/BENCH_parallel.smoke.json \
+  --support-out target/BENCH_support.smoke.json
+
 echo "==> all checks passed"
