@@ -1,0 +1,244 @@
+//! `loadgen` — drives a `bfly_serve` server with N concurrent ingest
+//! clients and records throughput and request-latency percentiles into
+//! `BENCH_serve.json` (append-runs format, like `parbench`).
+//!
+//! Two modes:
+//!
+//! * **In-process (default):** spins up its own server twice — once with 1
+//!   shard, once with `--shards` (default 4) — on an ephemeral port, runs
+//!   the identical workload against each, and records both phases plus the
+//!   throughput ratio. The run entry carries a `cores` field: shards scale
+//!   with physical parallelism, so on a single-core host the ratio measures
+//!   isolation overhead, not speedup (see DESIGN.md).
+//! * **External (`--addr host:port`):** one phase against an already
+//!   running server (e.g. `butterfly serve` started by `scripts/check.sh`);
+//!   `--shutdown` sends the graceful-drain verb when done.
+//!
+//! Run: `cargo run --release -p bfly-bench --bin loadgen`
+//!      `[--quick] [--clients <N>] [--requests <N>] [--batch <N>]`
+//!      `[--keys <N>] [--shards <N>] [--seed <S>] [--out <path.json>]`
+//!      `[--addr <host:port>] [--shutdown]`
+
+use bfly_bench::{append_run, arg, epoch_seconds, quick_mode};
+use bfly_common::Json;
+use bfly_datagen::DatasetProfile;
+use bfly_serve::{Client, Request, ServeConfig, Server};
+use std::time::Instant;
+
+/// One client thread's tally.
+struct ClientResult {
+    accepted: u64,
+    shed: u64,
+    /// Request round-trip latencies, microseconds.
+    latencies: Vec<u64>,
+}
+
+/// Aggregated measurements for one server configuration.
+struct Phase {
+    label: String,
+    accepted: u64,
+    shed: u64,
+    wall_ms: f64,
+    tx_per_sec: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+impl Phase {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::from(self.label.as_str())),
+            ("accepted", Json::from(self.accepted)),
+            ("shed", Json::from(self.shed)),
+            ("wall_ms", Json::from(self.wall_ms)),
+            ("tx_per_sec", Json::from(self.tx_per_sec)),
+            ("p50_us", Json::from(self.p50_us)),
+            ("p95_us", Json::from(self.p95_us)),
+            ("p99_us", Json::from(self.p99_us)),
+        ])
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Workload {
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    keys: usize,
+    seed: u64,
+}
+
+/// Run `clients` concurrent ingest loops against `addr`; aggregate.
+fn drive(addr: std::net::SocketAddr, label: &str, w: &Workload) -> Phase {
+    let start = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<ClientResult>> = (0..w.clients)
+        .map(|ci| {
+            let (requests, batch, keys) = (w.requests, w.batch, w.keys);
+            let seed = w.seed + ci as u64;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("loadgen connect");
+                let mut source = DatasetProfile::WebView1.source(seed);
+                let mut result = ClientResult {
+                    accepted: 0,
+                    shed: 0,
+                    latencies: Vec::with_capacity(requests),
+                };
+                for r in 0..requests {
+                    let stream = format!("t{}", (ci + r) % keys);
+                    let batch: Vec<_> = (0..batch)
+                        .map(|_| source.next_transaction().into_items())
+                        .collect();
+                    let t0 = Instant::now();
+                    let reply = client
+                        .request(&Request::Ingest { stream, batch })
+                        .expect("ingest reply");
+                    result
+                        .latencies
+                        .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    result.accepted += reply
+                        .get("accepted")
+                        .and_then(Json::as_u64)
+                        .unwrap_or_default();
+                    result.shed += reply.get("shed").and_then(Json::as_u64).unwrap_or_default();
+                }
+                result
+            })
+        })
+        .collect();
+    let results: Vec<ClientResult> = handles
+        .into_iter()
+        .map(|h| h.join().expect("loadgen client paniced"))
+        .collect();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let accepted: u64 = results.iter().map(|r| r.accepted).sum();
+    let shed: u64 = results.iter().map(|r| r.shed).sum();
+    let mut latencies: Vec<u64> = results.into_iter().flat_map(|r| r.latencies).collect();
+    latencies.sort_unstable();
+    let phase = Phase {
+        label: label.to_string(),
+        accepted,
+        shed,
+        wall_ms,
+        tx_per_sec: accepted as f64 / (wall_ms / 1e3).max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+    };
+    println!(
+        "{label:<12} {:>9.0} tx/s   accepted {accepted}   shed {shed}   p50 {} µs   p95 {} µs   p99 {} µs   ({wall_ms:.0} ms)",
+        phase.tx_per_sec, phase.p50_us, phase.p95_us, phase.p99_us
+    );
+    phase
+}
+
+/// One in-process phase: bind a fresh server with `shards`, drive it, and
+/// drain. The throughput clock runs to the end of the drain, so records
+/// still queued when the clients finish are not counted as free.
+fn in_process_phase(shards: usize, cfg_base: &ServeConfig, w: &Workload) -> Phase {
+    let cfg = ServeConfig {
+        shards,
+        ..cfg_base.clone()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loadgen server");
+    let start = Instant::now();
+    let mut phase = drive(server.local_addr(), &format!("{shards}-shard"), w);
+    server.shutdown();
+    server.join();
+    phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    phase.tx_per_sec = phase.accepted as f64 / (phase.wall_ms / 1e3).max(1e-9);
+    println!(
+        "{:<12} {:>9.0} tx/s end-to-end ({:.0} ms including drain)",
+        phase.label, phase.tx_per_sec, phase.wall_ms
+    );
+    phase
+}
+
+fn main() {
+    let quick = quick_mode();
+    let clients: usize = arg("--clients").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let requests: usize = arg("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 40 } else { 400 });
+    let batch: usize = arg("--batch").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let keys: usize = arg("--keys").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let shards: usize = arg("--shards").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let out = arg("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let w = Workload {
+        clients,
+        requests,
+        batch,
+        keys,
+        seed,
+    };
+    println!(
+        "loadgen: {clients} clients × {requests} requests × {batch} tx, {keys} stream keys, {cores} core(s)"
+    );
+
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut scaling: Option<f64> = None;
+    if let Some(addr) = arg("--addr") {
+        // External mode: measure the already-running server as-is.
+        let addr = addr.parse().expect("bad --addr");
+        phases.push(drive(addr, "external", &w));
+        if std::env::args().any(|a| a == "--shutdown") {
+            let mut control = Client::connect(addr).expect("control connect");
+            let reply = control.request(&Request::Shutdown).expect("shutdown reply");
+            println!("shutdown: {reply}");
+        }
+    } else {
+        let cfg = ServeConfig {
+            window: if quick { 200 } else { 500 },
+            c: if quick { 8 } else { 15 },
+            k: 3,
+            // Feasibility needs ε ≥ σ²/C² (σ² = 2 at δ=0.4, K=3).
+            epsilon: if quick { 0.05 } else { 0.016 },
+            every: if quick { 40 } else { 50 },
+            queue_cap: 8192,
+            seed,
+            ..ServeConfig::default()
+        };
+        let single = in_process_phase(1, &cfg, &w);
+        let multi = in_process_phase(shards, &cfg, &w);
+        let ratio = multi.tx_per_sec / single.tx_per_sec.max(1e-9);
+        println!(
+            "scaling: {shards} shards vs 1 = {ratio:.2}x on {cores} core(s){}",
+            if cores == 1 {
+                " — shard scaling needs cores; single-core measures isolation overhead"
+            } else {
+                ""
+            }
+        );
+        phases.push(single);
+        phases.push(multi);
+        scaling = Some(ratio);
+    }
+
+    let mut entry = vec![
+        ("ts", Json::from(epoch_seconds())),
+        ("cores", Json::from(cores as u64)),
+        ("quick", Json::Bool(quick)),
+        ("clients", Json::from(clients as u64)),
+        ("requests", Json::from(requests as u64)),
+        ("batch", Json::from(batch as u64)),
+        ("keys", Json::from(keys as u64)),
+        (
+            "phases",
+            Json::Arr(phases.iter().map(Phase::to_json).collect()),
+        ),
+    ];
+    if let Some(ratio) = scaling {
+        entry.push(("scaling", Json::from(ratio)));
+        entry.push(("scaling_shards", Json::from(shards as u64)));
+    }
+    append_run(&out, Json::obj(entry));
+}

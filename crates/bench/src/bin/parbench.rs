@@ -17,8 +17,8 @@
 //!       `[--reps <R>] [--out <path.json>] [--support-out <path.json>]`
 
 use bfly_bench::{
-    audit_breaches_scan, audit_breaches_vertical, collect_truths, evaluate_cells, support_workload,
-    ExperimentConfig,
+    append_run, arg, audit_breaches_scan, audit_breaches_vertical, collect_truths, epoch_seconds,
+    evaluate_cells, support_workload, ExperimentConfig,
 };
 use bfly_common::{pool, Json, SlidingWindow, Support, TidScratch, VerticalIndex};
 use bfly_core::{BiasScheme, PrivacySpec, Publisher};
@@ -84,42 +84,6 @@ fn counting_stage<S, V>(
         ("vertical_ms", Json::from(vertical_ms)),
         ("speedup", Json::from(speedup)),
     ])
-}
-
-/// Append `run` to the `runs` array of the JSON document at `path`,
-/// creating the document if absent. A legacy flat-object file (pre-append
-/// format) is preserved as the first run entry.
-fn append_run(path: &str, run: Json) {
-    let mut runs: Vec<Json> = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|text| Json::parse(&text).ok())
-        .map(|doc| match doc.get("runs").and_then(Json::as_array) {
-            Some(existing) => existing.to_vec(),
-            None => vec![doc],
-        })
-        .unwrap_or_default();
-    runs.push(run);
-    let doc = Json::obj([("runs", Json::Arr(runs))]);
-    std::fs::write(path, format!("{doc}\n")).expect("write benchmark json");
-    println!("appended run to {path}");
-}
-
-/// Seconds since the Unix epoch, for the run entries' `ts` field.
-fn epoch_seconds() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0)
-}
-
-fn arg(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == flag {
-            return args.next();
-        }
-    }
-    None
 }
 
 fn main() {

@@ -9,11 +9,13 @@
 //! each scheme/contract and measure), so the expensive attack analysis is
 //! amortized across the whole sweep.
 
+pub mod record;
 pub mod runner;
 pub mod table;
 pub mod timing;
 pub mod tuning;
 
+pub use record::{append_run, epoch_seconds};
 pub use runner::{
     audit_breaches_scan, audit_breaches_vertical, collect_truths, evaluate_cells, evaluate_scheme,
     support_workload, EvalResult, ExperimentConfig, WindowTruth,
@@ -43,6 +45,17 @@ pub fn threads_flag() -> usize {
         }
     }
     0
+}
+
+/// Value of `--<flag> <value>` on the command line, if present.
+pub fn arg(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// The experiment configuration for a profile, honouring `--quick` and

@@ -1,0 +1,57 @@
+//! The append-runs benchmark record format shared by `parbench`, `loadgen`,
+//! and any future perf harness: a JSON document `{"runs": [...]}` where
+//! each invocation appends one timestamped entry, so the perf trajectory
+//! across changes is preserved in-repo.
+
+use bfly_common::Json;
+
+/// Append `run` to the `runs` array of the JSON document at `path`,
+/// creating the document if absent. A legacy flat-object file (pre-append
+/// format) is preserved as the first run entry.
+pub fn append_run(path: &str, run: Json) {
+    let mut runs: Vec<Json> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .map(|doc| match doc.get("runs").and_then(Json::as_array) {
+            Some(existing) => existing.to_vec(),
+            None => vec![doc],
+        })
+        .unwrap_or_default();
+    runs.push(run);
+    let doc = Json::obj([("runs", Json::Arr(runs))]);
+    std::fs::write(path, format!("{doc}\n")).expect("write benchmark json");
+    println!("appended run to {path}");
+}
+
+/// Seconds since the Unix epoch, for the run entries' `ts` field.
+pub fn epoch_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_run_accumulates_and_upgrades_legacy() {
+        let dir = std::env::temp_dir().join(format!("bfly-record-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+        // Legacy flat object becomes the first run entry.
+        std::fs::write(path, "{\"old\":1}").unwrap();
+        append_run(path, Json::obj([("new", Json::from(2u64))]));
+        let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("old").unwrap().as_u64(), Some(1));
+        assert_eq!(runs[1].get("new").unwrap().as_u64(), Some(2));
+        append_run(path, Json::obj([("new", Json::from(3u64))]));
+        let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(doc.get("runs").unwrap().as_array().unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

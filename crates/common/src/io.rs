@@ -6,7 +6,7 @@
 //! reproduction.
 
 use crate::{Database, Error, Item, ItemSet, Result, Transaction};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Parse a `.dat`-format reader into a [`Database`]. Blank lines and lines
@@ -55,9 +55,14 @@ pub fn write_dat<W: Write>(mut writer: W, db: &Database) -> Result<()> {
     Ok(())
 }
 
-/// Save a database to a `.dat` file on disk.
+/// Save a database to a `.dat` file on disk. The file handle is buffered so
+/// the per-item `write!` calls in [`write_dat`] coalesce instead of hitting
+/// the kernel token by token.
 pub fn save_dat<P: AsRef<Path>>(path: P, db: &Database) -> Result<()> {
-    write_dat(std::fs::File::create(path)?, db)
+    let mut writer = BufWriter::new(std::fs::File::create(path)?);
+    write_dat(&mut writer, db)?;
+    writer.flush()?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -78,6 +78,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Parse a complete JSON document (rejects trailing garbage).
     pub fn parse(text: &str) -> Result<Json> {
         let mut p = Parser {

@@ -20,6 +20,7 @@ pub mod io;
 pub mod item;
 pub mod itemset;
 pub mod json;
+pub mod ndjson;
 pub mod pattern;
 pub mod pool;
 pub mod rng;
@@ -34,6 +35,7 @@ pub use intern::ItemsetId;
 pub use item::Item;
 pub use itemset::ItemSet;
 pub use json::Json;
+pub use ndjson::FrameReader;
 pub use pattern::Pattern;
 pub use rng::{Rng, SmallRng};
 pub use tidmap::{SupportMemo, TidBitmap, TidScratch, VerticalIndex};

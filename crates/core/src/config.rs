@@ -45,13 +45,36 @@ impl PrivacySpec {
     /// i.e. `ε·C² < σ²`, the paper's compatibility condition
     /// `ε/δ ≥ K²/(2C²)` in realized form.
     pub fn new(c: Support, k: Support, epsilon: f64, delta: f64) -> Self {
-        assert!(c > 0, "C must be positive");
-        assert!(
-            k > 0 && k < c,
-            "need 0 < K < C (vulnerable ≪ minimum support)"
-        );
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
-        assert!(delta > 0.0 && delta.is_finite(), "δ must be positive");
+        match Self::checked(c, k, epsilon, delta) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`PrivacySpec::new`], for callers validating
+    /// external configuration (the stream service, config files) who must
+    /// reject a bad contract with an error instead of dying mid-stream.
+    ///
+    /// # Errors
+    /// The same conditions [`PrivacySpec::new`] panics on, as a message.
+    pub fn checked(
+        c: Support,
+        k: Support,
+        epsilon: f64,
+        delta: f64,
+    ) -> core::result::Result<Self, String> {
+        if c == 0 {
+            return Err("C must be positive".into());
+        }
+        if !(k > 0 && k < c) {
+            return Err("need 0 < K < C (vulnerable ≪ minimum support)".into());
+        }
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err("ε must be positive".into());
+        }
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err("δ must be positive".into());
+        }
         // Inequation 2: σ² ≥ δK²/2, with σ² = ((α+1)²−1)/12 for an integer
         // discrete-uniform region of width α.
         let sigma2_target = delta * (k * k) as f64 / 2.0;
@@ -61,20 +84,21 @@ impl PrivacySpec {
         debug_assert!(sigma2 + 1e-9 >= sigma2_target);
         // Inequation 1 at the worst case T(X) = C: σ² + β² ≤ εC² needs at
         // least β = 0 to fit.
-        assert!(
-            epsilon * (c * c) as f64 + 1e-9 >= sigma2,
-            "(ε={epsilon}, δ={delta}) infeasible: realized σ²={sigma2} exceeds εC²={}; \
-             raise ε/δ above K²/(2C²)",
-            epsilon * (c * c) as f64
-        );
-        PrivacySpec {
+        if epsilon * (c * c) as f64 + 1e-9 < sigma2 {
+            return Err(format!(
+                "(ε={epsilon}, δ={delta}) infeasible: realized σ²={sigma2} exceeds εC²={}; \
+                 raise ε/δ above K²/(2C²)",
+                epsilon * (c * c) as f64
+            ));
+        }
+        Ok(PrivacySpec {
             c,
             k,
             epsilon,
             delta,
             alpha,
             sigma2,
-        }
+        })
     }
 
     /// Convenience: build from a precision–privacy ratio `ppr = ε/δ` and a

@@ -34,6 +34,11 @@ pub struct StreamPipeline<B: MinerBackend = MomentMiner> {
     /// miner sees; breach analysis queries it instead of re-scanning the
     /// materialized window database.
     truth: GroundTruth,
+    /// Records fed since the last publication — the cadence counter callers
+    /// (CLI `--every`, the serve shards) consult, and what
+    /// [`StreamPipeline::flush`] uses to decide whether a drain still owes
+    /// the subscribers a release.
+    since_publish: usize,
 }
 
 impl StreamPipeline<MomentMiner> {
@@ -64,6 +69,7 @@ impl<B: MinerBackend> StreamPipeline<B> {
             miner,
             publisher,
             truth: GroundTruth::new(window_size),
+            since_publish: 0,
         }
     }
 
@@ -84,9 +90,11 @@ impl<B: MinerBackend> StreamPipeline<B> {
         let delta = self.window.slide(t);
         self.miner.apply(&delta);
         self.truth.apply(&delta);
+        self.since_publish += 1;
         if !self.window.is_full() {
             return None;
         }
+        self.since_publish = 0;
         let closed = self.miner.closed_frequent();
         // The miner already counted every closed support: seed the window's
         // memo so truth queries for published itemsets cost a map lookup.
@@ -110,6 +118,27 @@ impl<B: MinerBackend> StreamPipeline<B> {
         let delta = self.window.slide(t);
         self.miner.apply(&delta);
         self.truth.apply(&delta);
+        self.since_publish += 1;
+    }
+
+    /// Records fed since the last publication (or since the stream began,
+    /// before the first one). Cadence-driven callers publish when this
+    /// reaches their `every` and the window is full.
+    pub fn since_publish(&self) -> usize {
+        self.since_publish
+    }
+
+    /// Drain hook: publish the window iff it is full **and** records arrived
+    /// since the last publication — i.e. the stream still owes its
+    /// subscribers a release. Returns `None` both for a window that never
+    /// filled (partial windows are unpublishable by design — their supports
+    /// are not comparable to full-window ones and would leak the warm-up
+    /// phase) and for a stream already published up to date.
+    pub fn flush(&mut self) -> Option<WindowRelease> {
+        if !self.window.is_full() || self.since_publish == 0 {
+            return None;
+        }
+        self.publish_now().ok()
     }
 
     /// Publish the current window explicitly.
@@ -125,6 +154,7 @@ impl<B: MinerBackend> StreamPipeline<B> {
                 need: self.window.capacity(),
             });
         }
+        self.since_publish = 0;
         let closed = self.miner.closed_frequent();
         self.truth
             .seed_supports(closed.iter().map(|e| (e.id, e.support)));
@@ -232,6 +262,50 @@ mod tests {
             }
             other => panic!("expected PartialWindow, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flush_publishes_only_a_full_window_with_pending_records() {
+        let spec = PrivacySpec::new(4, 1, 0.2, 0.5);
+        let publisher = Publisher::new(spec, BiasScheme::Basic, 1);
+        let mut pipe = StreamPipeline::new(8, publisher);
+        let stream = fig2_stream();
+        // Partial window: nothing to flush.
+        for t in stream.iter().take(3).cloned() {
+            pipe.advance(t);
+        }
+        assert_eq!(pipe.since_publish(), 3);
+        assert!(pipe.flush().is_none(), "flushed a partial window");
+        // Fill past the window without publishing: flush owes a release.
+        for t in stream.iter().skip(3).cloned() {
+            pipe.advance(t);
+        }
+        assert_eq!(pipe.since_publish(), stream.len());
+        let r = pipe.flush().expect("full window with pending records");
+        assert_eq!(r.stream_len, stream.len() as u64);
+        assert_eq!(pipe.since_publish(), 0);
+        // Published up to date: a second flush owes nothing.
+        assert!(pipe.flush().is_none(), "flushed twice with no new records");
+    }
+
+    #[test]
+    fn cadence_counter_resets_on_every_publish_path() {
+        let spec = PrivacySpec::new(4, 1, 0.2, 0.5);
+        let publisher = Publisher::new(spec, BiasScheme::Basic, 1);
+        let mut pipe = StreamPipeline::new(8, publisher);
+        for (i, t) in fig2_stream().into_iter().enumerate() {
+            let released = pipe.step(t).is_some();
+            assert_eq!(released, i >= 7);
+            if released {
+                assert_eq!(pipe.since_publish(), 0);
+            } else {
+                assert_eq!(pipe.since_publish(), i + 1);
+            }
+        }
+        pipe.advance(Transaction::new(0, "ab".parse().unwrap()));
+        assert_eq!(pipe.since_publish(), 1);
+        pipe.publish_now().unwrap();
+        assert_eq!(pipe.since_publish(), 0);
     }
 
     #[test]

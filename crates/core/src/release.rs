@@ -77,6 +77,34 @@ impl SanitizedRelease {
         self.entries.iter().find(|e| e.id == id)
     }
 
+    /// The release as published across the trust boundary: a JSON array of
+    /// `{"itemset": [ids...], "support": sanitized}` objects, with **no**
+    /// true supports. This is the shared wire shape of the CLI `protect`
+    /// output and the serve layer's `release` events, so the network
+    /// determinism test can compare the two byte for byte.
+    pub fn wire_itemsets(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        (
+                            "itemset",
+                            Json::Arr(
+                                e.itemset()
+                                    .items()
+                                    .iter()
+                                    .map(|i| Json::from(i.id() as u64))
+                                    .collect(),
+                            ),
+                        ),
+                        ("support", Json::from(e.sanitized)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
     /// Serialize to the workspace's JSON value type.
     pub fn to_json(&self) -> Json {
         Json::obj([(
@@ -178,6 +206,16 @@ mod tests {
         assert_eq!(r.view()[&a], 27);
         assert_eq!(r.truth()[&a], 30);
         assert_eq!(r.view()[&ab], -1);
+    }
+
+    #[test]
+    fn wire_itemsets_hides_true_supports() {
+        let wire = release().wire_itemsets().to_string();
+        assert!(!wire.contains("true_support"), "leaked truth: {wire}");
+        assert_eq!(
+            wire,
+            "[{\"itemset\":[0],\"support\":27},{\"itemset\":[0,1],\"support\":-1}]"
+        );
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! A minimal blocking client for the wire protocol — shared by the
+//! integration tests, the loadgen harness, and anything else that talks to
+//! a [`crate::Server`] without hand-rolling sockets.
+
+use crate::protocol::Request;
+use bfly_common::{Error, FrameReader, Json, Result};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a Butterfly stream server.
+pub struct Client {
+    frames: FrameReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (anything `ToSocketAddrs` accepts).
+    ///
+    /// # Errors
+    /// Propagates connect/clone failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            frames: FrameReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send a request without waiting for its reply (pipelining). Callers
+    /// owe one [`Client::next_line`] per send.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn send(&mut self, req: &Request) -> Result<()> {
+        bfly_common::ndjson::write_frame(&mut self.writer, &req.to_json())?;
+        Ok(())
+    }
+
+    /// Send one request and block for its reply line.
+    ///
+    /// # Errors
+    /// Socket failures, or [`Error::Parse`] if the server hung up before
+    /// replying.
+    pub fn request(&mut self, req: &Request) -> Result<Json> {
+        self.send(req)?;
+        self.next_line()?
+            .ok_or_else(|| Error::Parse("server closed before replying".into()))
+    }
+
+    /// Block for the next line from the server — a pipelined reply or, on a
+    /// subscriber connection, an event. `None` means the server closed the
+    /// connection.
+    ///
+    /// # Errors
+    /// Socket failures or a malformed server line.
+    pub fn next_line(&mut self) -> Result<Option<Json>> {
+        self.frames.next_frame()
+    }
+
+    /// Half-close: no more requests will be sent, but lines can still be
+    /// read. Lets a subscriber signal it is done ingesting while it drains
+    /// events.
+    ///
+    /// # Errors
+    /// Propagates the socket shutdown failure.
+    pub fn close_write(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,197 @@
+//! Server configuration: the privacy contract plus the service shape.
+
+use bfly_common::Support;
+use bfly_core::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
+use bfly_mining::{BackendKind, MinerBackend};
+
+/// Everything a [`crate::Server`] needs to know: the Butterfly deployment
+/// parameters applied to every tenant stream, and the service's own knobs
+/// (shard count, queue bounds).
+///
+/// One config serves every stream key — a multi-tenant deployment where all
+/// tenants share a privacy contract. Per-key publisher rngs are decorrelated
+/// by [`stream_seed`], so tenants never share a noise sequence.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of shards; each is one worker thread owning the pipelines of
+    /// the stream keys that hash to it.
+    pub shards: usize,
+    /// Sliding-window size `H` of every stream.
+    pub window: usize,
+    /// Minimum support `C`.
+    pub c: Support,
+    /// Vulnerable support `K`.
+    pub k: Support,
+    /// Precision bound ε.
+    pub epsilon: f64,
+    /// Privacy floor δ.
+    pub delta: f64,
+    /// Perturbation scheme applied at every publication.
+    pub scheme: BiasScheme,
+    /// Mining backend for every per-key pipeline.
+    pub backend: BackendKind,
+    /// Publish each stream every this many of its records (once its window
+    /// is full).
+    pub every: usize,
+    /// Per-shard ingress queue capacity; a full queue sheds with an explicit
+    /// `overloaded` reply instead of buffering without bound.
+    pub queue_cap: usize,
+    /// Per-connection outbound queue capacity (replies + subscription
+    /// events); a subscriber that falls this far behind is disconnected
+    /// rather than buffered without bound.
+    pub out_queue_cap: usize,
+    /// Base seed; combined with each stream key by [`stream_seed`].
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            window: 2000,
+            c: 25,
+            k: 5,
+            epsilon: 0.016,
+            delta: 0.4,
+            scheme: BiasScheme::Hybrid {
+                lambda: 0.4,
+                gamma: 2,
+            },
+            backend: BackendKind::Moment,
+            every: 100,
+            queue_cap: 1024,
+            out_queue_cap: 256,
+            seed: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the knobs a zero would break.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("shards", self.shards),
+            ("window", self.window),
+            ("every", self.every),
+            ("queue-cap", self.queue_cap),
+            ("out-queue-cap", self.out_queue_cap),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        // An infeasible privacy contract must be rejected at bind time, not
+        // discovered as a shard-worker panic at the first record.
+        PrivacySpec::checked(self.c, self.k, self.epsilon, self.delta)?;
+        Ok(())
+    }
+
+    /// The privacy contract every stream is published under.
+    pub fn spec(&self) -> PrivacySpec {
+        PrivacySpec::new(self.c, self.k, self.epsilon, self.delta)
+    }
+
+    /// Build the pipeline for one stream key — the single construction path
+    /// shared by the shard workers and the network determinism test, so
+    /// "same config, same key, same seed" provably means the same releases
+    /// in-process and over the wire.
+    pub fn pipeline_for(&self, key: &str) -> StreamPipeline<Box<dyn MinerBackend>> {
+        let publisher = Publisher::new(self.spec(), self.scheme, stream_seed(self.seed, key));
+        StreamPipeline::from_kind(self.window, self.backend, publisher)
+    }
+}
+
+/// FNV-1a hash of a stream key — the routing function mapping keys onto
+/// shards (`fnv1a(key) % shards`). Stable across runs and platforms, so a
+/// key's shard (and therefore its release order relative to its own records)
+/// never depends on process layout.
+pub fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Derive the publisher seed for one stream key from the server's base
+/// seed: splitmix64-finalized mix of the base with the key hash. Distinct
+/// keys get decorrelated noise streams; the same `(base, key)` always gets
+/// the same one, which is what the determinism test pins.
+pub fn stream_seed(base: u64, key: &str) -> u64 {
+    let mut z = base ^ fnv1a(key);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_knobs_rejected() {
+        for field in 0..5 {
+            let mut cfg = ServeConfig::default();
+            match field {
+                0 => cfg.shards = 0,
+                1 => cfg.window = 0,
+                2 => cfg.every = 0,
+                3 => cfg.queue_cap = 0,
+                _ => cfg.out_queue_cap = 0,
+            }
+            assert!(cfg.validate().is_err(), "field {field} accepted zero");
+        }
+    }
+
+    #[test]
+    fn infeasible_privacy_contract_rejected_at_validate() {
+        let cfg = ServeConfig {
+            c: 8,
+            k: 3,
+            epsilon: 0.016, // ε·C² = 1.024 < realized σ² = 2
+            delta: 0.4,
+            ..ServeConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("infeasible"), "got {err:?}");
+    }
+
+    #[test]
+    fn stream_seed_is_stable_and_key_sensitive() {
+        assert_eq!(stream_seed(7, "tenant-a"), stream_seed(7, "tenant-a"));
+        assert_ne!(stream_seed(7, "tenant-a"), stream_seed(7, "tenant-b"));
+        assert_ne!(stream_seed(7, "tenant-a"), stream_seed(8, "tenant-a"));
+    }
+
+    #[test]
+    fn routing_spreads_keys_across_shards() {
+        let shards = 4;
+        let mut per_shard = vec![0usize; shards];
+        for i in 0..64 {
+            per_shard[(fnv1a(&format!("stream-{i}")) % shards as u64) as usize] += 1;
+        }
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "a shard got no keys: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_for_matches_config() {
+        let cfg = ServeConfig {
+            window: 16,
+            backend: BackendKind::Eclat,
+            ..ServeConfig::default()
+        };
+        let pipe = cfg.pipeline_for("k");
+        assert_eq!(pipe.backend_name(), BackendKind::Eclat.name());
+        assert_eq!(pipe.window().capacity(), 16);
+    }
+}

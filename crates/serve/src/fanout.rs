@@ -1,0 +1,190 @@
+//! Subscriber registry: stream key → the connections that want its releases.
+//!
+//! Fan-out must never block a shard worker: every subscriber connection owns
+//! a bounded outbound queue drained by its own writer thread, and the
+//! registry only ever `try_send`s into it. A subscriber whose queue is full
+//! (a slow or stalled consumer) is disconnected and counted — bounded
+//! memory beats unbounded patience, and the client can reconnect and
+//! re-subscribe.
+
+use crate::stats::ShardStats;
+use std::collections::HashMap;
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+/// One line of output (already serialized). `Arc` so a release published to
+/// many subscribers is serialized once and shared.
+pub type OutLine = Arc<str>;
+
+struct Entry {
+    conn: u64,
+    tx: SyncSender<OutLine>,
+}
+
+/// Shared subscriber table. Lock granularity is the whole table, taken
+/// briefly at subscribe/unsubscribe and once per published window — a
+/// window-rate cost, not a record-rate one.
+#[derive(Default)]
+pub struct SubscriberRegistry {
+    inner: Mutex<HashMap<String, Vec<Entry>>>,
+}
+
+impl SubscriberRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        SubscriberRegistry::default()
+    }
+
+    /// Register connection `conn`'s outbound queue for `stream`'s releases.
+    pub fn subscribe(&self, stream: &str, conn: u64, tx: SyncSender<OutLine>) {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        let subs = map.entry(stream.to_string()).or_default();
+        // Re-subscribing the same connection replaces, not duplicates.
+        subs.retain(|e| e.conn != conn);
+        subs.push(Entry { conn, tx });
+    }
+
+    /// Drop every subscription held by connection `conn` (connection
+    /// closed).
+    pub fn unsubscribe_conn(&self, conn: u64) {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        map.retain(|_, subs| {
+            subs.retain(|e| e.conn != conn);
+            !subs.is_empty()
+        });
+    }
+
+    /// Deliver `line` to every subscriber of `stream`. Never blocks: a full
+    /// or disconnected subscriber queue drops that subscriber (counted in
+    /// `stats.subscriber_drops`).
+    pub fn publish(&self, stream: &str, line: OutLine, stats: &ShardStats) {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        let Some(subs) = map.get_mut(stream) else {
+            return;
+        };
+        subs.retain(|e| match e.tx.try_send(line.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                ShardStats::add(&stats.subscriber_drops, 1);
+                false
+            }
+        });
+        if subs.is_empty() {
+            map.remove(stream);
+        }
+    }
+
+    /// Deliver a final line to `stream`'s subscribers and remove the stream
+    /// from the table (shutdown: the owning shard has flushed it).
+    pub fn close_stream(&self, stream: &str, line: OutLine) {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        if let Some(subs) = map.remove(stream) {
+            for e in subs {
+                let _ = e.tx.try_send(line.clone());
+            }
+        }
+    }
+
+    /// Does connection `conn` still hold any subscription? Connection
+    /// handlers poll this during shutdown: a subscriber connection must
+    /// outlive the drain of the streams it watches (the flush releases and
+    /// `closed` events are still in flight), and its entries disappearing —
+    /// via `close_stream` or the final `clear` — is the signal that it may
+    /// exit.
+    pub fn has_conn(&self, conn: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .values()
+            .any(|subs| subs.iter().any(|e| e.conn == conn))
+    }
+
+    /// Number of live subscriptions across all streams.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True when no subscriber is registered.
+    #[allow(dead_code)] // paired with len(); exercised by tests
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every remaining subscription (end of shutdown; closes writer
+    /// threads whose streams never published).
+    pub fn clear(&self) {
+        self.inner.lock().expect("registry poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn publish_reaches_only_that_streams_subscribers() {
+        let reg = SubscriberRegistry::new();
+        let stats = ShardStats::default();
+        let (tx_a, rx_a) = sync_channel(4);
+        let (tx_b, rx_b) = sync_channel(4);
+        reg.subscribe("a", 1, tx_a);
+        reg.subscribe("b", 2, tx_b);
+        reg.publish("a", Arc::from("ra"), &stats);
+        assert_eq!(rx_a.try_recv().unwrap().as_ref(), "ra");
+        assert!(rx_b.try_recv().is_err());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn slow_subscriber_is_dropped_not_buffered() {
+        let reg = SubscriberRegistry::new();
+        let stats = ShardStats::default();
+        let (tx, _rx) = sync_channel(1);
+        reg.subscribe("s", 1, tx);
+        reg.publish("s", Arc::from("r1"), &stats); // fills the queue
+        reg.publish("s", Arc::from("r2"), &stats); // overflows → drop
+        assert!(reg.is_empty(), "slow subscriber kept");
+        assert_eq!(
+            stats
+                .subscriber_drops
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn unsubscribe_conn_removes_all_its_streams() {
+        let reg = SubscriberRegistry::new();
+        let (tx, _rx) = sync_channel(4);
+        reg.subscribe("a", 7, tx.clone());
+        reg.subscribe("b", 7, tx.clone());
+        reg.subscribe("a", 8, tx);
+        reg.unsubscribe_conn(7);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn resubscribe_replaces() {
+        let reg = SubscriberRegistry::new();
+        let (tx, _rx) = sync_channel(4);
+        reg.subscribe("a", 7, tx.clone());
+        reg.subscribe("a", 7, tx);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn close_stream_notifies_and_removes() {
+        let reg = SubscriberRegistry::new();
+        let (tx, rx) = sync_channel(4);
+        reg.subscribe("a", 1, tx);
+        reg.close_stream("a", Arc::from("closed"));
+        assert_eq!(rx.try_recv().unwrap().as_ref(), "closed");
+        assert!(reg.is_empty());
+    }
+}

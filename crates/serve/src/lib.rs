@@ -1,0 +1,43 @@
+//! `bfly_serve`: a sharded multi-tenant stream service over the Butterfly
+//! output-privacy pipeline.
+//!
+//! The batch CLI (`butterfly protect`) runs one pipeline over one file.
+//! This crate runs *many* pipelines behind one TCP listener: clients tag
+//! each transaction with a stream key (a tenant), keys are hashed onto a
+//! fixed set of shard worker threads, each key gets its own independently
+//! seeded [`bfly_core::StreamPipeline`], and every sanitized window release
+//! fans out to the key's subscriber connections.
+//!
+//! Design invariants, in the order they matter:
+//!
+//! 1. **Output privacy is preserved per tenant.** Each stream key owns a
+//!    full pipeline (window, miner, publisher) with a key-derived noise
+//!    seed; no state, and in particular no randomness, is shared across
+//!    keys.
+//! 2. **Determinism survives the network.** A stream's releases depend only
+//!    on (config, seed, key, record order). The integration tests assert a
+//!    TCP round trip is bit-identical to an in-process run.
+//! 3. **Memory is bounded everywhere.** Bounded shard ingress queues (full
+//!    ⇒ explicit `overloaded` shed replies), bounded per-connection
+//!    outbound queues (full ⇒ slow subscriber disconnected), bounded frame
+//!    sizes. Overload degrades loudly; it never buffers silently.
+//! 4. **Shutdown drains.** Accepted records are processed, full windows
+//!    with pending records are flushed, subscribers get `closed` events,
+//!    every thread is joined.
+//!
+//! Wire protocol reference: [`protocol`]. Entry points: [`Server::bind`]
+//! and [`Client::connect`].
+
+pub mod client;
+pub mod config;
+mod fanout;
+pub mod protocol;
+pub mod server;
+mod shard;
+pub mod stats;
+
+pub use client::Client;
+pub use config::ServeConfig;
+pub use protocol::Request;
+pub use server::Server;
+pub use stats::ShardStats;

@@ -1,0 +1,247 @@
+//! The NDJSON wire protocol: one JSON object per line in both directions.
+//!
+//! **Requests** (client → server) carry an `"op"` field:
+//!
+//! | op          | fields                                   | reply |
+//! |-------------|------------------------------------------|-------|
+//! | `ingest`    | `stream`, `items` *or* `batch`           | `{"ok":true,"accepted":n}` or `{"ok":false,"error":"overloaded","accepted":a,"shed":s}` |
+//! | `subscribe` | `stream`                                 | `{"ok":true,"stream":k}`, then events |
+//! | `stats`     | —                                        | per-shard counters |
+//! | `ping`      | —                                        | `{"ok":true,"pong":true}` |
+//! | `shutdown`  | —                                        | `{"ok":true,"draining":true}`, then drain + exit |
+//!
+//! Every request gets exactly one reply line, in request order. Clients may
+//! pipeline requests; backpressure is the reply stream itself plus the
+//! bounded per-shard ingress queue behind it.
+//!
+//! **Events** (server → subscriber) carry an `"event"` field instead:
+//! `release` (a sanitized window publication — same shape as the CLI
+//! `protect` output, plus the stream key) and `closed` (the stream drained
+//! during shutdown; no more releases will follow).
+
+use bfly_common::{Error, ItemSet, Json, Result};
+use bfly_core::SanitizedRelease;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Feed transactions into a stream. `batch` holds one itemset per
+    /// transaction; the single-`items` wire form parses into a batch of one.
+    Ingest {
+        /// Stream key (tenant id).
+        stream: String,
+        /// Transactions, in arrival order.
+        batch: Vec<ItemSet>,
+    },
+    /// Turn this connection into a subscriber of a stream's releases.
+    Subscribe {
+        /// Stream key to subscribe to.
+        stream: String,
+    },
+    /// Ask for per-shard counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: drain queues, flush full windows, close
+    /// subscribers, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request frame.
+    pub fn from_json(v: &Json) -> Result<Request> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::Parse("request missing \"op\"".into()))?;
+        match op {
+            "ingest" => {
+                let stream = required_stream(v)?;
+                let batch = if let Some(items) = v.get("items") {
+                    vec![parse_itemset(items)?]
+                } else if let Some(batch) = v.get("batch").and_then(Json::as_array) {
+                    batch.iter().map(parse_itemset).collect::<Result<_>>()?
+                } else {
+                    return Err(Error::Parse("ingest needs \"items\" or \"batch\"".into()));
+                };
+                Ok(Request::Ingest { stream, batch })
+            }
+            "subscribe" => Ok(Request::Subscribe {
+                stream: required_stream(v)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(Error::Parse(format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// Encode back to the wire form (clients use this; the server only
+    /// parses).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ingest { stream, batch } => Json::obj([
+                ("op", Json::from("ingest")),
+                ("stream", Json::from(stream.as_str())),
+                (
+                    "batch",
+                    Json::Arr(batch.iter().map(itemset_to_json).collect()),
+                ),
+            ]),
+            Request::Subscribe { stream } => Json::obj([
+                ("op", Json::from("subscribe")),
+                ("stream", Json::from(stream.as_str())),
+            ]),
+            Request::Stats => Json::obj([("op", Json::from("stats"))]),
+            Request::Ping => Json::obj([("op", Json::from("ping"))]),
+            Request::Shutdown => Json::obj([("op", Json::from("shutdown"))]),
+        }
+    }
+}
+
+fn required_stream(v: &Json) -> Result<String> {
+    v.get("stream")
+        .and_then(Json::as_str)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .ok_or_else(|| Error::Parse("request missing \"stream\"".into()))
+}
+
+fn parse_itemset(v: &Json) -> Result<ItemSet> {
+    let ids = v
+        .as_array()
+        .ok_or_else(|| Error::Parse("transaction must be an array of item ids".into()))?;
+    let items: Vec<u32> = ids
+        .iter()
+        .map(|id| {
+            id.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| Error::Parse("bad item id".into()))
+        })
+        .collect::<Result<_>>()?;
+    Ok(ItemSet::from_ids(items))
+}
+
+fn itemset_to_json(items: &ItemSet) -> Json {
+    Json::Arr(items.iter().map(|i| Json::from(i.id() as u64)).collect())
+}
+
+/// Reply to a fully accepted ingest.
+pub fn ingest_ok(accepted: usize) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("accepted", Json::from(accepted as u64)),
+    ])
+}
+
+/// Explicit load-shed reply: the shard's ingress queue was full for `shed`
+/// of the batch's transactions. The client knows exactly how much was
+/// dropped and can back off.
+pub fn ingest_overloaded(accepted: usize, shed: usize) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::from("overloaded")),
+        ("accepted", Json::from(accepted as u64)),
+        ("shed", Json::from(shed as u64)),
+    ])
+}
+
+/// Generic error reply.
+pub fn error_reply(msg: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::from(msg))])
+}
+
+/// A sanitized window publication event. `itemsets` is byte-identical to
+/// the CLI `protect` line for the same release
+/// ([`SanitizedRelease::wire_itemsets`]); the envelope adds the event tag
+/// and the stream key.
+pub fn release_event(stream: &str, stream_len: u64, release: &SanitizedRelease) -> Json {
+    Json::obj([
+        ("event", Json::from("release")),
+        ("stream", Json::from(stream)),
+        ("stream_len", Json::from(stream_len)),
+        ("itemsets", release.wire_itemsets()),
+    ])
+}
+
+/// Stream-drained event: sent to a stream's subscribers after its final
+/// flush during shutdown.
+pub fn closed_event(stream: &str) -> Json {
+    Json::obj([
+        ("event", Json::from("closed")),
+        ("stream", Json::from(stream)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_round_trips() {
+        let req = Request::Ingest {
+            stream: "t1".into(),
+            batch: vec![ItemSet::from_ids([3, 1, 2]), ItemSet::from_ids([9])],
+        };
+        let back = Request::from_json(&Json::parse(&req.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn single_items_form_parses_as_batch_of_one() {
+        let v = Json::parse("{\"op\":\"ingest\",\"stream\":\"s\",\"items\":[4,2]}").unwrap();
+        match Request::from_json(&v).unwrap() {
+            Request::Ingest { stream, batch } => {
+                assert_eq!(stream, "s");
+                assert_eq!(batch, vec![ItemSet::from_ids([2, 4])]);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        for (text, want) in [
+            ("{\"op\":\"stats\"}", Request::Stats),
+            ("{\"op\":\"ping\"}", Request::Ping),
+            ("{\"op\":\"shutdown\"}", Request::Shutdown),
+            (
+                "{\"op\":\"subscribe\",\"stream\":\"k\"}",
+                Request::Subscribe { stream: "k".into() },
+            ),
+        ] {
+            assert_eq!(
+                Request::from_json(&Json::parse(text).unwrap()).unwrap(),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "{}",
+            "{\"op\":\"frobnicate\"}",
+            "{\"op\":\"ingest\"}",
+            "{\"op\":\"ingest\",\"stream\":\"\",\"items\":[1]}",
+            "{\"op\":\"ingest\",\"stream\":\"s\"}",
+            "{\"op\":\"ingest\",\"stream\":\"s\",\"items\":[-1]}",
+            "{\"op\":\"ingest\",\"stream\":\"s\",\"batch\":[7]}",
+            "{\"op\":\"subscribe\"}",
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn reply_shapes() {
+        assert_eq!(ingest_ok(3).to_string(), "{\"accepted\":3,\"ok\":true}");
+        let shed = ingest_overloaded(1, 2);
+        assert_eq!(shed.get("error").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(shed.get("shed").unwrap().as_u64(), Some(2));
+        assert_eq!(shed.get("ok"), Some(&Json::Bool(false)));
+        let closed = closed_event("k");
+        assert_eq!(closed.get("event").unwrap().as_str(), Some("closed"));
+    }
+}

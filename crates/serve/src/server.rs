@@ -1,0 +1,347 @@
+//! The TCP server: accept loop, connection handlers, shard plumbing, and
+//! graceful shutdown.
+//!
+//! Thread shape: one accept thread, one worker thread per shard, and per
+//! connection a reader (handler) plus a writer (pump). The pump is the
+//! *only* thread writing to a connection, so reply lines and subscription
+//! events never interleave mid-line; it drains a bounded queue, which is
+//! what lets shard workers fan out releases without ever blocking on a slow
+//! client.
+//!
+//! Shutdown (the `shutdown` verb or [`Server::shutdown`]) runs the drain
+//! protocol:
+//!
+//! 1. the shutdown flag flips and the shard ingress senders are dropped —
+//!    new ingests get a `shutting-down` reply;
+//! 2. each shard worker consumes its already-accepted queue, flushes every
+//!    pipeline whose full window still owes a release, publishes those, and
+//!    sends each of its streams' subscribers a `closed` event;
+//! 3. handler threads notice the flag (reads time out every 100 ms) and
+//!    exit — subscriber connections only once the drain has closed their
+//!    streams, so no event is cut off; pumps drain their outbound queues
+//!    and close the sockets;
+//! 4. [`Server::join`] reaps every thread. No buffer anywhere is unbounded
+//!    at any point in this sequence.
+
+use crate::config::{fnv1a, ServeConfig};
+use crate::fanout::{OutLine, SubscriberRegistry};
+use crate::protocol::{error_reply, ingest_ok, ingest_overloaded, Request};
+use crate::shard::{spawn_shard, ShardIngress};
+use crate::stats::ShardStats;
+use bfly_common::{Error, FrameReader, Json, Result};
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked connection reads wake to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Writes slower than this mean a dead peer; the pump gives up rather than
+/// wedging shutdown.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Shared {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// `None` once shutdown began: dropping the senders is what tells the
+    /// shard workers to drain and exit.
+    ingress: RwLock<Option<Vec<ShardIngress>>>,
+    stats: Vec<Arc<ShardStats>>,
+    registry: Arc<SubscriberRegistry>,
+    conn_seq: AtomicU64,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        *self.ingress.write().expect("ingress poisoned") = None;
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("shards", Json::from(self.cfg.shards as u64)),
+            (
+                "per_shard",
+                Json::Arr(
+                    self.stats
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| s.to_json(i))
+                        .collect(),
+                ),
+            ),
+            ("subscribers", Json::from(self.registry.len() as u64)),
+            ("draining", Json::Bool(self.shutdown.load(Ordering::SeqCst))),
+        ])
+    }
+}
+
+/// A running Butterfly stream service.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), spawn the
+    /// shard workers and the accept loop, and return immediately.
+    ///
+    /// # Errors
+    /// [`Error::Parse`] for an invalid config, [`Error::Io`] for bind
+    /// failures.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> Result<Server> {
+        cfg.validate()
+            .map_err(|e| Error::Parse(format!("config: {e}")))?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(SubscriberRegistry::new());
+        let stats: Vec<Arc<ShardStats>> = (0..cfg.shards)
+            .map(|_| Arc::new(ShardStats::default()))
+            .collect();
+        let mut ingress = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        for (i, shard_stats) in stats.iter().enumerate() {
+            let (handle, worker) =
+                spawn_shard(i, cfg.clone(), registry.clone(), shard_stats.clone());
+            ingress.push(handle);
+            workers.push(worker);
+        }
+        let shared = Arc::new(Shared {
+            cfg,
+            addr,
+            shutdown: AtomicBool::new(false),
+            ingress: RwLock::new(Some(ingress)),
+            stats,
+            registry,
+            conn_seq: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("bfly-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (read the ephemeral port back from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begin graceful shutdown (idempotent; also reachable via the
+    /// `shutdown` protocol verb).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Wait for shutdown to be triggered — by a client's `shutdown` verb or
+    /// another thread calling [`Server::shutdown`] — then drain and reap
+    /// every thread. This is the CLI `serve` main loop.
+    pub fn run_until_shutdown(self) {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+
+    /// Reap every thread after shutdown. Triggers shutdown itself if no one
+    /// has yet, so `server.join()` alone is a valid full stop.
+    pub fn join(mut self) {
+        self.shared.trigger_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Workers closed the streams they owned; drop whatever subscribers
+        // remain (streams that never ingested a record).
+        self.shared.registry.clear();
+        let conns: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.conns.lock().expect("conns poisoned"));
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let shared_conn = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("bfly-conn-{conn_id}"))
+            .spawn(move || handle_conn(conn_id, stream, shared_conn))
+            .expect("spawn connection handler");
+        shared.conns.lock().expect("conns poisoned").push(handle);
+    }
+}
+
+/// Serialize a reply and enqueue it on the connection's outbound queue,
+/// blocking if the pump is behind (per-request backpressure). `Err` means
+/// the pump died — the connection is gone.
+fn send_line(out: &SyncSender<OutLine>, value: Json) -> std::result::Result<(), ()> {
+    out.send(Arc::from(value.to_string())).map_err(|_| ())
+}
+
+fn handle_conn(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = write_half.set_write_timeout(Some(WRITE_TIMEOUT));
+    let (out_tx, out_rx) = sync_channel::<OutLine>(shared.cfg.out_queue_cap);
+    let pump = std::thread::Builder::new()
+        .name(format!("bfly-pump-{conn_id}"))
+        .spawn(move || writer_pump(out_rx, write_half))
+        .expect("spawn writer pump");
+
+    let mut frames = FrameReader::new(stream);
+    loop {
+        // During shutdown a plain connection exits at the next poll tick,
+        // but a subscriber must stay until the drain closes its streams
+        // (the flush releases and `closed` events ride its pump queue).
+        if shared.shutdown.load(Ordering::SeqCst) && !shared.registry.has_conn(conn_id) {
+            break;
+        }
+        match frames.next_frame() {
+            Ok(Some(frame)) => {
+                if !dispatch(conn_id, &frame, &out_tx, &shared) {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean EOF
+            Err(Error::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick; partial frame state is preserved
+            }
+            Err(Error::Io(_)) => break,
+            Err(Error::Parse(msg)) => {
+                // Malformed JSON is recoverable (the framer stays aligned);
+                // an oversized frame is not — the tail of the huge line
+                // would parse as garbage frames.
+                let fatal = msg.contains("oversized");
+                if send_line(&out_tx, error_reply(&msg)).is_err() || fatal {
+                    break;
+                }
+            }
+            Err(e) => {
+                let _ = send_line(&out_tx, error_reply(&e.to_string()));
+                break;
+            }
+        }
+    }
+    shared.registry.unsubscribe_conn(conn_id);
+    drop(out_tx);
+    let _ = pump.join();
+}
+
+/// Handle one request; `false` ends the connection.
+fn dispatch(conn_id: u64, frame: &Json, out: &SyncSender<OutLine>, shared: &Shared) -> bool {
+    let request = match Request::from_json(frame) {
+        Ok(r) => r,
+        Err(e) => return send_line(out, error_reply(&e.to_string())).is_ok(),
+    };
+    match request {
+        Request::Ping => send_line(
+            out,
+            Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+        )
+        .is_ok(),
+        Request::Stats => send_line(out, shared.stats_json()).is_ok(),
+        Request::Subscribe { stream } => {
+            shared.registry.subscribe(&stream, conn_id, out.clone());
+            send_line(
+                out,
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("stream", Json::from(stream.as_str())),
+                ]),
+            )
+            .is_ok()
+        }
+        Request::Ingest { stream, batch } => {
+            let reply = {
+                let guard = shared.ingress.read().expect("ingress poisoned");
+                match guard.as_ref() {
+                    None => error_reply("shutting-down"),
+                    Some(shards) => {
+                        let shard = &shards[(fnv1a(&stream) % shards.len() as u64) as usize];
+                        let key: Arc<str> = Arc::from(stream.as_str());
+                        let mut accepted = 0;
+                        let mut shed = 0;
+                        for items in batch {
+                            if shard.offer(&key, items) {
+                                accepted += 1;
+                            } else {
+                                shed += 1;
+                            }
+                        }
+                        if shed == 0 {
+                            ingest_ok(accepted)
+                        } else {
+                            ingest_overloaded(accepted, shed)
+                        }
+                    }
+                }
+            };
+            send_line(out, reply).is_ok()
+        }
+        Request::Shutdown => {
+            let sent = send_line(
+                out,
+                Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
+            );
+            shared.trigger_shutdown();
+            // Keep the handler alive: its loop condition closes a plain
+            // connection at the next poll tick, but lets a connection that
+            // also holds subscriptions linger until the drain has closed its
+            // streams — issuing `shutdown` must not cut off your own events.
+            sent.is_ok()
+        }
+    }
+}
+
+/// The single writer for one connection: drains the outbound queue into the
+/// socket, flushing at queue boundaries so pipelined replies coalesce.
+fn writer_pump(rx: Receiver<OutLine>, stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    'outer: while let Ok(line) = rx.recv() {
+        if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            break;
+        }
+        while let Ok(more) = rx.try_recv() {
+            if w.write_all(more.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+                break 'outer;
+            }
+        }
+        if w.flush().is_err() {
+            break;
+        }
+    }
+    let _ = w.flush();
+}

@@ -1,0 +1,223 @@
+//! Shard workers: each owns the pipelines of the stream keys hashed to it.
+//!
+//! A shard is one worker thread behind one bounded ingress queue. Connection
+//! handlers `try_send` jobs into the queue — a full queue is the shard's
+//! load-shed signal, surfaced to the client as an `overloaded` reply — and
+//! the worker drains it in arrival order, advancing the per-key
+//! [`StreamPipeline`]s and fanning sanitized releases out through the
+//! subscriber registry.
+//!
+//! **Ordering and determinism.** A stream key lives on exactly one shard,
+//! so one stream's records are processed in the order its clients' ingests
+//! were accepted, by one thread — the same total order an in-process
+//! pipeline would see. Cross-key interleaving inside a shard does not
+//! matter: pipelines share no state, and each key's publisher noise is
+//! seeded from `(base seed, key)` alone.
+//!
+//! **Drain.** When the server shuts down it drops the ingress senders; the
+//! worker consumes every already-accepted job (the mpsc channel delivers
+//! buffered messages before reporting disconnect), then flushes each
+//! pipeline — publishing any full window with records pending since its
+//! last release — and closes the key's subscribers with a `closed` event.
+
+use crate::config::ServeConfig;
+use crate::fanout::SubscriberRegistry;
+use crate::protocol::{closed_event, release_event};
+use crate::stats::ShardStats;
+use bfly_common::{ItemSet, Transaction};
+use bfly_core::StreamPipeline;
+use bfly_mining::MinerBackend;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One unit of shard work.
+pub(crate) enum Job {
+    /// One accepted transaction for one stream key.
+    Ingest {
+        /// Stream key (shared, not cloned per record).
+        key: Arc<str>,
+        /// The transaction's items.
+        items: ItemSet,
+    },
+}
+
+/// The sending side of a shard: its ingress queue plus its counters.
+#[derive(Clone)]
+pub(crate) struct ShardIngress {
+    tx: SyncSender<Job>,
+    stats: Arc<ShardStats>,
+}
+
+impl ShardIngress {
+    /// Try to enqueue one transaction; `true` if accepted, `false` if the
+    /// queue is full and the record was shed.
+    pub(crate) fn offer(&self, key: &Arc<str>, items: ItemSet) -> bool {
+        match self.tx.try_send(Job::Ingest {
+            key: key.clone(),
+            items,
+        }) {
+            Ok(()) => {
+                ShardStats::add(&self.stats.ingested, 1);
+                ShardStats::add(&self.stats.queue_depth, 1);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                ShardStats::add(&self.stats.shed, 1);
+                false
+            }
+        }
+    }
+}
+
+/// Spawn shard `idx`'s worker thread. Returns the ingress handle and the
+/// join handle; the worker exits after draining once every ingress clone is
+/// dropped.
+pub(crate) fn spawn_shard(
+    idx: usize,
+    cfg: ServeConfig,
+    registry: Arc<SubscriberRegistry>,
+    stats: Arc<ShardStats>,
+) -> (ShardIngress, JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_cap);
+    let ingress = ShardIngress {
+        tx,
+        stats: stats.clone(),
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("bfly-shard-{idx}"))
+        .spawn(move || worker(cfg, rx, registry, stats))
+        .expect("spawn shard worker");
+    (ingress, handle)
+}
+
+fn worker(
+    cfg: ServeConfig,
+    rx: Receiver<Job>,
+    registry: Arc<SubscriberRegistry>,
+    stats: Arc<ShardStats>,
+) {
+    let mut pipelines: HashMap<Arc<str>, StreamPipeline<Box<dyn MinerBackend>>> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        match job {
+            Job::Ingest { key, items } => {
+                let pipe = pipelines.entry(key.clone()).or_insert_with(|| {
+                    ShardStats::add(&stats.keys, 1);
+                    cfg.pipeline_for(&key)
+                });
+                // The window assigns the real tid from the stream position.
+                pipe.advance(Transaction::new(0, items));
+                ShardStats::add(&stats.processed, 1);
+                if pipe.window().is_full() && pipe.since_publish() >= cfg.every {
+                    let release = pipe.publish_now().expect("full window cannot be partial");
+                    let line = release_event(&key, release.stream_len, &release.release);
+                    registry.publish(&key, Arc::from(line.to_string()), &stats);
+                    ShardStats::add(&stats.published, 1);
+                }
+            }
+        }
+    }
+    // Every ingress sender is gone and the buffered jobs above are all
+    // processed: final flush, in sorted key order so drain output is
+    // deterministic.
+    let mut keys: Vec<Arc<str>> = pipelines.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let pipe = pipelines.get_mut(&key).expect("key just listed");
+        if let Some(release) = pipe.flush() {
+            let line = release_event(&key, release.stream_len, &release.release);
+            registry.publish(&key, Arc::from(line.to_string()), &stats);
+            ShardStats::add(&stats.published, 1);
+        }
+        registry.close_stream(&key, Arc::from(closed_event(&key).to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_mining::BackendKind;
+    use std::sync::mpsc::sync_channel;
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig {
+            shards: 1,
+            window: 8,
+            c: 2,
+            k: 1,
+            epsilon: 0.2,
+            delta: 0.5,
+            scheme: bfly_core::BiasScheme::Basic,
+            backend: BackendKind::Moment,
+            every: 2,
+            queue_cap: 64,
+            out_queue_cap: 64,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn worker_publishes_on_cadence_and_flushes_on_drain() {
+        let cfg = tiny_cfg();
+        let registry = Arc::new(SubscriberRegistry::new());
+        let stats = Arc::new(ShardStats::default());
+        let (ingress, handle) = spawn_shard(0, cfg, registry.clone(), stats.clone());
+        let (sub_tx, sub_rx) = sync_channel(64);
+        registry.subscribe("k", 1, sub_tx);
+
+        let key: Arc<str> = Arc::from("k");
+        let mut src = bfly_datagen::DatasetProfile::WebView1.source(3);
+        // 11 records, window 8, every 2: cadence publishes at 8 and 10;
+        // the drain flush owes one more at 11.
+        for _ in 0..11 {
+            assert!(ingress.offer(&key, src.next_transaction().into_items()));
+        }
+        drop(ingress);
+        handle.join().expect("worker paniced");
+
+        let lines: Vec<String> = sub_rx.iter().map(|l| l.to_string()).collect();
+        let releases: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"release\""))
+            .collect();
+        assert_eq!(releases.len(), 3, "lines: {lines:#?}");
+        assert!(releases[0].contains("\"stream_len\":8"));
+        assert!(releases[1].contains("\"stream_len\":10"));
+        assert!(releases[2].contains("\"stream_len\":11"));
+        assert!(
+            lines.last().unwrap().contains("\"event\":\"closed\""),
+            "drain must close the stream"
+        );
+        assert_eq!(stats.processed.load(Ordering::Relaxed), 11);
+        assert_eq!(stats.published.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.keys.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let cfg = ServeConfig {
+            queue_cap: 2,
+            ..tiny_cfg()
+        };
+        let registry = Arc::new(SubscriberRegistry::new());
+        let stats = Arc::new(ShardStats::default());
+        // Build the ingress without a worker: the queue can only fill.
+        let (tx, _rx_keepalive) = sync_channel(cfg.queue_cap);
+        let ingress = ShardIngress {
+            tx,
+            stats: stats.clone(),
+        };
+        let key: Arc<str> = Arc::from("k");
+        let accepted = (0..5)
+            .filter(|_| ingress.offer(&key, ItemSet::from_ids([1, 2])))
+            .count();
+        assert_eq!(accepted, 2, "queue cap must bound acceptance");
+        assert_eq!(stats.shed.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 2);
+        drop(registry);
+    }
+}

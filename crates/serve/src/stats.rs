@@ -1,0 +1,79 @@
+//! Per-shard counters, exposed through the `stats` protocol verb.
+
+use bfly_common::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one shard. All relaxed atomics — they are monitoring
+/// data, not synchronization; the queue itself orders the work.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Transactions accepted into the ingress queue.
+    pub ingested: AtomicU64,
+    /// Transactions shed because the ingress queue was full.
+    pub shed: AtomicU64,
+    /// Transactions the worker has finished processing.
+    pub processed: AtomicU64,
+    /// Sanitized windows published (cadence + final flushes).
+    pub published: AtomicU64,
+    /// Current ingress queue depth (accepted minus dequeued).
+    pub queue_depth: AtomicU64,
+    /// Distinct stream keys this shard owns.
+    pub keys: AtomicU64,
+    /// Subscriber connections dropped for falling behind the fan-out.
+    pub subscriber_drops: AtomicU64,
+}
+
+impl ShardStats {
+    /// Snapshot as a JSON object (one row of the `stats` reply).
+    pub fn to_json(&self, shard: usize) -> Json {
+        Json::obj([
+            ("shard", Json::from(shard as u64)),
+            (
+                "ingested",
+                Json::from(self.ingested.load(Ordering::Relaxed)),
+            ),
+            ("shed", Json::from(self.shed.load(Ordering::Relaxed))),
+            (
+                "processed",
+                Json::from(self.processed.load(Ordering::Relaxed)),
+            ),
+            (
+                "published",
+                Json::from(self.published.load(Ordering::Relaxed)),
+            ),
+            (
+                "queue_depth",
+                Json::from(self.queue_depth.load(Ordering::Relaxed)),
+            ),
+            ("keys", Json::from(self.keys.load(Ordering::Relaxed))),
+            (
+                "subscriber_drops",
+                Json::from(self.subscriber_drops.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+
+    /// Bump a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_carries_every_counter() {
+        let s = ShardStats::default();
+        ShardStats::add(&s.ingested, 5);
+        ShardStats::add(&s.shed, 2);
+        ShardStats::add(&s.published, 1);
+        let v = s.to_json(3);
+        assert_eq!(v.get("shard").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("ingested").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("shed").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("published").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(0));
+    }
+}

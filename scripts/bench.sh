@@ -8,11 +8,15 @@
 #    APPENDS one timestamped run entry to BENCH_parallel.json and
 #    BENCH_support.json at the repo root, so the perf trajectory across
 #    changes is preserved — never overwritten.
-# 2. The dependency-free overhead + mining micro-benchmark harnesses, run
+# 2. loadgen: the bfly_serve stream service driven by concurrent TCP
+#    clients at 1 shard and at 4 shards; throughput + latency percentiles
+#    APPEND to BENCH_serve.json (entries record the host's core count —
+#    shard scaling is only meaningful with >1 core).
+# 3. The dependency-free overhead + mining micro-benchmark harnesses, run
 #    once at BFLY_THREADS=1 and once at the full worker count, for the
 #    per-stage context numbers.
 #
-# Pass --quick to skip step 2.
+# Pass --quick to skip step 3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +28,9 @@ cargo build -q --release -p bfly-bench
 echo "==> parbench (${REPS} reps, appends to BENCH_parallel.json + BENCH_support.json)"
 cargo run -q --release -p bfly-bench --bin parbench -- --reps "${REPS}" \
   --out BENCH_parallel.json --support-out BENCH_support.json
+
+echo "==> loadgen (1-shard vs 4-shard phases, appends to BENCH_serve.json)"
+cargo run -q --release -p bfly-bench --bin loadgen -- --out BENCH_serve.json
 
 if [[ "${1:-}" != "--quick" ]]; then
   for bench in overhead mining; do

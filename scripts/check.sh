@@ -24,4 +24,22 @@ cargo run -q --release -p bfly-bench --bin parbench -- --reps 1 \
   --out target/BENCH_parallel.smoke.json \
   --support-out target/BENCH_support.smoke.json
 
+echo "==> serve smoke (real server process + loadgen + graceful drain)"
+cargo build -q --release
+PORT_FILE=target/serve.smoke.port
+rm -f "$PORT_FILE"
+target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
+  --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$PORT_FILE" ]] || { echo "server never wrote its port file"; exit 1; }
+cargo run -q --release -p bfly-bench --bin loadgen -- --quick \
+  --addr "$(cat "$PORT_FILE")" --shutdown --out target/BENCH_serve.smoke.json
+wait "$SERVE_PID"   # exits 0 only after a clean drain
+trap - EXIT
+
 echo "==> all checks passed"

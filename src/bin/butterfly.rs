@@ -6,11 +6,13 @@
 //! butterfly attack  --input stream.dat --window 2000 --min-support 25 --vulnerable 5
 //! butterfly protect --input stream.dat --window 2000 --min-support 25 --vulnerable 5 \
 //!                   --epsilon 0.016 --delta 0.4 --scheme hybrid --lambda 0.4 --every 100
+//! butterfly serve   --addr 127.0.0.1:7878 --shards 4 --window 2000 --min-support 25
 //! ```
 //!
 //! `protect` writes one JSON object per published window to stdout (or
 //! `--out`), containing only sanitized supports — the same trust boundary a
-//! deployment would have.
+//! deployment would have. `serve` exposes the same pipeline as a sharded
+//! multi-tenant TCP service (see `bfly_serve`).
 
 use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
 use butterfly_repro::common::{io as dat, Database, Json};
@@ -18,8 +20,9 @@ use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::inference::find_intra_window_breaches;
 use butterfly_repro::mining::closed::closed_subset;
 use butterfly_repro::mining::{Apriori, BackendKind, Eclat, FpGrowth};
+use butterfly_repro::serve::{ServeConfig, Server};
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -28,7 +31,11 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_flags(rest) {
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_flags(command, rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -53,10 +60,7 @@ fn main() -> ExitCode {
         "rules" => cmd_rules(&opts),
         "attack" => cmd_attack(&opts),
         "protect" => cmd_protect(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
+        "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -73,12 +77,17 @@ const USAGE: &str = "butterfly — output-privacy protection for stream frequent
 USAGE:
   butterfly gen     --profile <webview1|pos> --count <N> [--seed <S>] [--out <file.dat>]
   butterfly mine    --input <file.dat> --min-support <C> [--closed] [--miner <apriori|fpgrowth|eclat>]
+                    [--out <file>]
   butterfly rules   --input <file.dat> --min-support <C> --min-confidence <F> [--top <N>]
   butterfly attack  --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
   butterfly protect --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
                     --epsilon <E> --delta <D> [--scheme <basic|order|ratio|hybrid>]
                     [--backend <moment|apriori|eclat|fpgrowth|charm|closed|fpstream|damped>]
                     [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--out <file.jsonl>]
+  butterfly serve   [--addr <ip:port>] [--shards <N>] [--window <H>] [--min-support <C>]
+                    [--vulnerable <K>] [--epsilon <E>] [--delta <D>] [--scheme <...>]
+                    [--backend <...>] [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>]
+                    [--queue-cap <N>] [--out-queue-cap <N>] [--port-file <path>]
 
 Every command also accepts --threads <N> to pin the worker-thread count of
 the parallel phases (default: BFLY_THREADS, else all hardware threads;
@@ -86,15 +95,124 @@ results are identical at any thread count).";
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+/// `(name, takes_value)` — flags each subcommand accepts, beyond `--threads`.
+const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
+    (
+        "gen",
+        &[
+            ("profile", true),
+            ("count", true),
+            ("seed", true),
+            ("out", true),
+        ],
+    ),
+    (
+        "mine",
+        &[
+            ("input", true),
+            ("min-support", true),
+            ("closed", false),
+            ("miner", true),
+            ("out", true),
+        ],
+    ),
+    (
+        "rules",
+        &[
+            ("input", true),
+            ("min-support", true),
+            ("min-confidence", true),
+            ("top", true),
+        ],
+    ),
+    (
+        "attack",
+        &[
+            ("input", true),
+            ("window", true),
+            ("min-support", true),
+            ("vulnerable", true),
+        ],
+    ),
+    (
+        "protect",
+        &[
+            ("input", true),
+            ("window", true),
+            ("min-support", true),
+            ("vulnerable", true),
+            ("epsilon", true),
+            ("delta", true),
+            ("scheme", true),
+            ("backend", true),
+            ("lambda", true),
+            ("gamma", true),
+            ("every", true),
+            ("seed", true),
+            ("out", true),
+        ],
+    ),
+    (
+        "serve",
+        &[
+            ("addr", true),
+            ("shards", true),
+            ("window", true),
+            ("min-support", true),
+            ("vulnerable", true),
+            ("epsilon", true),
+            ("delta", true),
+            ("scheme", true),
+            ("backend", true),
+            ("lambda", true),
+            ("gamma", true),
+            ("every", true),
+            ("seed", true),
+            ("queue-cap", true),
+            ("out-queue-cap", true),
+            ("port-file", true),
+        ],
+    ),
+];
+
+/// Parse `--flag value` pairs, rejecting any flag the subcommand does not
+/// declare — a typo like `--schme` is an error naming the valid set, never
+/// a silently ignored option.
+fn parse_flags(command: &str, args: &[String]) -> Result<Flags, String> {
+    let allowed = FLAG_TABLE
+        .iter()
+        .find(|(cmd, _)| *cmd == command)
+        .map(|(_, flags)| *flags)
+        .ok_or_else(|| {
+            let commands: Vec<&str> = FLAG_TABLE.iter().map(|(c, _)| *c).collect();
+            format!(
+                "unknown command {command:?} (valid: {})",
+                commands.join(", ")
+            )
+        })?;
     let mut flags = Flags::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected positional argument {arg:?}"));
         };
-        // Boolean flags take no value.
-        if name == "closed" {
+        let takes_value = if name == "threads" {
+            true
+        } else {
+            match allowed.iter().find(|(n, _)| *n == name) {
+                Some((_, takes_value)) => *takes_value,
+                None => {
+                    let mut valid: Vec<String> =
+                        allowed.iter().map(|(n, _)| format!("--{n}")).collect();
+                    valid.push("--threads".to_string());
+                    return Err(format!(
+                        "unknown flag --{name} for {command} (valid: {})",
+                        valid.join(", ")
+                    ));
+                }
+            }
+        };
+        if !takes_value {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -115,6 +233,30 @@ fn req<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+/// `--out <path>` or stdout, buffered either way. Callers must `flush()`.
+fn out_writer(flags: &Flags) -> Result<Box<dyn Write>, String> {
+    Ok(match flags.get("out") {
+        Some(path) => Box::new(BufWriter::new(
+            std::fs::File::create(path).map_err(|e| e.to_string())?,
+        )),
+        None => Box::new(BufWriter::new(std::io::stdout().lock())),
+    })
+}
+
+/// Shared by `protect` and `serve`: `--scheme` plus its `--lambda`/`--gamma`
+/// parameters.
+fn parse_scheme(flags: &Flags) -> Result<BiasScheme, String> {
+    let gamma: usize = parse(flags.get("gamma").map_or("2", String::as_str), "gamma")?;
+    let lambda: f64 = parse(flags.get("lambda").map_or("0.4", String::as_str), "lambda")?;
+    match flags.get("scheme").map_or("hybrid", String::as_str) {
+        "basic" => Ok(BiasScheme::Basic),
+        "order" => Ok(BiasScheme::OrderPreserving { gamma }),
+        "ratio" => Ok(BiasScheme::RatioPreserving),
+        "hybrid" => Ok(BiasScheme::Hybrid { lambda, gamma }),
+        other => Err(format!("unknown scheme {other:?}")),
+    }
 }
 
 fn cmd_gen(flags: &Flags) -> Result<(), String> {
@@ -153,7 +295,9 @@ fn cmd_mine(flags: &Flags) -> Result<(), String> {
     if flags.contains_key("closed") {
         frequent = closed_subset(&frequent);
     }
-    print!("{frequent}");
+    let mut out = out_writer(flags)?;
+    write!(out, "{frequent}").map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
     eprintln!(
         "{} itemsets at C={c} over {} records",
         frequent.len(),
@@ -217,15 +361,7 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
     let delta: f64 = parse(req(flags, "delta")?, "delta")?;
     let every: usize = parse(flags.get("every").map_or("1", String::as_str), "every")?;
     let seed: u64 = parse(flags.get("seed").map_or("0", String::as_str), "seed")?;
-    let gamma: usize = parse(flags.get("gamma").map_or("2", String::as_str), "gamma")?;
-    let lambda: f64 = parse(flags.get("lambda").map_or("0.4", String::as_str), "lambda")?;
-    let scheme = match flags.get("scheme").map_or("hybrid", String::as_str) {
-        "basic" => BiasScheme::Basic,
-        "order" => BiasScheme::OrderPreserving { gamma },
-        "ratio" => BiasScheme::RatioPreserving,
-        "hybrid" => BiasScheme::Hybrid { lambda, gamma },
-        other => return Err(format!("unknown scheme {other:?}")),
-    };
+    let scheme = parse_scheme(flags)?;
     if every == 0 {
         return Err("--every must be positive".into());
     }
@@ -238,49 +374,87 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
     let publisher = Publisher::new(spec, scheme, seed);
     let mut pipeline = StreamPipeline::from_kind(window, backend, publisher);
 
-    let mut out: Box<dyn Write> = match flags.get("out") {
-        Some(path) => Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?),
-        None => Box::new(std::io::stdout().lock()),
-    };
+    let mut out = out_writer(flags)?;
     let mut published = 0usize;
-    let mut since_last = 0usize;
     for record in db.records() {
         pipeline.advance(record.clone());
-        since_last += 1;
-        if pipeline.stream_len() as usize >= window && since_last >= every {
-            since_last = 0;
+        if pipeline.window().is_full() && pipeline.since_publish() >= every {
             let release = pipeline.publish_now().map_err(|e| e.to_string())?;
-            let entries: Vec<Json> = release
-                .release
-                .iter()
-                .map(|e| {
-                    Json::obj([
-                        (
-                            "itemset",
-                            Json::Arr(
-                                e.itemset()
-                                    .items()
-                                    .iter()
-                                    .map(|i| Json::from(i.id() as u64))
-                                    .collect(),
-                            ),
-                        ),
-                        ("support", Json::from(e.sanitized)),
-                    ])
-                })
-                .collect();
             let line = Json::obj([
                 ("stream_len", Json::from(release.stream_len)),
-                ("itemsets", Json::Arr(entries)),
+                ("itemsets", release.release.wire_itemsets()),
             ]);
             writeln!(out, "{line}").map_err(|e| e.to_string())?;
             published += 1;
         }
     }
+    out.flush().map_err(|e| e.to_string())?;
     eprintln!(
         "published {published} sanitized windows (C={c}, K={k}, ε={epsilon}, δ={delta}, {}, backend {})",
         scheme.name(),
         backend.name()
     );
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flags.get("shards") {
+        cfg.shards = parse(v, "shards")?;
+    }
+    if let Some(v) = flags.get("window") {
+        cfg.window = parse(v, "window")?;
+    }
+    if let Some(v) = flags.get("min-support") {
+        cfg.c = parse(v, "min-support")?;
+    }
+    if let Some(v) = flags.get("vulnerable") {
+        cfg.k = parse(v, "vulnerable")?;
+    }
+    if let Some(v) = flags.get("epsilon") {
+        cfg.epsilon = parse(v, "epsilon")?;
+    }
+    if let Some(v) = flags.get("delta") {
+        cfg.delta = parse(v, "delta")?;
+    }
+    if let Some(v) = flags.get("every") {
+        cfg.every = parse(v, "every")?;
+    }
+    if let Some(v) = flags.get("seed") {
+        cfg.seed = parse(v, "seed")?;
+    }
+    if let Some(v) = flags.get("queue-cap") {
+        cfg.queue_cap = parse(v, "queue-cap")?;
+    }
+    if let Some(v) = flags.get("out-queue-cap") {
+        cfg.out_queue_cap = parse(v, "out-queue-cap")?;
+    }
+    cfg.scheme = parse_scheme(flags)?;
+    if let Some(v) = flags.get("backend") {
+        cfg.backend = v
+            .parse()
+            .map_err(|e: butterfly_repro::common::Error| e.to_string())?;
+    }
+    let addr = flags.get("addr").map_or("127.0.0.1:7878", String::as_str);
+    let server = Server::bind(addr, cfg.clone()).map_err(|e| e.to_string())?;
+    let local = server.local_addr();
+    // The port-file handshake lets scripts bind port 0 and still find us.
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, format!("{local}\n")).map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "serving on {local}: {} shards, window {}, C={}, K={}, ε={}, δ={}, {}, backend {}, every {}",
+        cfg.shards,
+        cfg.window,
+        cfg.c,
+        cfg.k,
+        cfg.epsilon,
+        cfg.delta,
+        cfg.scheme.name(),
+        cfg.backend.name(),
+        cfg.every
+    );
+    server.run_until_shutdown();
+    eprintln!("drained and stopped");
     Ok(())
 }

@@ -18,6 +18,9 @@
 //! * [`butterfly`] — the paper's contribution: basic / order-preserving /
 //!   ratio-preserving / hybrid output perturbation and the stream publisher
 //!   ([`bfly_core`]).
+//! * [`serve`] — the sharded multi-tenant TCP stream service: per-key
+//!   pipelines, bounded-queue backpressure, subscriber fan-out
+//!   ([`bfly_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -34,3 +37,4 @@ pub use bfly_core as butterfly;
 pub use bfly_datagen as datagen;
 pub use bfly_inference as inference;
 pub use bfly_mining as mining;
+pub use bfly_serve as serve;

@@ -139,6 +139,35 @@ fn bad_flags_fail_cleanly() {
 }
 
 #[test]
+fn unknown_flags_rejected_with_valid_set() {
+    // A typo must be an error naming the valid flags, never silently
+    // ignored (a silently dropped --scheme would publish under the default).
+    let out = bin()
+        .args([
+            "protect", "--input", "x.dat", "--window", "10", "--schme", "basic",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown flag --schme"), "got: {err}");
+    assert!(err.contains("--scheme"), "should list valid flags: {err}");
+    assert!(
+        err.contains("--threads"),
+        "global flags belong in the list: {err}"
+    );
+
+    // Flags valid for one command are still rejected on another.
+    let out = bin()
+        .args(["gen", "--profile", "pos", "--count", "5", "--window", "10"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown flag --window"), "got: {err}");
+}
+
+#[test]
 fn deterministic_generation() {
     let a = temp_path("det_a.dat");
     let b = temp_path("det_b.dat");

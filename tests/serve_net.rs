@@ -1,0 +1,366 @@
+//! Integration tests for the `bfly_serve` stream service: network
+//! determinism (a TCP round trip is bit-identical to an in-process run),
+//! overload shedding, graceful drain, and wire-protocol edge cases.
+
+use butterfly_repro::common::{ItemSet, Json};
+use butterfly_repro::datagen::DatasetProfile;
+use butterfly_repro::serve::protocol::{closed_event, release_event};
+use butterfly_repro::serve::{Client, Request, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+
+fn feasible_cfg() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        window: 120,
+        c: 15,
+        k: 3,
+        epsilon: 0.016,
+        delta: 0.4,
+        every: 100,
+        seed: 42,
+        ..ServeConfig::default()
+    }
+}
+
+/// The tentpole guarantee: a seeded stream fed over TCP produces releases
+/// byte-identical to the same records pushed through an in-process pipeline
+/// built by the same config — interleaved traffic on another stream key and
+/// the network boundary change nothing. Also covers the partial-window
+/// drain: 130 records with window 120 / every 100 publish at 120 on cadence
+/// and at 130 only because shutdown flushes.
+#[test]
+fn network_releases_bit_identical_to_in_process() {
+    let cfg = feasible_cfg();
+    let records: Vec<ItemSet> = DatasetProfile::WebView1
+        .source(5)
+        .take_vec(130)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+
+    // In-process reference run, through the exact construction path the
+    // shard workers use.
+    let mut pipe = cfg.pipeline_for("alpha");
+    let mut expected: Vec<String> = Vec::new();
+    for items in &records {
+        pipe.advance(butterfly_repro::common::Transaction::new(0, items.clone()));
+        if pipe.window().is_full() && pipe.since_publish() >= cfg.every {
+            let r = pipe.publish_now().expect("full window");
+            expected.push(release_event("alpha", r.stream_len, &r.release).to_string());
+        }
+    }
+    if let Some(r) = pipe.flush() {
+        expected.push(release_event("alpha", r.stream_len, &r.release).to_string());
+    }
+    assert_eq!(expected.len(), 2, "cadence at 120 plus drain flush at 130");
+
+    // The same records over TCP, with a second tenant interleaved.
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut subscriber = Client::connect(addr).expect("subscriber connect");
+    let ack = subscriber
+        .request(&Request::Subscribe {
+            stream: "alpha".into(),
+        })
+        .expect("subscribe ack");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+
+    let mut ingest = Client::connect(addr).expect("ingest connect");
+    let mut beta_source = DatasetProfile::Pos.source(9);
+    for chunk in records.chunks(25) {
+        let reply = ingest
+            .request(&Request::Ingest {
+                stream: "alpha".into(),
+                batch: chunk.to_vec(),
+            })
+            .expect("ingest reply");
+        assert_eq!(
+            reply.get("accepted").and_then(Json::as_u64),
+            Some(chunk.len() as u64),
+            "no shedding expected at default queue caps: {reply}"
+        );
+        let beta_batch: Vec<ItemSet> = (0..10)
+            .map(|_| beta_source.next_transaction().into_items())
+            .collect();
+        let reply = ingest
+            .request(&Request::Ingest {
+                stream: "beta".into(),
+                batch: beta_batch,
+            })
+            .expect("beta ingest reply");
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+    }
+    let reply = ingest.request(&Request::Shutdown).expect("shutdown reply");
+    assert_eq!(reply.get("draining"), Some(&Json::Bool(true)));
+
+    // Drain the subscriber to the closed event; everything before it must
+    // match the reference run byte for byte.
+    let mut received: Vec<String> = Vec::new();
+    loop {
+        let line = subscriber
+            .next_line()
+            .expect("subscriber read")
+            .expect("closed event must arrive before EOF");
+        if line.get("event").and_then(Json::as_str) == Some("closed") {
+            assert_eq!(line.to_string(), closed_event("alpha").to_string());
+            break;
+        }
+        received.push(line.to_string());
+    }
+    assert_eq!(received, expected, "network run diverged from in-process");
+    server.join();
+}
+
+/// Same seed, two server instances: the wire output is reproducible run to
+/// run (noise comes from the config seed, not from process state).
+#[test]
+fn same_seed_reproduces_across_server_instances() {
+    let records: Vec<ItemSet> = DatasetProfile::Pos
+        .source(11)
+        .take_vec(130)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+    let run = |seed: u64| -> Vec<String> {
+        let cfg = ServeConfig {
+            seed,
+            ..feasible_cfg()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        let mut sub = Client::connect(server.local_addr()).expect("connect");
+        sub.request(&Request::Subscribe { stream: "s".into() })
+            .expect("subscribe");
+        let mut ingest = Client::connect(server.local_addr()).expect("connect");
+        ingest
+            .request(&Request::Ingest {
+                stream: "s".into(),
+                batch: records.clone(),
+            })
+            .expect("ingest");
+        ingest.request(&Request::Shutdown).expect("shutdown");
+        let mut lines = Vec::new();
+        loop {
+            let line = sub.next_line().expect("read").expect("closed before EOF");
+            let closed = line.get("event").and_then(Json::as_str) == Some("closed");
+            lines.push(line.to_string());
+            if closed {
+                break;
+            }
+        }
+        server.join();
+        lines
+    };
+    assert_eq!(run(42), run(42), "same seed must reproduce");
+    assert_ne!(run(42), run(43), "different seed must perturb differently");
+}
+
+/// A connection that both subscribes and issues `shutdown` must still get
+/// its drain events: the shutdown ack must not close the connection before
+/// the flush release and `closed` arrive (regression — dispatch used to end
+/// the connection on the shutdown verb unconditionally).
+#[test]
+fn subscriber_issuing_shutdown_still_receives_drain_events() {
+    let cfg = feasible_cfg();
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .request(&Request::Subscribe { stream: "s".into() })
+        .expect("subscribe ack");
+    let batch: Vec<ItemSet> = DatasetProfile::Pos
+        .source(13)
+        .take_vec(60)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+    client
+        .request(&Request::Ingest {
+            stream: "s".into(),
+            batch,
+        })
+        .expect("ingest reply");
+    let reply = client.request(&Request::Shutdown).expect("shutdown reply");
+    assert_eq!(reply.get("draining"), Some(&Json::Bool(true)));
+    // 60 records never fill the 120-window, so the drain publishes nothing —
+    // but the closed event must still arrive on this same connection.
+    let line = client
+        .next_line()
+        .expect("read after shutdown")
+        .expect("closed event must arrive before EOF");
+    assert_eq!(line.to_string(), closed_event("s").to_string());
+    server.join();
+}
+
+/// Overload: a tiny ingress queue in front of a deliberately slow shard
+/// (publish every record) sheds with explicit `overloaded` replies whose
+/// accepted/shed accounting matches the server's own counters.
+#[test]
+fn overload_sheds_explicitly_with_accurate_accounting() {
+    let cfg = ServeConfig {
+        shards: 1,
+        window: 64,
+        c: 2,
+        k: 1,
+        epsilon: 0.2,
+        delta: 0.5,
+        every: 1, // mine + publish per record: the worker cannot keep up
+        queue_cap: 4,
+        seed: 3,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut source = DatasetProfile::Pos.source(21);
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    let mut saw_overloaded = false;
+    let sent: u64 = 4 * 256;
+    for _ in 0..4 {
+        let batch: Vec<ItemSet> = (0..256)
+            .map(|_| source.next_transaction().into_items())
+            .collect();
+        let reply = client
+            .request(&Request::Ingest {
+                stream: "hot".into(),
+                batch,
+            })
+            .expect("ingest reply");
+        accepted += reply
+            .get("accepted")
+            .and_then(Json::as_u64)
+            .expect("accepted field");
+        if reply.get("ok") == Some(&Json::Bool(false)) {
+            assert_eq!(
+                reply.get("error").and_then(Json::as_str),
+                Some("overloaded"),
+                "shed reply must be explicit: {reply}"
+            );
+            shed += reply
+                .get("shed")
+                .and_then(Json::as_u64)
+                .expect("shed field");
+            saw_overloaded = true;
+        }
+    }
+    assert!(saw_overloaded, "cap 4 queue must shed a 256-record burst");
+    assert_eq!(accepted + shed, sent, "every record accounted for");
+
+    let stats = client.request(&Request::Stats).expect("stats");
+    let per_shard = stats
+        .get("per_shard")
+        .and_then(Json::as_array)
+        .expect("per_shard");
+    assert_eq!(per_shard.len(), 1);
+    assert_eq!(
+        per_shard[0].get("ingested").and_then(Json::as_u64),
+        Some(accepted),
+        "server ingested counter must match replies"
+    );
+    assert_eq!(
+        per_shard[0].get("shed").and_then(Json::as_u64),
+        Some(shed),
+        "server shed counter must match replies"
+    );
+    server.shutdown();
+    server.join();
+}
+
+/// Protocol edges over a raw socket: ping, stats shape, unknown ops,
+/// malformed lines (recoverable), oversized lines (fatal), and ingest
+/// rejection during drain.
+#[test]
+fn protocol_edges() {
+    let cfg = feasible_cfg();
+    let shards = cfg.shards;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |line: &str| -> String {
+        writeln!(writer, "{line}").expect("write");
+        writer.flush().expect("flush");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply
+    };
+
+    let pong = roundtrip("{\"op\":\"ping\"}");
+    assert!(pong.contains("\"pong\":true"), "got {pong}");
+
+    let stats = Json::parse(&roundtrip("{\"op\":\"stats\"}")).expect("stats json");
+    assert_eq!(
+        stats
+            .get("per_shard")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(shards)
+    );
+    assert_eq!(stats.get("draining"), Some(&Json::Bool(false)));
+
+    let unknown = roundtrip("{\"op\":\"frobnicate\"}");
+    assert!(unknown.contains("unknown op"), "got {unknown}");
+
+    // Malformed JSON gets an error reply but keeps the connection framed.
+    let err = roundtrip("this is not json");
+    assert!(err.contains("\"ok\":false"), "got {err}");
+    let pong = roundtrip("{\"op\":\"ping\"}");
+    assert!(
+        pong.contains("\"pong\":true"),
+        "connection must survive: {pong}"
+    );
+
+    // An oversized line cannot be resynced: the server replies with an
+    // error (best effort — the teardown may RST past it) and closes this
+    // connection, but keeps serving others. Writes may hit a broken pipe
+    // once the server stops reading; that is the expected teardown.
+    let huge = "x".repeat(2 * 1024 * 1024);
+    let _ = writeln!(writer, "{huge}");
+    let _ = writer.flush();
+    let mut closed = false;
+    for _ in 0..4 {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                closed = true;
+                break;
+            }
+            Ok(_) => assert!(
+                line.contains("oversized"),
+                "only the oversize error may precede the close: {line}"
+            ),
+        }
+    }
+    assert!(closed, "server must close after an oversized frame");
+    let mut fresh = Client::connect(server.local_addr()).expect("fresh connect");
+    let pong = fresh.request(&Request::Ping).expect("ping reply");
+    assert_eq!(
+        pong.get("pong"),
+        Some(&Json::Bool(true)),
+        "server must survive an oversized frame"
+    );
+
+    // During drain, ingests on a surviving connection are refused
+    // explicitly. The connection subscribes to an idle stream first so its
+    // handler lingers through the drain (subscriber connections outlive the
+    // flag until their streams close).
+    let mut late = Client::connect(server.local_addr()).expect("late connect");
+    late.request(&Request::Subscribe {
+        stream: "idle".into(),
+    })
+    .expect("subscribe ack");
+    server.shutdown();
+    let reply = late
+        .request(&Request::Ingest {
+            stream: "s".into(),
+            batch: vec![ItemSet::from_ids([1, 2])],
+        })
+        .expect("late ingest reply");
+    assert_eq!(
+        reply.get("error").and_then(Json::as_str),
+        Some("shutting-down"),
+        "got {reply}"
+    );
+    server.join();
+}
