@@ -12,16 +12,24 @@
 //!   isolation overhead, not speedup (see DESIGN.md).
 //! * **External (`--addr host:port`):** one phase against an already
 //!   running server (e.g. `butterfly serve` started by `scripts/check.sh`);
-//!   `--shutdown` sends the graceful-drain verb when done.
+//!   `--shutdown` sends the graceful-drain verb when done. `--watch <key>`
+//!   additionally subscribes to that stream key for the duration of the
+//!   phase and reconstructs its sanitized state from the event feed through
+//!   [`SubscriberState`] — on a server running `--snapshot-every N > 1`,
+//!   a watcher that joins mid-stream syncs on the next full snapshot and
+//!   rides `release_delta` events; its reconstruction counters go into the
+//!   run entry. The watcher drains until the stream's `closed` event, so
+//!   pair `--watch` with `--shutdown` (or an external drain).
 //!
 //! Run: `cargo run --release -p bfly-bench --bin loadgen`
 //!      `[--quick] [--clients <N>] [--requests <N>] [--batch <N>]`
 //!      `[--keys <N>] [--shards <N>] [--seed <S>] [--out <path.json>]`
-//!      `[--addr <host:port>] [--shutdown]`
+//!      `[--addr <host:port>] [--watch <key>] [--shutdown]`
 
 use bfly_bench::{append_run, arg, epoch_seconds, quick_mode};
 use bfly_common::Json;
 use bfly_datagen::DatasetProfile;
+use bfly_serve::protocol::SubscriberState;
 use bfly_serve::{Client, Request, ServeConfig, Server};
 use std::time::Instant;
 
@@ -161,6 +169,49 @@ fn in_process_phase(shards: usize, cfg_base: &ServeConfig, w: &Workload) -> Phas
     phase
 }
 
+/// Subscribe to `key` and reconstruct its sanitized state from the event
+/// feed until the stream closes (the server's drain). Returns the
+/// reconstruction counters as a JSON row for the run entry.
+fn watch(addr: std::net::SocketAddr, key: String) -> std::thread::JoinHandle<Json> {
+    std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("watch connect");
+        client
+            .request(&Request::Subscribe {
+                stream: key.clone(),
+            })
+            .expect("watch subscribe ack");
+        let mut state = SubscriberState::new();
+        while let Ok(Some(line)) = client.next_line() {
+            if line.get("event").and_then(Json::as_str) == Some("closed") {
+                break;
+            }
+            state
+                .observe(&line)
+                .expect("watched stream diverged from its deltas");
+        }
+        println!(
+            "watch {key}: synced={} stream_len={:?} entries={} snapshots={} deltas applied={} skipped={} verified={}",
+            state.is_synced(),
+            state.stream_len(),
+            state.entries().len(),
+            state.snapshots,
+            state.deltas_applied,
+            state.deltas_skipped,
+            state.verified
+        );
+        Json::obj([
+            ("key", Json::from(key.as_str())),
+            ("synced", Json::Bool(state.is_synced())),
+            ("stream_len", Json::from(state.stream_len().unwrap_or(0))),
+            ("entries", Json::from(state.entries().len() as u64)),
+            ("snapshots", Json::from(state.snapshots)),
+            ("deltas_applied", Json::from(state.deltas_applied)),
+            ("deltas_skipped", Json::from(state.deltas_skipped)),
+            ("verified", Json::from(state.verified)),
+        ])
+    })
+}
+
 fn main() {
     let quick = quick_mode();
     let clients: usize = arg("--clients").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -186,15 +237,18 @@ fn main() {
 
     let mut phases: Vec<Phase> = Vec::new();
     let mut scaling: Option<f64> = None;
+    let mut watch_stats: Option<Json> = None;
     if let Some(addr) = arg("--addr") {
         // External mode: measure the already-running server as-is.
         let addr = addr.parse().expect("bad --addr");
+        let watcher = arg("--watch").map(|key| watch(addr, key));
         phases.push(drive(addr, "external", &w));
         if std::env::args().any(|a| a == "--shutdown") {
             let mut control = Client::connect(addr).expect("control connect");
             let reply = control.request(&Request::Shutdown).expect("shutdown reply");
             println!("shutdown: {reply}");
         }
+        watch_stats = watcher.map(|h| h.join().expect("watcher paniced"));
     } else {
         let cfg = ServeConfig {
             window: if quick { 200 } else { 500 },
@@ -239,6 +293,9 @@ fn main() {
     if let Some(ratio) = scaling {
         entry.push(("scaling", Json::from(ratio)));
         entry.push(("scaling_shards", Json::from(shards as u64)));
+    }
+    if let Some(stats) = watch_stats {
+        entry.push(("watch", stats));
     }
     append_run(&out, Json::obj(entry));
 }

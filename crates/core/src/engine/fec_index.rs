@@ -1,0 +1,257 @@
+//! Delta-maintained frequency-equivalence-class partition.
+//!
+//! [`crate::fec::partition_into_fecs`] rebuilds the whole partition from the
+//! mining result every window — O(n log n) in the number of frequent
+//! itemsets even when adjacent windows share all but a handful of them. The
+//! [`FecIndex`] instead keeps the partition alive across windows and applies
+//! only the churn (insert / remove / support-shift), touching O(churn · log)
+//! structure per window. Classes live in a support-ordered map with members
+//! kept in lexicographic itemset order, so materializing the partition — or
+//! just the trailing `γ` classes Algorithm 1 interacts over — never sorts.
+
+use crate::fec::Fec;
+use bfly_common::{ItemsetId, Support};
+use bfly_mining::FrequentItemsets;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-window churn applied by [`FecIndex::update`]: how many itemsets
+/// entered the frequent set, left it, or moved to a different support.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FecChurn {
+    /// Itemsets newly frequent this window.
+    pub added: usize,
+    /// Itemsets no longer frequent this window.
+    pub removed: usize,
+    /// Itemsets whose support changed (moved between classes).
+    pub shifted: usize,
+}
+
+impl FecChurn {
+    /// Total structural mutations applied.
+    pub fn total(&self) -> usize {
+        self.added + self.removed + self.shifted
+    }
+}
+
+/// The live FEC partition, maintained incrementally from successive mining
+/// results. The materialized view ([`FecIndex::fecs`]) is bit-identical to
+/// `partition_into_fecs` of the latest update's input: removals and
+/// insertions land members at their sorted positions, so the final structure
+/// is independent of the order the churn was discovered in.
+#[derive(Clone, Debug, Default)]
+pub struct FecIndex {
+    /// Current support of every tracked itemset — the diff base.
+    supports: HashMap<ItemsetId, Support>,
+    /// support → members in lexicographic itemset order. Never holds an
+    /// empty class.
+    classes: BTreeMap<Support, Vec<ItemsetId>>,
+}
+
+impl FecIndex {
+    /// An empty index (no window applied yet).
+    pub fn new() -> Self {
+        FecIndex::default()
+    }
+
+    /// Diff `frequent` against the tracked state and apply the churn.
+    pub fn update(&mut self, frequent: &FrequentItemsets) -> FecChurn {
+        let mut churn = FecChurn::default();
+        // Removals first, so a shift into a just-vacated support slot finds
+        // the class in its settled state. Collect before mutating: the
+        // iteration order of the support map is irrelevant because detach
+        // positions are found per-id.
+        let gone: Vec<(ItemsetId, Support)> = self
+            .supports
+            .iter()
+            .filter(|(id, _)| frequent.support_of(**id).is_none())
+            .map(|(&id, &s)| (id, s))
+            .collect();
+        for (id, support) in gone {
+            self.detach(id, support);
+            self.supports.remove(&id);
+            churn.removed += 1;
+        }
+        for e in frequent.iter() {
+            match self.supports.get(&e.id).copied() {
+                None => {
+                    self.attach(e.id, e.support);
+                    self.supports.insert(e.id, e.support);
+                    churn.added += 1;
+                }
+                Some(old) if old != e.support => {
+                    self.detach(e.id, old);
+                    self.attach(e.id, e.support);
+                    self.supports.insert(e.id, e.support);
+                    churn.shifted += 1;
+                }
+                Some(_) => {}
+            }
+        }
+        churn
+    }
+
+    /// Materialize the partition, ascending by support — the same view
+    /// `partition_into_fecs` builds from scratch.
+    pub fn fecs(&self) -> Vec<Fec> {
+        self.classes
+            .iter()
+            .map(|(&support, members)| Fec::from_parts(support, members.clone()))
+            .collect()
+    }
+
+    /// The `(support, size)` skeleton of the trailing `gamma` classes — the
+    /// slice Algorithm 1's depth-`γ` window interacts over — in ascending
+    /// support order, without materializing the partition. O(γ).
+    pub fn tail(&self, gamma: usize) -> Vec<(Support, usize)> {
+        let mut tail: Vec<(Support, usize)> = self
+            .classes
+            .iter()
+            .rev()
+            .take(gamma)
+            .map(|(&s, members)| (s, members.len()))
+            .collect();
+        tail.reverse();
+        tail
+    }
+
+    /// Number of equivalence classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True before the first update (or after all itemsets left).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Number of tracked itemsets across all classes.
+    pub fn itemsets(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// Forget everything (stream retarget).
+    pub fn clear(&mut self) {
+        self.supports.clear();
+        self.classes.clear();
+    }
+
+    fn attach(&mut self, id: ItemsetId, support: Support) {
+        let class = self.classes.entry(support).or_default();
+        let pos = class.partition_point(|m| m.resolve() < id.resolve());
+        class.insert(pos, id);
+    }
+
+    fn detach(&mut self, id: ItemsetId, support: Support) {
+        let Some(class) = self.classes.get_mut(&support) else {
+            debug_assert!(false, "detach from a support with no class");
+            return;
+        };
+        if let Some(pos) = class.iter().position(|&m| m == id) {
+            class.remove(pos);
+        }
+        if class.is_empty() {
+            self.classes.remove(&support);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fec::partition_into_fecs;
+    use bfly_common::rng::{Rng, SmallRng};
+    use bfly_common::ItemSet;
+
+    fn window(pairs: &[(u32, u64)]) -> FrequentItemsets {
+        FrequentItemsets::new(
+            pairs
+                .iter()
+                .map(|&(item, s)| (ItemSet::from_ids([item]), s)),
+        )
+    }
+
+    #[test]
+    fn first_update_matches_batch_partition() {
+        let f = window(&[(1, 30), (2, 30), (3, 45), (4, 27)]);
+        let mut idx = FecIndex::new();
+        let churn = idx.update(&f);
+        assert_eq!(
+            churn,
+            FecChurn {
+                added: 4,
+                removed: 0,
+                shifted: 0
+            }
+        );
+        assert_eq!(idx.fecs(), partition_into_fecs(&f));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.itemsets(), 4);
+    }
+
+    #[test]
+    fn churn_moves_between_classes_and_drops_empties() {
+        let mut idx = FecIndex::new();
+        idx.update(&window(&[(1, 30), (2, 30), (3, 45)]));
+        // 3 shifts onto 30's class, 1 leaves, 5 arrives: class {45} vanishes.
+        let f = window(&[(2, 30), (3, 30), (5, 60)]);
+        let churn = idx.update(&f);
+        assert_eq!(
+            churn,
+            FecChurn {
+                added: 1,
+                removed: 1,
+                shifted: 1
+            }
+        );
+        assert_eq!(churn.total(), 3);
+        assert_eq!(idx.fecs(), partition_into_fecs(&f));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn tail_is_the_trailing_skeleton() {
+        let mut idx = FecIndex::new();
+        idx.update(&window(&[(1, 30), (2, 30), (3, 45), (4, 50)]));
+        assert_eq!(idx.tail(2), vec![(45, 1), (50, 1)]);
+        assert_eq!(idx.tail(10), vec![(30, 2), (45, 1), (50, 1)]);
+        assert!(idx.tail(0).is_empty());
+    }
+
+    #[test]
+    fn randomized_window_sequence_tracks_batch_partition() {
+        // 200 windows of random churn over a 40-itemset universe: the
+        // delta-maintained partition must equal the from-scratch one at
+        // every step, whatever mix of adds/removes/shifts occurred.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut supports: Vec<Option<u64>> = vec![None; 40];
+        let mut idx = FecIndex::new();
+        for _ in 0..200 {
+            for s in supports.iter_mut() {
+                match rng.gen_range_usize(10) {
+                    0..=1 => *s = None,
+                    2..=4 => *s = Some(25 + rng.gen_below(12)),
+                    _ => {} // unchanged
+                }
+            }
+            let f = FrequentItemsets::new(
+                supports
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.map(|s| (ItemSet::from_ids([i as u32]), s))),
+            );
+            idx.update(&f);
+            assert_eq!(idx.fecs(), partition_into_fecs(&f));
+        }
+    }
+
+    #[test]
+    fn clear_forgets_all_state() {
+        let mut idx = FecIndex::new();
+        idx.update(&window(&[(1, 30)]));
+        idx.clear();
+        assert!(idx.is_empty());
+        let f = window(&[(1, 30)]);
+        assert_eq!(idx.update(&f).added, 1);
+        assert_eq!(idx.fecs(), partition_into_fecs(&f));
+    }
+}

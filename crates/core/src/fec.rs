@@ -29,6 +29,17 @@ impl Fec {
     pub fn size(&self) -> usize {
         self.members.len()
     }
+
+    /// Assemble a class from parts already in canonical order. Used by the
+    /// delta-maintained [`crate::engine::FecIndex`], which keeps members
+    /// sorted incrementally instead of re-sorting per window.
+    pub(crate) fn from_parts(support: Support, members: Vec<ItemsetId>) -> Self {
+        debug_assert!(
+            members.windows(2).all(|w| w[0].resolve() < w[1].resolve()),
+            "FEC members must be strictly sorted by itemset"
+        );
+        Fec { support, members }
+    }
 }
 
 /// Partition a mining result into FECs, **sorted ascending by support**
@@ -96,5 +107,38 @@ mod tests {
     #[test]
     fn empty_result_gives_no_fecs() {
         assert!(partition_into_fecs(&FrequentItemsets::default()).is_empty());
+    }
+
+    /// Regression: itemsets tied exactly at the support boundary `C` must
+    /// land in one deterministic class — same membership, same member order —
+    /// no matter the order in which the miner reported them.
+    #[test]
+    fn ties_at_support_boundary_are_arrival_order_independent() {
+        let c = 25u64;
+        let tied = [iset("ab"), iset("cd"), iset("a"), iset("bcd"), iset("x")];
+        let filler = [(iset("q"), c + 3), (iset("qr"), c + 1)];
+
+        // Every rotation of the arrival order, with filler interleaved.
+        let mut partitions = Vec::new();
+        for rot in 0..tied.len() {
+            let mut entries: Vec<(ItemSet, u64)> = Vec::new();
+            for (k, off) in (0..tied.len()).enumerate() {
+                entries.push((tied[(rot + off) % tied.len()].clone(), c));
+                if let Some(f) = filler.get(k) {
+                    entries.push(f.clone());
+                }
+            }
+            partitions.push(partition_into_fecs(&FrequentItemsets::new(entries)));
+        }
+        for p in &partitions[1..] {
+            assert_eq!(p, &partitions[0]);
+        }
+        // The boundary class itself is sorted lexicographically.
+        let boundary = &partitions[0][0];
+        assert_eq!(boundary.support(), c);
+        assert_eq!(
+            resolved(boundary),
+            vec![iset("a"), iset("ab"), iset("bcd"), iset("cd"), iset("x")]
+        );
     }
 }

@@ -20,6 +20,7 @@
 pub mod audit;
 pub mod config;
 pub mod dp;
+pub mod engine;
 pub mod exact;
 pub mod fec;
 pub mod history;
@@ -36,6 +37,10 @@ pub mod scheme;
 pub use audit::{audit_release, AuditError};
 pub use config::PrivacySpec;
 pub use dp::{DpPublisher, Laplace};
+pub use engine::{
+    seeded_noise, EngineStats, FecChurn, FecIndex, NoiseMode, ReleaseDelta, ReleaseEngine,
+    WarmOrderDp,
+};
 pub use fec::{partition_into_fecs, Fec};
 pub use history::{HistoryEntry, ReleaseHistory};
 pub use incremental::IncrementalOrderSetter;

@@ -47,8 +47,11 @@ type State = Vec<i64>;
 /// One DP state in a layer: the trailing `min(γ, i+1)` bias choices, the
 /// best cost/precision reaching it, and the index of the predecessor entry
 /// in the previous layer (meaningless in layer 0).
+///
+/// Crate-visible so the warm-started solver in [`crate::engine`] can cache
+/// whole layers across windows.
 #[derive(Clone, Debug)]
-struct LayerEntry {
+pub(crate) struct LayerEntry {
     state: State,
     cost: f64,
     /// Σ|β| along the best path — the lexicographic tie-break that makes
@@ -118,7 +121,18 @@ pub fn order_preserving_biases_pinned(
     // lexicographically: among equal-cost settings the most precise
     // (smallest total |bias|) wins.
     let mut layers: Vec<Vec<LayerEntry>> = Vec::with_capacity(n);
-    let mut first: Vec<LayerEntry> = candidates[0]
+    layers.push(dp_first_layer(&candidates[0]));
+    for (i, cands) in candidates.iter().enumerate().skip(1) {
+        let prev = layers.last().expect("at least one layer");
+        layers.push(dp_next_layer(prev, i, fecs, cands, alpha, gamma)?);
+    }
+    Ok(dp_backtrack(&layers))
+}
+
+/// Layer 0 of the DP: one entry per candidate bias of the first FEC,
+/// state-sorted. A pure function of the candidate grid.
+pub(crate) fn dp_first_layer(cands: &[i64]) -> Vec<LayerEntry> {
+    let mut first: Vec<LayerEntry> = cands
         .iter()
         .map(|&b| LayerEntry {
             state: vec![b],
@@ -128,51 +142,106 @@ pub fn order_preserving_biases_pinned(
         })
         .collect();
     first.sort_unstable_by(|a, b| a.state.cmp(&b.state));
-    layers.push(first);
+    normalize_layer(&mut first);
+    first
+}
 
-    for i in 1..n {
-        let prev = layers.last().expect("at least one layer");
-        let cands = &candidates[i];
-        // Expand every (prev entry × candidate bias) transition, chunked
-        // over the previous layer. `par_map` returns chunk results in input
-        // order, so the concatenation below is thread-count-independent
-        // (and the merge sort would erase any ordering anyway).
-        let ranges: Vec<(usize, usize)> = (0..prev.len())
-            .step_by(EXPAND_CHUNK)
-            .map(|lo| (lo, (lo + EXPAND_CHUNK).min(prev.len())))
-            .collect();
-        let parts = pool::par_map(&ranges, |&(lo, hi)| {
-            expand_range(&prev[lo..hi], lo, i, fecs, cands, alpha, gamma)
-        });
-        // A layer holds at most grid^min(γ, i+1) distinct states; the raw
-        // transition list tops out at |prev| · |cands| before the merge.
-        let mut raw: Vec<LayerEntry> = Vec::with_capacity(prev.len().saturating_mul(cands.len()));
-        for part in parts {
-            raw.extend(part);
-        }
-        // Deterministic min-merge: best (cost, Σ|β|, parent) per state. The
-        // parent index breaks exact ties so the surviving entry — and the
-        // backtracked chain — never depends on expansion order.
-        raw.sort_unstable_by(|a, b| {
-            a.state
-                .cmp(&b.state)
-                .then(a.cost.total_cmp(&b.cost))
-                .then(a.abs.cmp(&b.abs))
-                .then(a.parent.cmp(&b.parent))
-        });
-        raw.dedup_by(|a, b| a.state == b.state);
-        if raw.is_empty() {
-            return Err(Error::Infeasible(format!(
-                "no bias choice at FEC {i} (t={}) satisfies the chain constraint \
-                 against the pinned context",
-                fecs[i].support()
-            )));
-        }
-        layers.push(raw);
+/// Subtract the layer-wide minimum cost and Σ|β| from every entry.
+///
+/// Every quantity here is integer-valued (costs are sums of
+/// `size · gap²` with integer sizes and gaps, well below 2⁵³), so the
+/// subtraction is exact and within-layer comparisons — the only
+/// comparisons the DP and its backtrack ever make — are unchanged: the
+/// chosen biases are identical with or without this step. What
+/// normalization buys is *forgetting*: once a support perturbation's
+/// influence on relative costs has washed out (e.g. after a stretch of
+/// non-interacting FECs), the normalized layer is bitwise equal to the
+/// previous window's, and the warm-started solver
+/// ([`crate::engine::WarmOrderDp`]) detects that and splices the rest of
+/// its cached layers instead of re-expanding them.
+fn normalize_layer(layer: &mut [LayerEntry]) {
+    let min_cost = layer.iter().map(|e| e.cost).fold(f64::INFINITY, f64::min);
+    let min_abs = layer.iter().map(|e| e.abs).min().expect("non-empty layer");
+    for e in layer {
+        e.cost -= min_cost;
+        e.abs -= min_abs;
     }
+}
 
-    // Pick the best final entry; on exact (cost, Σ|β|) ties the smallest
-    // state wins because layers are state-sorted.
+/// Value-equality of two layers: same states with the same normalized
+/// `(cost, Σ|β|)`. Parent indices are deliberately ignored — expanding the
+/// next layer reads a predecessor's position, state, cost and Σ|β|, never
+/// its own parent, and positions are determined by the state sort — so two
+/// value-equal layers produce bitwise-identical successors (parents
+/// included) given the same skeleton window.
+pub(crate) fn layers_value_equal(a: &[LayerEntry], b: &[LayerEntry]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.state == y.state && x.cost == y.cost && x.abs == y.abs)
+}
+
+/// Expand layer `i` from layer `i − 1`. A pure function of the previous
+/// layer and the `(support, size)` skeleton of `fecs[..=i]` — which is what
+/// lets the warm-started solver cache layers across windows: as long as
+/// that prefix of the skeleton is unchanged, the cached layer is exactly
+/// what this function would recompute.
+///
+/// # Errors
+/// [`Error::Infeasible`] when no transition satisfies the chain constraint
+/// (possible only with pinned singleton candidate sets).
+pub(crate) fn dp_next_layer(
+    prev: &[LayerEntry],
+    i: usize,
+    fecs: &[Fec],
+    cands: &[i64],
+    alpha: i64,
+    gamma: usize,
+) -> Result<Vec<LayerEntry>> {
+    // Expand every (prev entry × candidate bias) transition, chunked
+    // over the previous layer. `par_map` returns chunk results in input
+    // order, so the concatenation below is thread-count-independent
+    // (and the merge sort would erase any ordering anyway).
+    let ranges: Vec<(usize, usize)> = (0..prev.len())
+        .step_by(EXPAND_CHUNK)
+        .map(|lo| (lo, (lo + EXPAND_CHUNK).min(prev.len())))
+        .collect();
+    let parts = pool::par_map(&ranges, |&(lo, hi)| {
+        expand_range(&prev[lo..hi], lo, i, fecs, cands, alpha, gamma)
+    });
+    // A layer holds at most grid^min(γ, i+1) distinct states; the raw
+    // transition list tops out at |prev| · |cands| before the merge.
+    let mut raw: Vec<LayerEntry> = Vec::with_capacity(prev.len().saturating_mul(cands.len()));
+    for part in parts {
+        raw.extend(part);
+    }
+    // Deterministic min-merge: best (cost, Σ|β|, parent) per state. The
+    // parent index breaks exact ties so the surviving entry — and the
+    // backtracked chain — never depends on expansion order.
+    raw.sort_unstable_by(|a, b| {
+        a.state
+            .cmp(&b.state)
+            .then(a.cost.total_cmp(&b.cost))
+            .then(a.abs.cmp(&b.abs))
+            .then(a.parent.cmp(&b.parent))
+    });
+    raw.dedup_by(|a, b| a.state == b.state);
+    if raw.is_empty() {
+        return Err(Error::Infeasible(format!(
+            "no bias choice at FEC {i} (t={}) satisfies the chain constraint \
+             against the pinned context",
+            fecs[i].support()
+        )));
+    }
+    normalize_layer(&mut raw);
+    Ok(raw)
+}
+
+/// Pick the best entry of the final layer and walk parent indices back to
+/// recover one bias per FEC. On exact `(cost, Σ|β|)` ties the smallest
+/// state wins because layers are state-sorted.
+pub(crate) fn dp_backtrack(layers: &[Vec<LayerEntry>]) -> Vec<f64> {
+    let n = layers.len();
     let last = layers.last().expect("n ≥ 1 layers");
     let mut best = 0usize;
     for (idx, e) in last.iter().enumerate().skip(1) {
@@ -190,7 +259,7 @@ pub fn order_preserving_biases_pinned(
         biases[i] = *e.state.last().expect("states are non-empty") as f64;
         idx = e.parent as usize;
     }
-    Ok(biases)
+    biases
 }
 
 /// Expand all transitions out of `prev[lo..]` (a chunk starting at absolute

@@ -1,5 +1,6 @@
 //! End-to-end stream pipeline: window → miner backend → Butterfly publisher.
 
+use crate::engine::ReleaseDelta;
 use crate::publisher::Publisher;
 use crate::release::SanitizedRelease;
 use bfly_common::{Error, ItemSet, Pattern, Result, SlidingWindow, Support, Transaction};
@@ -16,6 +17,9 @@ pub struct WindowRelease {
     pub closed: FrequentItemsets,
     /// The sanitized publication.
     pub release: SanitizedRelease,
+    /// What changed against the previous publication of this stream — the
+    /// serve layer's `release_delta` payload.
+    pub delta: ReleaseDelta,
 }
 
 /// Glue object running the full Butterfly deployment of Fig. 1's last step:
@@ -100,7 +104,7 @@ impl<B: MinerBackend> StreamPipeline<B> {
         // memo so truth queries for published itemsets cost a map lookup.
         self.truth
             .seed_supports(closed.iter().map(|e| (e.id, e.support)));
-        let release = self.publisher.publish(&closed);
+        let (release, delta) = self.publisher.publish_with_delta(&closed);
         debug_assert!(
             crate::audit::audit_release(self.publisher.spec(), &release).is_empty(),
             "publisher emitted a release violating its contract"
@@ -109,6 +113,7 @@ impl<B: MinerBackend> StreamPipeline<B> {
             stream_len: self.window.stream_len(),
             closed,
             release,
+            delta,
         })
     }
 
@@ -158,11 +163,12 @@ impl<B: MinerBackend> StreamPipeline<B> {
         let closed = self.miner.closed_frequent();
         self.truth
             .seed_supports(closed.iter().map(|e| (e.id, e.support)));
-        let release = self.publisher.publish(&closed);
+        let (release, delta) = self.publisher.publish_with_delta(&closed);
         Ok(WindowRelease {
             stream_len: self.window.stream_len(),
             closed,
             release,
+            delta,
         })
     }
 
@@ -170,6 +176,12 @@ impl<B: MinerBackend> StreamPipeline<B> {
     /// database for breach analysis).
     pub fn window(&self) -> &SlidingWindow {
         &self.window
+    }
+
+    /// The publisher driving the release path (e.g. to read the incremental
+    /// engine's cache counters after a run).
+    pub fn publisher(&self) -> &Publisher {
+        &self.publisher
     }
 
     /// Exact support `T(I)` in the current window, via the maintained

@@ -1,16 +1,11 @@
-//! The per-window perturbation engine with the republication rule.
+//! The per-window perturbation publisher — a thin face over the staged
+//! [`ReleaseEngine`] (partition → budget → bias → noise → publish).
 
 use crate::config::PrivacySpec;
-use crate::fec::partition_into_fecs;
-use crate::incremental::IncrementalOrderSetter;
-use crate::noise::NoiseRegion;
-use crate::ratio::ratio_preserving_biases;
-use crate::release::{SanitizedItemset, SanitizedRelease};
+use crate::engine::{EngineStats, NoiseMode, ReleaseDelta, ReleaseEngine};
+use crate::release::SanitizedRelease;
 use crate::scheme::BiasScheme;
-use bfly_common::rng::SmallRng;
-use bfly_common::{ItemsetId, SanitizedSupport, Support};
 use bfly_mining::FrequentItemsets;
-use std::collections::HashMap;
 
 /// Publishes sanitized windows: partitions the mined itemsets into FECs,
 /// asks the [`BiasScheme`] for one bias per FEC, draws one noise value per
@@ -18,6 +13,11 @@ use std::collections::HashMap;
 /// republication rule**: an itemset whose true support is unchanged since
 /// the previous window republishes its previous sanitized value verbatim,
 /// so repeated observation gives the adversary nothing to average over.
+///
+/// Noise draws are content-seeded by default ([`NoiseMode::Seeded`]): a
+/// FEC's perturbation is a pure function of `(seed, support, bias)`, never
+/// of iteration order — which is what lets the incremental engine skip
+/// untouched FECs and still match batch output bit for bit.
 ///
 /// ```
 /// use bfly_core::{BiasScheme, PrivacySpec, Publisher};
@@ -35,121 +35,81 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Publisher {
-    spec: PrivacySpec,
-    scheme: BiasScheme,
-    rng: SmallRng,
-    /// interned itemset → (true support at last publication, sanitized
-    /// value then). Keyed by handle: the republication check costs one
-    /// 4-byte hash, and no itemset is cloned anywhere in the publish loop.
-    cache: HashMap<ItemsetId, (Support, SanitizedSupport)>,
-    /// When present, order-preserving biases come from the incremental
-    /// patcher instead of a fresh full DP each window (the paper's §VII
-    /// future-work optimization).
-    incremental: Option<IncrementalOrderSetter>,
+    engine: ReleaseEngine,
 }
 
 impl Publisher {
-    /// Create a publisher with a deterministic seed.
+    /// Create a batch publisher with a deterministic seed.
     pub fn new(spec: PrivacySpec, scheme: BiasScheme, seed: u64) -> Self {
         Publisher {
-            spec,
-            scheme,
-            rng: SmallRng::seed_from_u64(seed),
-            cache: HashMap::new(),
-            incremental: None,
+            engine: ReleaseEngine::new(spec, scheme, seed),
         }
     }
 
-    /// Like [`Publisher::new`] but with incremental order-preserving bias
-    /// maintenance: between windows whose FEC structure changed only
-    /// locally, the DP re-runs only over the changed region. Identical
-    /// constraint guarantees; near-identical utility; far less work on slow-
-    /// moving streams. Only affects schemes with an order component.
+    /// Like [`Publisher::new`] but with the incremental engine: FECs are
+    /// delta-maintained across windows and the order-preserving DP is
+    /// warm-started from the previous window's layers, recomputing only the
+    /// suffix whose skeleton changed. Output is bit-identical to the batch
+    /// path; only the work differs.
     pub fn new_incremental(spec: PrivacySpec, scheme: BiasScheme, seed: u64) -> Self {
-        let mut p = Self::new(spec, scheme, seed);
-        p.incremental = Some(IncrementalOrderSetter::new());
-        p
+        Publisher {
+            engine: ReleaseEngine::incremental(spec, scheme, seed),
+        }
     }
 
-    /// Incremental-mode statistics `(full_reuse, patches, full_solves)`,
-    /// if incremental mode is on.
+    /// A publisher pinned to the legacy noise stream: one shared generator
+    /// sampled per FEC in ascending support order, exactly as before the
+    /// engine refactor. Only for fixtures that depend on the old draws; the
+    /// sequential stream is draw-order dependent, so it cannot back the
+    /// incremental path.
+    pub fn new_sequential(spec: PrivacySpec, scheme: BiasScheme, seed: u64) -> Self {
+        Publisher {
+            engine: ReleaseEngine::new(spec, scheme, seed).with_noise_mode(NoiseMode::Sequential),
+        }
+    }
+
+    /// Incremental-mode statistics `(full_reuse, warm_starts, full_solves)`
+    /// of the order DP, if incremental mode is on.
     pub fn incremental_stats(&self) -> Option<(u64, u64, u64)> {
-        self.incremental
-            .as_ref()
-            .map(|i| (i.full_reuse_hits, i.patch_hits, i.full_solves))
+        if !self.engine.is_incremental() {
+            return None;
+        }
+        let s = self.engine.stats();
+        Some((s.dp_full_reuse, s.dp_warm_starts, s.dp_full_solves))
+    }
+
+    /// The engine's full work-counter ledger.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// The privacy/precision contract.
     pub fn spec(&self) -> &PrivacySpec {
-        &self.spec
+        self.engine.spec()
     }
 
     /// The bias scheme in force.
     pub fn scheme(&self) -> &BiasScheme {
-        &self.scheme
+        self.engine.scheme()
     }
 
     /// Sanitize one window's mining output.
     pub fn publish(&mut self, frequent: &FrequentItemsets) -> SanitizedRelease {
-        let fecs = partition_into_fecs(frequent);
-        let biases = self.compute_biases(&fecs);
-        debug_assert_eq!(biases.len(), fecs.len());
-        let mut entries = Vec::with_capacity(frequent.len());
-        let mut next_cache = HashMap::with_capacity(frequent.len());
-        for (fec, &bias) in fecs.iter().zip(&biases) {
-            let region = NoiseRegion::centered(bias, self.spec.alpha());
-            // One draw per FEC: members share their perturbation so the
-            // class's internal equalities survive sanitization exactly.
-            let noise = region.sample(&mut self.rng);
-            for &member in fec.members() {
-                let sanitized = match self.cache.get(&member) {
-                    // Republication rule: unchanged true support in the
-                    // directly preceding window ⇒ identical sanitized value.
-                    Some(&(prev_true, prev_sanitized)) if prev_true == fec.support() => {
-                        prev_sanitized
-                    }
-                    _ => fec.support() as SanitizedSupport + noise,
-                };
-                next_cache.insert(member, (fec.support(), sanitized));
-                entries.push(SanitizedItemset {
-                    id: member,
-                    true_support: fec.support(),
-                    sanitized,
-                });
-            }
-        }
-        // Itemsets absent from this window lose their pin: continuity over
-        // *consecutive* windows is what the rule requires.
-        self.cache = next_cache;
-        SanitizedRelease::new(entries)
+        self.publish_with_delta(frequent).0
+    }
+
+    /// Sanitize one window's mining output and report what changed against
+    /// the previous publication (the serve layer's `release_delta` payload).
+    pub fn publish_with_delta(
+        &mut self,
+        frequent: &FrequentItemsets,
+    ) -> (SanitizedRelease, ReleaseDelta) {
+        self.engine.publish(frequent)
     }
 
     /// Drop all republication state (e.g. when retargeting to a new stream).
     pub fn reset(&mut self) {
-        self.cache.clear();
-        if let Some(inc) = &mut self.incremental {
-            *inc = IncrementalOrderSetter::new();
-        }
-    }
-
-    /// Per-window biases, routed through the incremental patcher when it is
-    /// enabled and the scheme has an order-preserving component.
-    fn compute_biases(&mut self, fecs: &[crate::fec::Fec]) -> Vec<f64> {
-        let Some(inc) = &mut self.incremental else {
-            return self.scheme.biases(fecs, &self.spec);
-        };
-        match self.scheme {
-            BiasScheme::OrderPreserving { gamma } => inc.biases(fecs, &self.spec, gamma),
-            BiasScheme::Hybrid { lambda, gamma } => {
-                let op = inc.biases(fecs, &self.spec, gamma);
-                let rp = ratio_preserving_biases(fecs, &self.spec);
-                op.iter()
-                    .zip(&rp)
-                    .map(|(o, r)| lambda * o + (1.0 - lambda) * r)
-                    .collect()
-            }
-            _ => self.scheme.biases(fecs, &self.spec),
-        }
+        self.engine.reset();
     }
 }
 
@@ -227,8 +187,9 @@ mod tests {
         // a vanishes for one window...
         p.publish(&window(&[("b", 33)]));
         // ...and returns with the same support: a fresh draw is allowed
-        // (consecutiveness broken). We can't assert inequality (1-in-13
-        // chance of collision), but the cache must have been rebuilt.
+        // (consecutiveness broken). We can't assert inequality (the new draw
+        // may collide with the old one), but the cache must have been
+        // rebuilt.
         let third = p.publish(&f);
         assert_eq!(third.get(&iset("a")).unwrap().true_support, 40);
         let _ = first;
@@ -278,9 +239,97 @@ mod tests {
                 assert!(err <= budget);
             }
         }
-        let (reuse, _patch, solves) = p.incremental_stats().unwrap();
+        let (reuse, warm, solves) = p.incremental_stats().unwrap();
         assert_eq!(reuse, 1, "identical window should be a pure reuse");
+        assert_eq!(warm, 1, "w3's local change should warm-start, not re-solve");
         assert!(solves >= 1);
+    }
+
+    #[test]
+    fn incremental_releases_match_batch_releases_exactly() {
+        // The tentpole invariant at unit scale: same seed, same windows —
+        // the incremental engine's releases and deltas equal the batch ones.
+        let s = spec();
+        for scheme in BiasScheme::paper_variants(2) {
+            let mut batch = Publisher::new(s, scheme, 77);
+            let mut inc = Publisher::new_incremental(s, scheme, 77);
+            for w in [
+                window(&[("a", 30), ("b", 32), ("c", 60)]),
+                window(&[("a", 30), ("b", 32), ("c", 60), ("d", 62)]),
+                window(&[("a", 31), ("c", 60), ("d", 62)]),
+            ] {
+                let (rb, db) = batch.publish_with_delta(&w);
+                let (ri, di) = inc.publish_with_delta(&w);
+                assert_eq!(rb, ri, "{} release diverged", scheme.name());
+                assert_eq!(db, di, "{} delta diverged", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_noise_is_iteration_order_independent() {
+        // Feed the same logical window with entries arriving in different
+        // orders: content-seeded noise must give identical releases. (The
+        // legacy sequential stream only escapes this via the canonical FEC
+        // iteration; the seeded mode is independent by construction.)
+        let s = spec();
+        let forward = window(&[("a", 30), ("b", 32), ("c", 60)]);
+        let backward = window(&[("c", 60), ("b", 32), ("a", 30)]);
+        let mut p1 = Publisher::new(s, BiasScheme::Basic, 13);
+        let mut p2 = Publisher::new(s, BiasScheme::Basic, 13);
+        assert_eq!(p1.publish(&forward), p2.publish(&backward));
+        // And dropping an unrelated FEC leaves the others' draws untouched.
+        let mut p3 = Publisher::new(s, BiasScheme::Basic, 13);
+        let smaller = p3.publish(&window(&[("a", 30), ("c", 60)]));
+        let full = p1.publish(&forward); // republished values, same draws
+        assert_eq!(
+            smaller.get(&iset("c")).unwrap().sanitized,
+            full.get(&iset("c")).unwrap().sanitized
+        );
+    }
+
+    #[test]
+    fn sequential_flag_pins_the_legacy_noise_stream() {
+        // Compat satellite: `new_sequential` must reproduce the pre-engine
+        // publisher exactly — one draw per FEC, ascending support order,
+        // from a single generator seeded with the publisher seed.
+        use crate::fec::partition_into_fecs;
+        use crate::noise::NoiseRegion;
+        use bfly_common::rng::SmallRng;
+        let s = spec();
+        let seed = 11;
+        let windows = [
+            window(&[("a", 40), ("b", 32)]),
+            window(&[("a", 40), ("b", 32)]),
+            window(&[("a", 43), ("b", 32), ("c", 70)]),
+        ];
+        let mut p = Publisher::new_sequential(s, BiasScheme::Basic, seed);
+        let got: Vec<SanitizedRelease> = windows.iter().map(|w| p.publish(w)).collect();
+
+        // The legacy loop, replayed inline.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cache: std::collections::HashMap<_, (u64, i64)> = Default::default();
+        for (w, release) in windows.iter().zip(&got) {
+            let mut next = std::collections::HashMap::new();
+            let mut expected = Vec::new();
+            for fec in &partition_into_fecs(w) {
+                let noise = NoiseRegion::centered(0.0, s.alpha()).sample(&mut rng);
+                for &member in fec.members() {
+                    let sanitized = match cache.get(&member) {
+                        Some(&(t, v)) if t == fec.support() => v,
+                        _ => fec.support() as i64 + noise,
+                    };
+                    next.insert(member, (fec.support(), sanitized));
+                    expected.push((member, fec.support(), sanitized));
+                }
+            }
+            cache = next;
+            let actual: Vec<_> = release
+                .iter()
+                .map(|e| (e.id, e.true_support, e.sanitized))
+                .collect();
+            assert_eq!(actual, expected, "legacy stream diverged");
+        }
     }
 
     #[test]

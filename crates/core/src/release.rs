@@ -83,26 +83,7 @@ impl SanitizedRelease {
     /// output and the serve layer's `release` events, so the network
     /// determinism test can compare the two byte for byte.
     pub fn wire_itemsets(&self) -> Json {
-        Json::Arr(
-            self.entries
-                .iter()
-                .map(|e| {
-                    Json::obj([
-                        (
-                            "itemset",
-                            Json::Arr(
-                                e.itemset()
-                                    .items()
-                                    .iter()
-                                    .map(|i| Json::from(i.id() as u64))
-                                    .collect(),
-                            ),
-                        ),
-                        ("support", Json::from(e.sanitized)),
-                    ])
-                })
-                .collect(),
-        )
+        wire_entries(&self.entries)
     }
 
     /// Serialize to the workspace's JSON value type.
@@ -172,6 +153,33 @@ impl SanitizedRelease {
         }
         Ok(SanitizedRelease::new(out))
     }
+}
+
+/// Wire-shape a slice of sanitized entries: the `{"itemset": [ids...],
+/// "support": sanitized}` array shared by full `release` events
+/// ([`SanitizedRelease::wire_itemsets`]) and the added/changed lists of
+/// `release_delta` events — one format, so subscribers parse one shape.
+pub fn wire_entries(entries: &[SanitizedItemset]) -> Json {
+    Json::Arr(
+        entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    (
+                        "itemset",
+                        Json::Arr(
+                            e.itemset()
+                                .items()
+                                .iter()
+                                .map(|i| Json::from(i.id() as u64))
+                                .collect(),
+                        ),
+                    ),
+                    ("support", Json::from(e.sanitized)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

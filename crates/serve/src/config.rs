@@ -33,6 +33,12 @@ pub struct ServeConfig {
     /// Publish each stream every this many of its records (once its window
     /// is full).
     pub every: usize,
+    /// Delta wire cadence: `1` publishes a full `release` snapshot every
+    /// time (the legacy protocol, no deltas); `N > 1` publishes a
+    /// `release_delta` event on every publication plus a full snapshot every
+    /// `N`-th one, so late subscribers sync from the next snapshot and then
+    /// ride the O(churn) deltas.
+    pub snapshot_every: usize,
     /// Per-shard ingress queue capacity; a full queue sheds with an explicit
     /// `overloaded` reply instead of buffering without bound.
     pub queue_cap: usize,
@@ -59,6 +65,7 @@ impl Default for ServeConfig {
             },
             backend: BackendKind::Moment,
             every: 100,
+            snapshot_every: 1,
             queue_cap: 1024,
             out_queue_cap: 256,
             seed: 0,
@@ -73,6 +80,7 @@ impl ServeConfig {
             ("shards", self.shards),
             ("window", self.window),
             ("every", self.every),
+            ("snapshot-every", self.snapshot_every),
             ("queue-cap", self.queue_cap),
             ("out-queue-cap", self.out_queue_cap),
         ] {
@@ -94,9 +102,12 @@ impl ServeConfig {
     /// Build the pipeline for one stream key — the single construction path
     /// shared by the shard workers and the network determinism test, so
     /// "same config, same key, same seed" provably means the same releases
-    /// in-process and over the wire.
+    /// in-process and over the wire. Publishers run the incremental
+    /// [`bfly_core::ReleaseEngine`]; its output is pinned bit-identical to
+    /// the batch path, so this is purely a per-window cost choice.
     pub fn pipeline_for(&self, key: &str) -> StreamPipeline<Box<dyn MinerBackend>> {
-        let publisher = Publisher::new(self.spec(), self.scheme, stream_seed(self.seed, key));
+        let publisher =
+            Publisher::new_incremental(self.spec(), self.scheme, stream_seed(self.seed, key));
         StreamPipeline::from_kind(self.window, self.backend, publisher)
     }
 }
@@ -137,13 +148,14 @@ mod tests {
 
     #[test]
     fn zero_knobs_rejected() {
-        for field in 0..5 {
+        for field in 0..6 {
             let mut cfg = ServeConfig::default();
             match field {
                 0 => cfg.shards = 0,
                 1 => cfg.window = 0,
                 2 => cfg.every = 0,
-                3 => cfg.queue_cap = 0,
+                3 => cfg.snapshot_every = 0,
+                4 => cfg.queue_cap = 0,
                 _ => cfg.out_queue_cap = 0,
             }
             assert!(cfg.validate().is_err(), "field {field} accepted zero");

@@ -15,12 +15,23 @@
 //! bounded per-shard ingress queue behind it.
 //!
 //! **Events** (server → subscriber) carry an `"event"` field instead:
-//! `release` (a sanitized window publication — same shape as the CLI
-//! `protect` output, plus the stream key) and `closed` (the stream drained
-//! during shutdown; no more releases will follow).
+//!
+//! | event           | fields                                              | meaning |
+//! |-----------------|-----------------------------------------------------|---------|
+//! | `release`       | `stream`, `stream_len`, `itemsets`                  | full sanitized snapshot (same shape as CLI `protect` output) |
+//! | `release_delta` | `stream`, `stream_len`, `base_len`, `added`, `changed`, `removed` | what changed vs. the publication at `base_len`; apply to a reconstructed state at `base_len` |
+//! | `closed`        | `stream`                                            | stream drained during shutdown; no more releases follow |
+//!
+//! With `snapshot_every = 1` (the default) only `release` snapshots are
+//! emitted — the legacy protocol. With `N > 1` every publication ships a
+//! `release_delta`, and every `N`-th additionally ships the full `release`
+//! snapshot, so a subscriber joining mid-stream syncs on the next snapshot
+//! and rides O(churn) deltas from there ([`SubscriberState`] implements
+//! that reconstruction, verifying each snapshot it was already synced for).
 
 use bfly_common::{Error, ItemSet, Json, Result};
-use bfly_core::SanitizedRelease;
+use bfly_core::{ReleaseDelta, SanitizedRelease};
+use std::collections::BTreeMap;
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -164,6 +175,27 @@ pub fn release_event(stream: &str, stream_len: u64, release: &SanitizedRelease) 
     ])
 }
 
+/// A delta publication event: what changed against the release at
+/// `base_len`. `added`/`changed` share the `{"itemset", "support"}` entry
+/// shape with `release` snapshots; `removed` is an array of itemset
+/// id-arrays.
+pub fn release_delta_event(
+    stream: &str,
+    stream_len: u64,
+    base_len: u64,
+    delta: &ReleaseDelta,
+) -> Json {
+    Json::obj([
+        ("event", Json::from("release_delta")),
+        ("stream", Json::from(stream)),
+        ("stream_len", Json::from(stream_len)),
+        ("base_len", Json::from(base_len)),
+        ("added", delta.wire_added()),
+        ("changed", delta.wire_changed()),
+        ("removed", delta.wire_removed()),
+    ])
+}
+
 /// Stream-drained event: sent to a stream's subscribers after its final
 /// flush during shutdown.
 pub fn closed_event(stream: &str) -> Json {
@@ -173,9 +205,182 @@ pub fn closed_event(stream: &str) -> Json {
     ])
 }
 
+/// Client-side reconstruction of a stream's sanitized state from the event
+/// feed: sync on the first full `release` snapshot, apply every
+/// `release_delta` whose `base_len` matches the reconstructed position, and
+/// verify any later snapshot the state was already caught up for. This is
+/// how a subscriber that joined mid-stream (missing the early snapshots)
+/// catches up under `snapshot_every > 1`.
+#[derive(Clone, Debug, Default)]
+pub struct SubscriberState {
+    /// itemset ids → sanitized support (keyed by the wire id-array, which is
+    /// canonical: item ids ascending).
+    entries: BTreeMap<Vec<u64>, i64>,
+    /// Stream position of the publication the state currently mirrors.
+    last_len: Option<u64>,
+    /// Full snapshots adopted.
+    pub snapshots: u64,
+    /// Deltas applied onto a matching base.
+    pub deltas_applied: u64,
+    /// Deltas skipped (not yet synced, or base mismatch — e.g. the delta
+    /// preceding the snapshot we just adopted).
+    pub deltas_skipped: u64,
+    /// Snapshots that arrived while already caught up and matched the
+    /// reconstructed state exactly.
+    pub verified: u64,
+}
+
+impl SubscriberState {
+    /// An unsynced subscriber (joined mid-stream, nothing seen yet).
+    pub fn new() -> Self {
+        SubscriberState::default()
+    }
+
+    /// Feed one subscriber event. `release`/`release_delta` update the
+    /// state; other events are ignored.
+    ///
+    /// # Errors
+    /// When a snapshot for a position the state was already reconstructed at
+    /// does not match — a divergence that should be impossible if the server
+    /// honors the delta invariant.
+    pub fn observe(&mut self, event: &Json) -> Result<()> {
+        match event.get("event").and_then(Json::as_str) {
+            Some("release") => self.observe_snapshot(event),
+            Some("release_delta") => self.observe_delta(event),
+            _ => Ok(()),
+        }
+    }
+
+    /// The reconstructed `itemset ids → sanitized support` view.
+    pub fn entries(&self) -> &BTreeMap<Vec<u64>, i64> {
+        &self.entries
+    }
+
+    /// Stream position the state mirrors (`None` before the first snapshot).
+    pub fn stream_len(&self) -> Option<u64> {
+        self.last_len
+    }
+
+    /// Has a snapshot been adopted yet?
+    pub fn is_synced(&self) -> bool {
+        self.last_len.is_some()
+    }
+
+    fn observe_snapshot(&mut self, event: &Json) -> Result<()> {
+        let len = field_u64(event, "stream_len")?;
+        let snapshot = entries_of(event.get("itemsets"), "itemsets")?;
+        if self.last_len == Some(len) {
+            // Already reconstructed this position from deltas: the snapshot
+            // is a checksum, not new information.
+            if self.entries != snapshot {
+                return Err(Error::Parse(format!(
+                    "snapshot at stream_len {len} diverges from delta-reconstructed state \
+                     ({} vs {} entries)",
+                    snapshot.len(),
+                    self.entries.len()
+                )));
+            }
+            self.verified += 1;
+            return Ok(());
+        }
+        self.entries = snapshot;
+        self.last_len = Some(len);
+        self.snapshots += 1;
+        Ok(())
+    }
+
+    fn observe_delta(&mut self, event: &Json) -> Result<()> {
+        let base = field_u64(event, "base_len")?;
+        let len = field_u64(event, "stream_len")?;
+        if self.last_len != Some(base) {
+            // Not synced yet, or this delta's base predates our snapshot.
+            self.deltas_skipped += 1;
+            return Ok(());
+        }
+        for ids in id_arrays_of(event.get("removed"), "removed")? {
+            self.entries.remove(&ids);
+        }
+        for field in ["added", "changed"] {
+            for (ids, support) in entries_of(event.get(field), field)? {
+                self.entries.insert(ids, support);
+            }
+        }
+        self.last_len = Some(len);
+        self.deltas_applied += 1;
+        Ok(())
+    }
+}
+
+/// Parse a `[{"itemset": [...], "support": n}, ...]` array into the
+/// reconstruction map shape.
+fn entries_of(v: Option<&Json>, field: &str) -> Result<BTreeMap<Vec<u64>, i64>> {
+    let arr = v
+        .and_then(Json::as_array)
+        .ok_or_else(|| Error::Parse(format!("event missing \"{field}\"")))?;
+    let mut out = BTreeMap::new();
+    for entry in arr {
+        let ids = id_array(
+            entry
+                .get("itemset")
+                .ok_or_else(|| Error::Parse("entry missing \"itemset\"".into()))?,
+        )?;
+        let support = entry
+            .get("support")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| Error::Parse("entry missing \"support\"".into()))?;
+        out.insert(ids, support);
+    }
+    Ok(out)
+}
+
+/// Parse a `[[ids...], ...]` array (the `removed` field).
+fn id_arrays_of(v: Option<&Json>, field: &str) -> Result<Vec<Vec<u64>>> {
+    v.and_then(Json::as_array)
+        .ok_or_else(|| Error::Parse(format!("event missing \"{field}\"")))?
+        .iter()
+        .map(id_array)
+        .collect()
+}
+
+fn id_array(v: &Json) -> Result<Vec<u64>> {
+    v.as_array()
+        .ok_or_else(|| Error::Parse("itemset must be an id array".into()))?
+        .iter()
+        .map(|id| {
+            id.as_u64()
+                .ok_or_else(|| Error::Parse("bad item id".into()))
+        })
+        .collect()
+}
+
+fn field_u64(event: &Json, field: &str) -> Result<u64> {
+    event
+        .get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| Error::Parse(format!("event missing \"{field}\"")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bfly_common::ItemsetId;
+    use bfly_core::SanitizedItemset;
+
+    fn entry(s: &str, t: u64, sanitized: i64) -> SanitizedItemset {
+        SanitizedItemset {
+            id: ItemsetId::intern(&s.parse::<ItemSet>().unwrap()),
+            true_support: t,
+            sanitized,
+        }
+    }
+
+    fn ids(s: &str) -> Vec<u64> {
+        s.parse::<ItemSet>()
+            .unwrap()
+            .iter()
+            .map(|i| i.id() as u64)
+            .collect()
+    }
 
     #[test]
     fn ingest_round_trips() {
@@ -243,5 +448,123 @@ mod tests {
         assert_eq!(shed.get("ok"), Some(&Json::Bool(false)));
         let closed = closed_event("k");
         assert_eq!(closed.get("event").unwrap().as_str(), Some("closed"));
+    }
+
+    #[test]
+    fn delta_event_wire_shape() {
+        let d = ReleaseDelta {
+            added: vec![entry("a", 30, 27)],
+            changed: vec![entry("ab", 40, 38)],
+            removed: vec![ItemsetId::intern(&"b".parse::<ItemSet>().unwrap())],
+        };
+        let ev = release_delta_event("t0", 9, 5, &d);
+        assert_eq!(ev.get("event").unwrap().as_str(), Some("release_delta"));
+        assert_eq!(ev.get("stream").unwrap().as_str(), Some("t0"));
+        assert_eq!(ev.get("stream_len").unwrap().as_u64(), Some(9));
+        assert_eq!(ev.get("base_len").unwrap().as_u64(), Some(5));
+        for (field, want) in [("added", 1), ("changed", 1), ("removed", 1)] {
+            assert_eq!(ev.get(field).unwrap().as_array().unwrap().len(), want);
+        }
+    }
+
+    #[test]
+    fn subscriber_reconstructs_from_snapshot_and_deltas() {
+        let mut sub = SubscriberState::new();
+
+        // A delta arriving before any snapshot must be skipped, not
+        // misapplied — a mid-stream joiner sees these first.
+        let early = release_delta_event(
+            "t0",
+            3,
+            2,
+            &ReleaseDelta {
+                added: vec![entry("a", 30, 27)],
+                ..ReleaseDelta::default()
+            },
+        );
+        sub.observe(&early).unwrap();
+        assert!(!sub.is_synced());
+        assert_eq!(sub.deltas_skipped, 1);
+        assert!(sub.entries().is_empty());
+
+        // Sync on the first full snapshot.
+        let snap = release_event(
+            "t0",
+            4,
+            &SanitizedRelease::new(vec![entry("b", 26, 25), entry("a", 30, 27)]),
+        );
+        sub.observe(&snap).unwrap();
+        assert_eq!(sub.stream_len(), Some(4));
+        assert_eq!(sub.snapshots, 1);
+
+        // Apply a matching delta: ab appears, b shifts, c (never published
+        // here) is removed as a no-op.
+        let d = ReleaseDelta {
+            added: vec![entry("ab", 27, 24)],
+            changed: vec![entry("b", 27, 26)],
+            removed: vec![ItemsetId::intern(&"c".parse::<ItemSet>().unwrap())],
+        };
+        sub.observe(&release_delta_event("t0", 6, 4, &d)).unwrap();
+        assert_eq!(sub.deltas_applied, 1);
+        assert_eq!(sub.stream_len(), Some(6));
+        assert_eq!(sub.entries().get(&ids("a")), Some(&27));
+        assert_eq!(sub.entries().get(&ids("b")), Some(&26));
+        assert_eq!(sub.entries().get(&ids("ab")), Some(&24));
+        assert_eq!(sub.entries().len(), 3);
+
+        // Non-release events are ignored.
+        sub.observe(&closed_event("t0")).unwrap();
+
+        // A snapshot for the position we already reconstructed verifies it
+        // instead of re-adopting.
+        let verify = release_event(
+            "t0",
+            6,
+            &SanitizedRelease::new(vec![
+                entry("ab", 27, 24),
+                entry("b", 27, 26),
+                entry("a", 30, 27),
+            ]),
+        );
+        sub.observe(&verify).unwrap();
+        assert_eq!(sub.verified, 1);
+        assert_eq!(sub.snapshots, 1);
+    }
+
+    #[test]
+    fn stale_base_deltas_are_skipped() {
+        let mut sub = SubscriberState::new();
+        sub.observe(&release_event(
+            "t0",
+            8,
+            &SanitizedRelease::new(vec![entry("a", 30, 27)]),
+        ))
+        .unwrap();
+        let stale = release_delta_event(
+            "t0",
+            6,
+            4,
+            &ReleaseDelta {
+                removed: vec![ItemsetId::intern(&"a".parse::<ItemSet>().unwrap())],
+                ..ReleaseDelta::default()
+            },
+        );
+        sub.observe(&stale).unwrap();
+        assert_eq!(sub.deltas_skipped, 1);
+        assert_eq!(sub.stream_len(), Some(8));
+        assert_eq!(sub.entries().get(&ids("a")), Some(&27));
+    }
+
+    #[test]
+    fn diverging_snapshot_is_an_error() {
+        let mut sub = SubscriberState::new();
+        sub.observe(&release_event(
+            "t0",
+            5,
+            &SanitizedRelease::new(vec![entry("a", 30, 27)]),
+        ))
+        .unwrap();
+        let wrong = release_event("t0", 5, &SanitizedRelease::new(vec![entry("a", 30, 20)]));
+        assert!(sub.observe(&wrong).is_err());
     }
 }

@@ -22,10 +22,10 @@
 
 use crate::config::ServeConfig;
 use crate::fanout::SubscriberRegistry;
-use crate::protocol::{closed_event, release_event};
+use crate::protocol::{closed_event, release_delta_event, release_event};
 use crate::stats::ShardStats;
 use bfly_common::{ItemSet, Transaction};
-use bfly_core::StreamPipeline;
+use bfly_core::{StreamPipeline, WindowRelease};
 use bfly_mining::MinerBackend;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -93,29 +93,71 @@ pub(crate) fn spawn_shard(
     (ingress, handle)
 }
 
+/// Per-key worker state: the pipeline plus the wire-cadence bookkeeping the
+/// delta protocol needs (how many publications so far, and the stream
+/// position of the previous one — every delta's `base_len`).
+struct KeyState {
+    pipe: StreamPipeline<Box<dyn MinerBackend>>,
+    published: u64,
+    last_len: u64,
+}
+
+/// Fan one publication out to the key's subscribers under the configured
+/// cadence: with `snapshot_every = 1` a full `release` snapshot every time
+/// (the legacy wire, byte-identical to before deltas existed); with `N > 1`
+/// a `release_delta` on every publication — emitted first, so a synced
+/// subscriber advances before any snapshot line — plus the full snapshot on
+/// every `N`-th publication (including the first, so early subscribers sync
+/// immediately).
+fn emit_publication(
+    cfg: &ServeConfig,
+    registry: &SubscriberRegistry,
+    stats: &Arc<ShardStats>,
+    key: &Arc<str>,
+    state: &mut KeyState,
+    release: &WindowRelease,
+) {
+    if cfg.snapshot_every > 1 {
+        let line = release_delta_event(key, release.stream_len, state.last_len, &release.delta);
+        registry.publish(key, Arc::from(line.to_string()), stats);
+    }
+    if cfg.snapshot_every <= 1 || state.published.is_multiple_of(cfg.snapshot_every as u64) {
+        let line = release_event(key, release.stream_len, &release.release);
+        registry.publish(key, Arc::from(line.to_string()), stats);
+    }
+    state.published += 1;
+    state.last_len = release.stream_len;
+    ShardStats::add(&stats.published, 1);
+}
+
 fn worker(
     cfg: ServeConfig,
     rx: Receiver<Job>,
     registry: Arc<SubscriberRegistry>,
     stats: Arc<ShardStats>,
 ) {
-    let mut pipelines: HashMap<Arc<str>, StreamPipeline<Box<dyn MinerBackend>>> = HashMap::new();
+    let mut pipelines: HashMap<Arc<str>, KeyState> = HashMap::new();
     while let Ok(job) = rx.recv() {
         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
         match job {
             Job::Ingest { key, items } => {
-                let pipe = pipelines.entry(key.clone()).or_insert_with(|| {
+                let state = pipelines.entry(key.clone()).or_insert_with(|| {
                     ShardStats::add(&stats.keys, 1);
-                    cfg.pipeline_for(&key)
+                    KeyState {
+                        pipe: cfg.pipeline_for(&key),
+                        published: 0,
+                        last_len: 0,
+                    }
                 });
                 // The window assigns the real tid from the stream position.
-                pipe.advance(Transaction::new(0, items));
+                state.pipe.advance(Transaction::new(0, items));
                 ShardStats::add(&stats.processed, 1);
-                if pipe.window().is_full() && pipe.since_publish() >= cfg.every {
-                    let release = pipe.publish_now().expect("full window cannot be partial");
-                    let line = release_event(&key, release.stream_len, &release.release);
-                    registry.publish(&key, Arc::from(line.to_string()), &stats);
-                    ShardStats::add(&stats.published, 1);
+                if state.pipe.window().is_full() && state.pipe.since_publish() >= cfg.every {
+                    let release = state
+                        .pipe
+                        .publish_now()
+                        .expect("full window cannot be partial");
+                    emit_publication(&cfg, &registry, &stats, &key, state, &release);
                 }
             }
         }
@@ -126,11 +168,9 @@ fn worker(
     let mut keys: Vec<Arc<str>> = pipelines.keys().cloned().collect();
     keys.sort();
     for key in keys {
-        let pipe = pipelines.get_mut(&key).expect("key just listed");
-        if let Some(release) = pipe.flush() {
-            let line = release_event(&key, release.stream_len, &release.release);
-            registry.publish(&key, Arc::from(line.to_string()), &stats);
-            ShardStats::add(&stats.published, 1);
+        let state = pipelines.get_mut(&key).expect("key just listed");
+        if let Some(release) = state.pipe.flush() {
+            emit_publication(&cfg, &registry, &stats, &key, state, &release);
         }
         registry.close_stream(&key, Arc::from(closed_event(&key).to_string()));
     }
@@ -139,6 +179,8 @@ fn worker(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::SubscriberState;
+    use bfly_common::Json;
     use bfly_mining::BackendKind;
     use std::sync::mpsc::sync_channel;
 
@@ -153,6 +195,7 @@ mod tests {
             scheme: bfly_core::BiasScheme::Basic,
             backend: BackendKind::Moment,
             every: 2,
+            snapshot_every: 1,
             queue_cap: 64,
             out_queue_cap: 64,
             seed: 1,
@@ -195,6 +238,79 @@ mod tests {
         assert_eq!(stats.published.load(Ordering::Relaxed), 3);
         assert_eq!(stats.keys.load(Ordering::Relaxed), 1);
         assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    /// Run one shard over the cadence test's 11-record stream and collect
+    /// every line a subscriber of `"k"` sees.
+    fn drive(cfg: ServeConfig) -> Vec<String> {
+        let registry = Arc::new(SubscriberRegistry::new());
+        let stats = Arc::new(ShardStats::default());
+        let (ingress, handle) = spawn_shard(0, cfg, registry.clone(), stats.clone());
+        let (sub_tx, sub_rx) = sync_channel(64);
+        registry.subscribe("k", 1, sub_tx);
+        let key: Arc<str> = Arc::from("k");
+        let mut src = bfly_datagen::DatasetProfile::WebView1.source(3);
+        for _ in 0..11 {
+            assert!(ingress.offer(&key, src.next_transaction().into_items()));
+        }
+        drop(ingress);
+        handle.join().expect("worker paniced");
+        sub_rx.iter().map(|l| l.to_string()).collect()
+    }
+
+    #[test]
+    fn snapshot_every_n_interleaves_deltas_and_snapshots() {
+        let delta_lines = drive(ServeConfig {
+            snapshot_every: 3,
+            ..tiny_cfg()
+        });
+        let snap_lines = drive(tiny_cfg());
+
+        // Publications land at stream_len 8, 10, and 11 (drain flush); only
+        // the first falls on the every-3rd snapshot cadence.
+        let events: Vec<String> = delta_lines
+            .iter()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("event")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(
+            events,
+            vec![
+                "release_delta",
+                "release",
+                "release_delta",
+                "release_delta",
+                "closed"
+            ],
+            "lines: {delta_lines:#?}"
+        );
+
+        // A subscriber reconstructs: skips the pre-sync delta, adopts the
+        // snapshot, rides the two later deltas.
+        let mut sub = SubscriberState::new();
+        for l in &delta_lines {
+            sub.observe(&Json::parse(l).unwrap()).unwrap();
+        }
+        assert_eq!(sub.snapshots, 1);
+        assert_eq!(sub.deltas_skipped, 1);
+        assert_eq!(sub.deltas_applied, 2);
+        assert_eq!(sub.stream_len(), Some(11));
+
+        // The reconstruction must equal what the legacy snapshot-only wire
+        // says the state at stream_len 11 is.
+        let mut oracle = SubscriberState::new();
+        for l in &snap_lines {
+            oracle.observe(&Json::parse(l).unwrap()).unwrap();
+        }
+        assert_eq!(oracle.stream_len(), Some(11));
+        assert_eq!(sub.entries(), oracle.entries());
     }
 
     #[test]

@@ -4,10 +4,13 @@
 #
 # 1. parbench: each parallel stage timed at 1 worker and at the full worker
 #    count in-process (median of $PARBENCH_REPS reps), plus the counting
-#    stages (per-transaction scan vs. vertical tid-bitmap). Each invocation
-#    APPENDS one timestamped run entry to BENCH_parallel.json and
-#    BENCH_support.json at the repo root, so the perf trajectory across
-#    changes is preserved — never overwritten.
+#    stages (per-transaction scan vs. vertical tid-bitmap) and the release
+#    stage (batch ReleaseEngine vs. incremental ReleaseEngine replaying the
+#    same high-overlap sliding-window publication schedule, with DP warm-start
+#    counters). Each invocation APPENDS one timestamped run entry to
+#    BENCH_parallel.json, BENCH_support.json, and BENCH_release.json at the
+#    repo root, so the perf trajectory across changes is preserved — never
+#    overwritten.
 # 2. loadgen: the bfly_serve stream service driven by concurrent TCP
 #    clients at 1 shard and at 4 shards; throughput + latency percentiles
 #    APPEND to BENCH_serve.json (entries record the host's core count —
@@ -25,9 +28,10 @@ REPS="${PARBENCH_REPS:-5}"
 echo "==> cargo build --release -p bfly-bench"
 cargo build -q --release -p bfly-bench
 
-echo "==> parbench (${REPS} reps, appends to BENCH_parallel.json + BENCH_support.json)"
+echo "==> parbench (${REPS} reps, appends to BENCH_parallel.json + BENCH_support.json + BENCH_release.json)"
 cargo run -q --release -p bfly-bench --bin parbench -- --reps "${REPS}" \
-  --out BENCH_parallel.json --support-out BENCH_support.json
+  --out BENCH_parallel.json --support-out BENCH_support.json \
+  --release-out BENCH_release.json
 
 echo "==> loadgen (1-shard vs 4-shard phases, appends to BENCH_serve.json)"
 cargo run -q --release -p bfly-bench --bin loadgen -- --out BENCH_serve.json
@@ -41,4 +45,4 @@ if [[ "${1:-}" != "--quick" ]]; then
   done
 fi
 
-echo "==> appended run entries to BENCH_parallel.json and BENCH_support.json"
+echo "==> appended run entries to BENCH_parallel.json, BENCH_support.json, and BENCH_release.json"

@@ -19,17 +19,22 @@ cargo test -q --workspace
 echo "==> vertical-vs-scan differential tests"
 cargo test -q --release --test vertical_support
 
+echo "==> incremental-vs-batch release engine differential tests"
+cargo test -q --release --test release_engine
+
 echo "==> parbench smoke (1 rep, scratch output under target/)"
 cargo run -q --release -p bfly-bench --bin parbench -- --reps 1 \
   --out target/BENCH_parallel.smoke.json \
-  --support-out target/BENCH_support.smoke.json
+  --support-out target/BENCH_support.smoke.json \
+  --release-out target/BENCH_release.smoke.json
 
-echo "==> serve smoke (real server process + loadgen + graceful drain)"
+echo "==> serve smoke (real server, delta wire format, mid-stream subscriber)"
 cargo build -q --release
 PORT_FILE=target/serve.smoke.port
 rm -f "$PORT_FILE"
 target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
-  --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 &
+  --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 \
+  --snapshot-every 4 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 for _ in $(seq 1 100); do
@@ -37,8 +42,18 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [[ -s "$PORT_FILE" ]] || { echo "server never wrote its port file"; exit 1; }
+# First burst publishes releases for every key; the second burst's watcher
+# therefore joins stream t0 mid-flight and must reconstruct its sanitized
+# state from the next full snapshot plus the release_delta events after it
+# (loadgen's watcher dies on any divergence).
 cargo run -q --release -p bfly-bench --bin loadgen -- --quick \
-  --addr "$(cat "$PORT_FILE")" --shutdown --out target/BENCH_serve.smoke.json
+  --addr "$(cat "$PORT_FILE")" --out target/BENCH_serve.smoke.json
+WATCH_LOG=target/serve.smoke.watch.log
+cargo run -q --release -p bfly-bench --bin loadgen -- --quick \
+  --addr "$(cat "$PORT_FILE")" --watch t0 --shutdown \
+  --out target/BENCH_serve.smoke.json | tee "$WATCH_LOG"
+grep -q 'watch t0: synced=true' "$WATCH_LOG" \
+  || { echo "mid-stream watcher never reconstructed stream t0"; exit 1; }
 wait "$SERVE_PID"   # exits 0 only after a clean drain
 trap - EXIT
 

@@ -83,11 +83,18 @@ USAGE:
   butterfly protect --input <file.dat> --window <H> --min-support <C> --vulnerable <K>
                     --epsilon <E> --delta <D> [--scheme <basic|order|ratio|hybrid>]
                     [--backend <moment|apriori|eclat|fpgrowth|charm|closed|fpstream|damped>]
-                    [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--out <file.jsonl>]
+                    [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--incremental]
+                    [--out <file.jsonl>]
   butterfly serve   [--addr <ip:port>] [--shards <N>] [--window <H>] [--min-support <C>]
                     [--vulnerable <K>] [--epsilon <E>] [--delta <D>] [--scheme <...>]
-                    [--backend <...>] [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>]
-                    [--queue-cap <N>] [--out-queue-cap <N>] [--port-file <path>]
+                    [--backend <...>] [--lambda <L>] [--gamma <G>] [--every <N>]
+                    [--snapshot-every <N>] [--seed <S>] [--queue-cap <N>] [--out-queue-cap <N>]
+                    [--port-file <path>]
+
+`protect --incremental` runs the delta-maintained release engine (identical
+output, faster on overlapping windows; cache counters go to stderr).
+`serve --snapshot-every N` (N > 1) ships a release_delta event per
+publication plus a full release snapshot every N-th one.
 
 Every command also accepts --threads <N> to pin the worker-thread count of
 the parallel phases (default: BFLY_THREADS, else all hardware threads;
@@ -149,6 +156,7 @@ const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
             ("gamma", true),
             ("every", true),
             ("seed", true),
+            ("incremental", false),
             ("out", true),
         ],
     ),
@@ -167,6 +175,7 @@ const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
             ("lambda", true),
             ("gamma", true),
             ("every", true),
+            ("snapshot-every", true),
             ("seed", true),
             ("queue-cap", true),
             ("out-queue-cap", true),
@@ -371,7 +380,12 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
         .parse()
         .map_err(|e: butterfly_repro::common::Error| e.to_string())?;
     let spec = PrivacySpec::new(c, k, epsilon, delta);
-    let publisher = Publisher::new(spec, scheme, seed);
+    let incremental = flags.contains_key("incremental");
+    let publisher = if incremental {
+        Publisher::new_incremental(spec, scheme, seed)
+    } else {
+        Publisher::new(spec, scheme, seed)
+    };
     let mut pipeline = StreamPipeline::from_kind(window, backend, publisher);
 
     let mut out = out_writer(flags)?;
@@ -394,6 +408,11 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
         scheme.name(),
         backend.name()
     );
+    if let Some((reuse, warm, full)) = pipeline.publisher().incremental_stats() {
+        eprintln!(
+            "incremental engine: {reuse} windows fully reused the DP cache, {warm} warm-started, {full} solved from scratch"
+        );
+    }
     Ok(())
 }
 
@@ -420,6 +439,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if let Some(v) = flags.get("every") {
         cfg.every = parse(v, "every")?;
     }
+    if let Some(v) = flags.get("snapshot-every") {
+        cfg.snapshot_every = parse(v, "snapshot-every")?;
+    }
     if let Some(v) = flags.get("seed") {
         cfg.seed = parse(v, "seed")?;
     }
@@ -443,7 +465,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         std::fs::write(path, format!("{local}\n")).map_err(|e| e.to_string())?;
     }
     eprintln!(
-        "serving on {local}: {} shards, window {}, C={}, K={}, ε={}, δ={}, {}, backend {}, every {}",
+        "serving on {local}: {} shards, window {}, C={}, K={}, ε={}, δ={}, {}, backend {}, every {}, snapshot-every {}",
         cfg.shards,
         cfg.window,
         cfg.c,
@@ -452,7 +474,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cfg.delta,
         cfg.scheme.name(),
         cfg.backend.name(),
-        cfg.every
+        cfg.every,
+        cfg.snapshot_every
     );
     server.run_until_shutdown();
     eprintln!("drained and stopped");

@@ -124,6 +124,87 @@ fn gen_mine_attack_protect_round_trip() {
 }
 
 #[test]
+fn protect_incremental_output_is_byte_identical() {
+    let dat = temp_path("incr.dat");
+    let status = bin()
+        .args([
+            "gen",
+            "--profile",
+            "webview1",
+            "--count",
+            "800",
+            "--seed",
+            "3",
+            "--out",
+        ])
+        .arg(&dat)
+        .status()
+        .expect("run gen");
+    assert!(status.success());
+
+    let run = |out: &PathBuf, incremental: bool| {
+        let mut cmd = bin();
+        cmd.args([
+            "protect",
+            "--window",
+            "500",
+            "--min-support",
+            "15",
+            "--vulnerable",
+            "3",
+            "--epsilon",
+            "0.05",
+            "--delta",
+            "0.4",
+            "--scheme",
+            "hybrid",
+            "--every",
+            "50",
+            "--seed",
+            "11",
+        ]);
+        if incremental {
+            cmd.arg("--incremental");
+        }
+        let output = cmd
+            .arg("--input")
+            .arg(&dat)
+            .arg("--out")
+            .arg(out)
+            .output()
+            .expect("run protect");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stderr).unwrap()
+    };
+
+    let batch_out = temp_path("incr_batch.jsonl");
+    let incr_out = temp_path("incr_engine.jsonl");
+    let batch_err = run(&batch_out, false);
+    let incr_err = run(&incr_out, true);
+    assert_eq!(
+        std::fs::read(&batch_out).unwrap(),
+        std::fs::read(&incr_out).unwrap(),
+        "--incremental must not change a single published byte"
+    );
+    assert!(
+        !batch_err.contains("incremental engine"),
+        "batch run reported cache counters: {batch_err}"
+    );
+    assert!(
+        incr_err.contains("incremental engine"),
+        "missing cache counters: {incr_err}"
+    );
+
+    std::fs::remove_file(dat).ok();
+    std::fs::remove_file(batch_out).ok();
+    std::fs::remove_file(incr_out).ok();
+}
+
+#[test]
 fn bad_flags_fail_cleanly() {
     let out = bin().args(["mine"]).output().expect("run");
     assert!(!out.status.success());

@@ -4,7 +4,7 @@
 
 use butterfly_repro::common::{ItemSet, Json};
 use butterfly_repro::datagen::DatasetProfile;
-use butterfly_repro::serve::protocol::{closed_event, release_event};
+use butterfly_repro::serve::protocol::{closed_event, release_event, SubscriberState};
 use butterfly_repro::serve::{Client, Request, ServeConfig, Server};
 use std::io::{BufRead, BufReader, Write};
 
@@ -108,6 +108,130 @@ fn network_releases_bit_identical_to_in_process() {
         received.push(line.to_string());
     }
     assert_eq!(received, expected, "network run diverged from in-process");
+    server.join();
+}
+
+/// The delta wire end to end: under `snapshot_every = 4` a subscriber that
+/// joins mid-stream — after two publications it never saw — syncs on the
+/// next full snapshot, rides `release_delta` events from there, and ends up
+/// with exactly the state an always-connected subscriber (and the
+/// in-process pipeline) has.
+#[test]
+fn mid_stream_subscriber_reconstructs_from_snapshot_and_deltas() {
+    let cfg = ServeConfig {
+        every: 10,
+        snapshot_every: 4,
+        shards: 1,
+        ..feasible_cfg()
+    };
+    let records: Vec<ItemSet> = DatasetProfile::WebView1
+        .source(7)
+        .take_vec(200)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+
+    // In-process reference: publications at stream_len 120, 130, …, 200.
+    let mut pipe = cfg.pipeline_for("alpha");
+    let mut final_release_line = None;
+    for items in &records {
+        pipe.advance(butterfly_repro::common::Transaction::new(0, items.clone()));
+        if pipe.window().is_full() && pipe.since_publish() >= cfg.every {
+            let r = pipe.publish_now().expect("full window");
+            final_release_line = Some(release_event("alpha", r.stream_len, &r.release).to_string());
+        }
+    }
+    assert!(pipe.flush().is_none(), "200 lands on the cadence exactly");
+    let mut oracle = SubscriberState::new();
+    oracle
+        .observe(&Json::parse(&final_release_line.expect("9 publications")).unwrap())
+        .unwrap();
+    assert_eq!(oracle.stream_len(), Some(200));
+
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Subscriber A is present from the start and sees every event.
+    let mut early = Client::connect(addr).expect("early connect");
+    early
+        .request(&Request::Subscribe {
+            stream: "alpha".into(),
+        })
+        .expect("early subscribe");
+
+    // Ingest 135 records and wait until the shard has fully processed them
+    // (publications at 120 and 130 are fanned out before anyone else joins).
+    let mut ingest = Client::connect(addr).expect("ingest connect");
+    ingest
+        .request(&Request::Ingest {
+            stream: "alpha".into(),
+            batch: records[..135].to_vec(),
+        })
+        .expect("first ingest");
+    loop {
+        let stats = ingest.request(&Request::Stats).expect("stats");
+        let processed: u64 = stats
+            .get("per_shard")
+            .and_then(Json::as_array)
+            .expect("per_shard")
+            .iter()
+            .map(|s| s.get("processed").and_then(Json::as_u64).unwrap_or(0))
+            .sum();
+        if processed >= 135 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Subscriber B joins mid-stream: it has missed the snapshot at 120 and
+    // the delta at 130, and will first see the deltas at 140 and 150 —
+    // unusable — then the snapshot at 160.
+    let mut late = Client::connect(addr).expect("late connect");
+    late.request(&Request::Subscribe {
+        stream: "alpha".into(),
+    })
+    .expect("late subscribe");
+
+    ingest
+        .request(&Request::Ingest {
+            stream: "alpha".into(),
+            batch: records[135..].to_vec(),
+        })
+        .expect("second ingest");
+    ingest.request(&Request::Shutdown).expect("shutdown");
+
+    let drain = |client: &mut Client| -> SubscriberState {
+        let mut state = SubscriberState::new();
+        loop {
+            let line = client.next_line().expect("read").expect("closed first");
+            if line.get("event").and_then(Json::as_str) == Some("closed") {
+                return state;
+            }
+            state.observe(&line).expect("no divergence");
+        }
+    };
+    let early_state = drain(&mut early);
+    let late_state = drain(&mut late);
+
+    // A: syncs at 120 (skipping that publication's own base-0 delta), then
+    // applies all 8 later deltas and verifies the snapshots at 160 and 200.
+    assert_eq!(early_state.snapshots, 1);
+    assert_eq!(early_state.deltas_skipped, 1);
+    assert_eq!(early_state.deltas_applied, 8);
+    assert_eq!(early_state.verified, 2);
+
+    // B: skips the deltas at 140, 150, and 160 (its base predates the
+    // sync), adopts the snapshot at 160, applies 170–200, verifies 200.
+    assert_eq!(late_state.snapshots, 1);
+    assert_eq!(late_state.deltas_skipped, 3);
+    assert_eq!(late_state.deltas_applied, 4);
+    assert_eq!(late_state.verified, 1);
+
+    // Everyone converges on the in-process truth.
+    assert_eq!(early_state.stream_len(), Some(200));
+    assert_eq!(late_state.stream_len(), Some(200));
+    assert_eq!(early_state.entries(), oracle.entries());
+    assert_eq!(late_state.entries(), oracle.entries());
     server.join();
 }
 
