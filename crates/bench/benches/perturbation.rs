@@ -23,7 +23,10 @@ fn bench_schemes() {
         let output = synthetic_output(n);
         for scheme in BiasScheme::paper_variants(2) {
             let mut publisher = Publisher::new(spec, scheme, 7);
-            let label = format!("publish/{}/{n}", scheme.name().replace(' ', "_"));
+            let label = format!(
+                "publish/{}/{n}",
+                scheme.name().to_string().replace(' ', "_")
+            );
             bench(&label, || {
                 // Reset the pin cache so every iteration pays the full
                 // perturbation cost.

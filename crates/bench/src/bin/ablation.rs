@@ -342,7 +342,7 @@ fn residual_attack() {
             n_claims += n;
         }
         table.row(vec![
-            scheme.name(),
+            scheme.name().to_string(),
             (n_claims / trials as usize).to_string(),
             format!("{:.3}", p_sum / trials as f64),
             format!("{:.3}", r_sum / trials as f64),
@@ -385,7 +385,7 @@ fn confidence_preservation() {
         .into_iter()
         .sum();
         table.row(vec![
-            scheme.name(),
+            scheme.name().to_string(),
             rules.len().to_string(),
             format!("{:.3}", total / trials as f64),
         ]);

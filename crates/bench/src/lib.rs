@@ -9,12 +9,14 @@
 //! each scheme/contract and measure), so the expensive attack analysis is
 //! amortized across the whole sweep.
 
+pub mod defense;
 pub mod record;
 pub mod runner;
 pub mod table;
 pub mod timing;
 pub mod tuning;
 
+pub use defense::{defense_matrix, evaluate_defense, DefenseEval};
 pub use record::{append_run, epoch_seconds};
 pub use runner::{
     audit_breaches_scan, audit_breaches_vertical, collect_truths, evaluate_cells, evaluate_scheme,

@@ -19,6 +19,7 @@
 
 pub mod audit;
 pub mod config;
+pub mod defense;
 pub mod dp;
 pub mod engine;
 pub mod exact;
@@ -36,6 +37,10 @@ pub mod scheme;
 
 pub use audit::{audit_release, AuditError};
 pub use config::PrivacySpec;
+pub use defense::{
+    DefenseKind, DefenseSpec, PrivBasisDefense, PrivacyDefense, SuppressionDefense,
+    SuppressionStats,
+};
 pub use dp::{DpPublisher, Laplace};
 pub use engine::{
     seeded_noise, EngineStats, FecChurn, FecIndex, NoiseMode, ReleaseDelta, ReleaseEngine,
@@ -49,4 +54,4 @@ pub use noise::NoiseRegion;
 pub use pipeline::{StreamPipeline, WindowRelease};
 pub use publisher::Publisher;
 pub use release::{SanitizedItemset, SanitizedRelease};
-pub use scheme::BiasScheme;
+pub use scheme::{BiasScheme, SchemeName};

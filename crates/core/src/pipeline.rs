@@ -1,5 +1,6 @@
-//! End-to-end stream pipeline: window → miner backend → Butterfly publisher.
+//! End-to-end stream pipeline: window → miner backend → privacy defense.
 
+use crate::defense::PrivacyDefense;
 use crate::engine::ReleaseDelta;
 use crate::publisher::Publisher;
 use crate::release::SanitizedRelease;
@@ -22,18 +23,19 @@ pub struct WindowRelease {
     pub delta: ReleaseDelta,
 }
 
-/// Glue object running the full Butterfly deployment of Fig. 1's last step:
-/// a sliding window feeds a pluggable [`MinerBackend`]; each full window's
-/// closed frequent itemsets pass through the perturbation publisher.
+/// Glue object running the full deployment of Fig. 1's last step: a sliding
+/// window feeds a pluggable [`MinerBackend`]; each full window's closed
+/// frequent itemsets pass through a pluggable [`PrivacyDefense`].
 ///
-/// The backend is a type parameter so the paper's default (the incremental
-/// Moment miner) pays no dynamic dispatch, while deployments picking a
-/// backend at runtime use [`StreamPipeline::from_kind`] and get a boxed one.
+/// Both stages are type parameters so the paper's defaults (the incremental
+/// Moment miner, the Butterfly [`Publisher`]) pay no dynamic dispatch, while
+/// deployments picking either at runtime use [`StreamPipeline::from_kind`] /
+/// [`StreamPipeline::from_parts`] and get boxed ones.
 #[derive(Clone, Debug)]
-pub struct StreamPipeline<B: MinerBackend = MomentMiner> {
+pub struct StreamPipeline<B: MinerBackend = MomentMiner, D: PrivacyDefense = Publisher> {
     window: SlidingWindow,
     miner: B,
-    publisher: Publisher,
+    defense: D,
     /// Vertical ground-truth oracle maintained from the same deltas the
     /// miner sees; breach analysis queries it instead of re-scanning the
     /// materialized window database.
@@ -45,33 +47,49 @@ pub struct StreamPipeline<B: MinerBackend = MomentMiner> {
     since_publish: usize,
 }
 
-impl StreamPipeline<MomentMiner> {
-    /// Build a pipeline on the paper's default backend (Moment). The
-    /// publisher's spec supplies the miner's minimum support `C`.
+impl StreamPipeline<MomentMiner, Publisher> {
+    /// Build a pipeline on the paper's defaults (Moment miner, Butterfly
+    /// publisher). The publisher's spec supplies the miner's minimum
+    /// support `C`.
     pub fn new(window_size: usize, publisher: Publisher) -> Self {
-        let c = publisher.spec().c();
+        let c = PrivacyDefense::spec(&publisher).c();
         StreamPipeline::with_backend(window_size, MomentMiner::new(c), publisher)
     }
 }
 
-impl StreamPipeline<Box<dyn MinerBackend>> {
-    /// Build a pipeline with a backend chosen at runtime by
+impl StreamPipeline<Box<dyn MinerBackend>, Publisher> {
+    /// Build a Butterfly pipeline with a miner chosen at runtime by
     /// [`BackendKind`]. The publisher's spec supplies the minimum support.
     pub fn from_kind(window_size: usize, kind: BackendKind, publisher: Publisher) -> Self {
-        let c = publisher.spec().c();
+        let c = PrivacyDefense::spec(&publisher).c();
         StreamPipeline::with_backend(window_size, kind.build(c), publisher)
     }
 }
 
-impl<B: MinerBackend> StreamPipeline<B> {
-    /// Build a pipeline around an already-constructed backend. The backend's
-    /// minimum support should match the publisher's `C`; the contract audit
-    /// in [`StreamPipeline::step`] catches mismatches in debug builds.
-    pub fn with_backend(window_size: usize, miner: B, publisher: Publisher) -> Self {
+impl StreamPipeline<Box<dyn MinerBackend>, Box<dyn PrivacyDefense>> {
+    /// Build a pipeline with *both* stages chosen at runtime — the
+    /// construction path behind `--defense` and the serve layer's per-key
+    /// binding. The defense's spec supplies the miner's minimum support.
+    pub fn from_parts(
+        window_size: usize,
+        kind: BackendKind,
+        defense: Box<dyn PrivacyDefense>,
+    ) -> Self {
+        let c = defense.spec().c();
+        StreamPipeline::with_backend(window_size, kind.build(c), defense)
+    }
+}
+
+impl<B: MinerBackend, D: PrivacyDefense> StreamPipeline<B, D> {
+    /// Build a pipeline around already-constructed stages. The backend's
+    /// minimum support should match the defense's `C`; for Butterfly the
+    /// contract audit in [`StreamPipeline::step`] catches mismatches in
+    /// debug builds.
+    pub fn with_backend(window_size: usize, miner: B, defense: D) -> Self {
         StreamPipeline {
             window: SlidingWindow::new(window_size),
             miner,
-            publisher,
+            defense,
             truth: GroundTruth::new(window_size),
             since_publish: 0,
         }
@@ -104,10 +122,11 @@ impl<B: MinerBackend> StreamPipeline<B> {
         // memo so truth queries for published itemsets cost a map lookup.
         self.truth
             .seed_supports(closed.iter().map(|e| (e.id, e.support)));
-        let (release, delta) = self.publisher.publish_with_delta(&closed);
+        let (release, delta) = self.defense.publish_with_delta(&closed);
         debug_assert!(
-            crate::audit::audit_release(self.publisher.spec(), &release).is_empty(),
-            "publisher emitted a release violating its contract"
+            !self.defense.honors_butterfly_contract()
+                || crate::audit::audit_release(self.defense.spec(), &release).is_empty(),
+            "defense emitted a release violating the Butterfly contract it claims"
         );
         Some(WindowRelease {
             stream_len: self.window.stream_len(),
@@ -163,7 +182,7 @@ impl<B: MinerBackend> StreamPipeline<B> {
         let closed = self.miner.closed_frequent();
         self.truth
             .seed_supports(closed.iter().map(|e| (e.id, e.support)));
-        let (release, delta) = self.publisher.publish_with_delta(&closed);
+        let (release, delta) = self.defense.publish_with_delta(&closed);
         Ok(WindowRelease {
             stream_len: self.window.stream_len(),
             closed,
@@ -178,10 +197,11 @@ impl<B: MinerBackend> StreamPipeline<B> {
         &self.window
     }
 
-    /// The publisher driving the release path (e.g. to read the incremental
-    /// engine's cache counters after a run).
-    pub fn publisher(&self) -> &Publisher {
-        &self.publisher
+    /// The defense driving the release path (e.g. to read Butterfly's
+    /// incremental cache counters or suppression's side-effect ledger after
+    /// a run).
+    pub fn defense(&self) -> &D {
+        &self.defense
     }
 
     /// Exact support `T(I)` in the current window, via the maintained

@@ -28,14 +28,15 @@ pub enum BiasScheme {
 }
 
 impl BiasScheme {
-    /// The paper's figure-legend name for this variant.
-    pub fn name(&self) -> String {
-        match self {
-            BiasScheme::Basic => "Basic".to_string(),
-            BiasScheme::OrderPreserving { .. } => "Opt λ=1".to_string(),
-            BiasScheme::RatioPreserving => "Opt λ=0".to_string(),
-            BiasScheme::Hybrid { lambda, .. } => format!("Opt λ={lambda}"),
-        }
+    /// The paper's figure-legend name for this variant, as an
+    /// allocation-free [`std::fmt::Display`] adapter: fixed variants write
+    /// a `&'static str`, and the parameterized Hybrid name is formatted
+    /// straight into whatever the caller is already writing to. Callers
+    /// that genuinely need an owned `String` (table rows, file names) call
+    /// `.to_string()` at that one point instead of every caller paying an
+    /// allocation for a log line.
+    pub fn name(&self) -> SchemeName {
+        SchemeName(*self)
     }
 
     /// Compute one bias per FEC (`fecs` sorted ascending by support), each
@@ -68,6 +69,63 @@ impl BiasScheme {
             BiasScheme::Hybrid { lambda: 0.4, gamma },
             BiasScheme::RatioPreserving,
         ]
+    }
+}
+
+/// Allocation-free display adapter for [`BiasScheme::name`]. `Copy`, so it
+/// drops into format args as-is; compare against string literals directly
+/// (`scheme.name() == "Basic"`) without materializing a `String`.
+#[derive(Clone, Copy, PartialEq)]
+pub struct SchemeName(BiasScheme);
+
+impl std::fmt::Display for SchemeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            BiasScheme::Basic => f.write_str("Basic"),
+            BiasScheme::OrderPreserving { .. } => f.write_str("Opt λ=1"),
+            BiasScheme::RatioPreserving => f.write_str("Opt λ=0"),
+            BiasScheme::Hybrid { lambda, .. } => write!(f, "Opt λ={lambda}"),
+        }
+    }
+}
+
+impl std::fmt::Debug for SchemeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+impl PartialEq<&str> for SchemeName {
+    fn eq(&self, other: &&str) -> bool {
+        // Stream the Display output through a consuming comparator: equal
+        // iff every written fragment is the next prefix of `other` and the
+        // whole of `other` is consumed — no buffer, no allocation.
+        struct CmpWriter<'a> {
+            rest: &'a str,
+            matched: bool,
+        }
+        impl std::fmt::Write for CmpWriter<'_> {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                if self.matched && self.rest.starts_with(s) {
+                    self.rest = &self.rest[s.len()..];
+                } else {
+                    self.matched = false;
+                }
+                Ok(())
+            }
+        }
+        let mut w = CmpWriter {
+            rest: other,
+            matched: true,
+        };
+        let _ = std::fmt::write(&mut w, format_args!("{self}"));
+        w.matched && w.rest.is_empty()
+    }
+}
+
+impl PartialEq<SchemeName> for &str {
+    fn eq(&self, other: &SchemeName) -> bool {
+        other == self
     }
 }
 

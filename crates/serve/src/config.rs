@@ -1,7 +1,9 @@
 //! Server configuration: the privacy contract plus the service shape.
 
 use bfly_common::Support;
-use bfly_core::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
+use bfly_core::{
+    BiasScheme, DefenseKind, DefenseSpec, PrivacyDefense, PrivacySpec, StreamPipeline,
+};
 use bfly_mining::{BackendKind, MinerBackend};
 
 /// Everything a [`crate::Server`] needs to know: the Butterfly deployment
@@ -26,8 +28,11 @@ pub struct ServeConfig {
     pub epsilon: f64,
     /// Privacy floor δ.
     pub delta: f64,
-    /// Perturbation scheme applied at every publication.
+    /// Perturbation scheme applied at every publication (Butterfly only).
     pub scheme: BiasScheme,
+    /// Default privacy defense for every stream (clients may override one
+    /// stream's defense with a `bind` request before its first ingest).
+    pub defense: DefenseSpec,
     /// Mining backend for every per-key pipeline.
     pub backend: BackendKind,
     /// Publish each stream every this many of its records (once its window
@@ -63,6 +68,7 @@ impl Default for ServeConfig {
                 lambda: 0.4,
                 gamma: 2,
             },
+            defense: DefenseSpec::butterfly(),
             backend: BackendKind::Moment,
             every: 100,
             snapshot_every: 1,
@@ -91,6 +97,7 @@ impl ServeConfig {
         // An infeasible privacy contract must be rejected at bind time, not
         // discovered as a shard-worker panic at the first record.
         PrivacySpec::checked(self.c, self.k, self.epsilon, self.delta)?;
+        self.defense.validate()?;
         Ok(())
     }
 
@@ -99,16 +106,33 @@ impl ServeConfig {
         PrivacySpec::new(self.c, self.k, self.epsilon, self.delta)
     }
 
-    /// Build the pipeline for one stream key — the single construction path
-    /// shared by the shard workers and the network determinism test, so
-    /// "same config, same key, same seed" provably means the same releases
-    /// in-process and over the wire. Publishers run the incremental
-    /// [`bfly_core::ReleaseEngine`]; its output is pinned bit-identical to
-    /// the batch path, so this is purely a per-window cost choice.
-    pub fn pipeline_for(&self, key: &str) -> StreamPipeline<Box<dyn MinerBackend>> {
-        let publisher =
-            Publisher::new_incremental(self.spec(), self.scheme, stream_seed(self.seed, key));
-        StreamPipeline::from_kind(self.window, self.backend, publisher)
+    /// Build the pipeline for one stream key under the config's default
+    /// defense — the single construction path shared by the shard workers
+    /// and the network determinism test, so "same config, same key, same
+    /// seed" provably means the same releases in-process and over the wire.
+    pub fn pipeline_for(
+        &self,
+        key: &str,
+    ) -> StreamPipeline<Box<dyn MinerBackend>, Box<dyn PrivacyDefense>> {
+        self.pipeline_with(key, self.defense.kind)
+    }
+
+    /// [`ServeConfig::pipeline_for`] with the defense kind overridden — the
+    /// path a per-stream `bind` takes. Butterfly publishers run the
+    /// incremental [`bfly_core::ReleaseEngine`]; its output is pinned
+    /// bit-identical to the batch path, so that is purely a per-window cost
+    /// choice. The non-Butterfly defenses keep the config's DP knobs.
+    pub fn pipeline_with(
+        &self,
+        key: &str,
+        kind: DefenseKind,
+    ) -> StreamPipeline<Box<dyn MinerBackend>, Box<dyn PrivacyDefense>> {
+        let dspec = DefenseSpec {
+            kind,
+            ..self.defense
+        };
+        let defense = dspec.build(self.spec(), self.scheme, stream_seed(self.seed, key), true);
+        StreamPipeline::from_parts(self.window, self.backend, defense)
     }
 }
 
@@ -205,5 +229,29 @@ mod tests {
         let pipe = cfg.pipeline_for("k");
         assert_eq!(pipe.backend_name(), BackendKind::Eclat.name());
         assert_eq!(pipe.window().capacity(), 16);
+        assert_eq!(pipe.defense().kind(), DefenseKind::Butterfly);
+    }
+
+    #[test]
+    fn pipeline_with_overrides_only_the_kind() {
+        let cfg = ServeConfig {
+            window: 16,
+            ..ServeConfig::default()
+        };
+        let pipe = cfg.pipeline_with("k", DefenseKind::Suppression);
+        assert_eq!(pipe.defense().kind(), DefenseKind::Suppression);
+        assert_eq!(pipe.window().capacity(), 16);
+    }
+
+    #[test]
+    fn invalid_defense_knobs_rejected_at_validate() {
+        let cfg = ServeConfig {
+            defense: DefenseSpec {
+                dp_budget: 0.0,
+                ..DefenseSpec::new(DefenseKind::PrivBasis)
+            },
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 }

@@ -28,6 +28,7 @@
 //! Wire protocol reference: [`protocol`]. Entry points: [`Server::bind`]
 //! and [`Client::connect`].
 
+mod binding;
 pub mod client;
 pub mod config;
 mod fanout;

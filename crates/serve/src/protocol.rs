@@ -5,6 +5,7 @@
 //! | op          | fields                                   | reply |
 //! |-------------|------------------------------------------|-------|
 //! | `ingest`    | `stream`, `items` *or* `batch`           | `{"ok":true,"accepted":n}` or `{"ok":false,"error":"overloaded","accepted":a,"shed":s}` |
+//! | `bind`      | `stream`, `defense`                      | `{"ok":true,"stream":k,"defense":d}`; must precede the stream's first ingest |
 //! | `subscribe` | `stream`                                 | `{"ok":true,"stream":k}`, then events |
 //! | `stats`     | —                                        | per-shard counters |
 //! | `ping`      | —                                        | `{"ok":true,"pong":true}` |
@@ -30,7 +31,7 @@
 //! that reconstruction, verifying each snapshot it was already synced for).
 
 use bfly_common::{Error, ItemSet, Json, Result};
-use bfly_core::{ReleaseDelta, SanitizedRelease};
+use bfly_core::{DefenseKind, ReleaseDelta, SanitizedRelease};
 use std::collections::BTreeMap;
 
 /// A parsed client request.
@@ -43,6 +44,15 @@ pub enum Request {
         stream: String,
         /// Transactions, in arrival order.
         batch: Vec<ItemSet>,
+    },
+    /// Bind one stream to a non-default privacy defense. Must arrive before
+    /// the stream's first accepted ingest (a pipeline's defense is fixed at
+    /// creation); later binds are rejected.
+    Bind {
+        /// Stream key (tenant id).
+        stream: String,
+        /// Defense the stream's releases will be published under.
+        defense: DefenseKind,
     },
     /// Turn this connection into a subscriber of a stream's releases.
     Subscribe {
@@ -77,6 +87,17 @@ impl Request {
                 };
                 Ok(Request::Ingest { stream, batch })
             }
+            "bind" => {
+                let stream = required_stream(v)?;
+                let name = v
+                    .get("defense")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| Error::Parse("bind missing \"defense\"".into()))?;
+                // Unknown names die here with the valid list — the wire
+                // twin of the CLI's --defense validation.
+                let defense = name.parse::<DefenseKind>()?;
+                Ok(Request::Bind { stream, defense })
+            }
             "subscribe" => Ok(Request::Subscribe {
                 stream: required_stream(v)?,
             }),
@@ -98,6 +119,11 @@ impl Request {
                     "batch",
                     Json::Arr(batch.iter().map(itemset_to_json).collect()),
                 ),
+            ]),
+            Request::Bind { stream, defense } => Json::obj([
+                ("op", Json::from("bind")),
+                ("stream", Json::from(stream.as_str())),
+                ("defense", Json::from(defense.name())),
             ]),
             Request::Subscribe { stream } => Json::obj([
                 ("op", Json::from("subscribe")),
@@ -414,6 +440,13 @@ mod tests {
                 "{\"op\":\"subscribe\",\"stream\":\"k\"}",
                 Request::Subscribe { stream: "k".into() },
             ),
+            (
+                "{\"op\":\"bind\",\"stream\":\"k\",\"defense\":\"privbasis\"}",
+                Request::Bind {
+                    stream: "k".into(),
+                    defense: DefenseKind::PrivBasis,
+                },
+            ),
         ] {
             assert_eq!(
                 Request::from_json(&Json::parse(text).unwrap()).unwrap(),
@@ -433,9 +466,27 @@ mod tests {
             "{\"op\":\"ingest\",\"stream\":\"s\",\"items\":[-1]}",
             "{\"op\":\"ingest\",\"stream\":\"s\",\"batch\":[7]}",
             "{\"op\":\"subscribe\"}",
+            "{\"op\":\"bind\",\"stream\":\"k\"}",
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn bind_round_trips_and_rejects_unknown_defense_with_valid_list() {
+        let req = Request::Bind {
+            stream: "t1".into(),
+            defense: DefenseKind::Suppression,
+        };
+        let back = Request::from_json(&Json::parse(&req.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        let bad = Json::parse("{\"op\":\"bind\",\"stream\":\"k\",\"defense\":\"rot13\"}").unwrap();
+        let err = Request::from_json(&bad).unwrap_err().to_string();
+        assert!(err.contains("unknown defense"), "got {err}");
+        for kind in DefenseKind::ALL {
+            assert!(err.contains(kind.name()), "{err} missing {kind}");
         }
     }
 

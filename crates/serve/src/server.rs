@@ -23,6 +23,7 @@
 //! 4. [`Server::join`] reaps every thread. No buffer anywhere is unbounded
 //!    at any point in this sequence.
 
+use crate::binding::DefenseBindings;
 use crate::config::{fnv1a, ServeConfig};
 use crate::fanout::{OutLine, SubscriberRegistry};
 use crate::protocol::{error_reply, ingest_ok, ingest_overloaded, Request};
@@ -52,6 +53,7 @@ struct Shared {
     ingress: RwLock<Option<Vec<ShardIngress>>>,
     stats: Vec<Arc<ShardStats>>,
     registry: Arc<SubscriberRegistry>,
+    bindings: Arc<DefenseBindings>,
     conn_seq: AtomicU64,
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -106,14 +108,20 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(SubscriberRegistry::new());
+        let bindings = Arc::new(DefenseBindings::default());
         let stats: Vec<Arc<ShardStats>> = (0..cfg.shards)
             .map(|_| Arc::new(ShardStats::default()))
             .collect();
         let mut ingress = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         for (i, shard_stats) in stats.iter().enumerate() {
-            let (handle, worker) =
-                spawn_shard(i, cfg.clone(), registry.clone(), shard_stats.clone());
+            let (handle, worker) = spawn_shard(
+                i,
+                cfg.clone(),
+                registry.clone(),
+                shard_stats.clone(),
+                bindings.clone(),
+            );
             ingress.push(handle);
             workers.push(worker);
         }
@@ -124,6 +132,7 @@ impl Server {
             ingress: RwLock::new(Some(ingress)),
             stats,
             registry,
+            bindings,
             conn_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
         });
@@ -283,6 +292,20 @@ fn dispatch(conn_id: u64, frame: &Json, out: &SyncSender<OutLine>, shared: &Shar
                 ]),
             )
             .is_ok()
+        }
+        Request::Bind { stream, defense } => {
+            // The defense name already parsed (unknown names were rejected
+            // with the valid list); what can still fail is the timing — the
+            // stream's pipeline must not exist yet.
+            let reply = match shared.bindings.bind(&stream, defense) {
+                Ok(()) => Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("stream", Json::from(stream.as_str())),
+                    ("defense", Json::from(defense.name())),
+                ]),
+                Err(e) => error_reply(&e),
+            };
+            send_line(out, reply).is_ok()
         }
         Request::Ingest { stream, batch } => {
             let reply = {

@@ -20,12 +20,13 @@
 //! pipeline — publishing any full window with records pending since its
 //! last release — and closes the key's subscribers with a `closed` event.
 
+use crate::binding::DefenseBindings;
 use crate::config::ServeConfig;
 use crate::fanout::SubscriberRegistry;
 use crate::protocol::{closed_event, release_delta_event, release_event};
 use crate::stats::ShardStats;
 use bfly_common::{ItemSet, Transaction};
-use bfly_core::{StreamPipeline, WindowRelease};
+use bfly_core::{PrivacyDefense, StreamPipeline, WindowRelease};
 use bfly_mining::MinerBackend;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -80,6 +81,7 @@ pub(crate) fn spawn_shard(
     cfg: ServeConfig,
     registry: Arc<SubscriberRegistry>,
     stats: Arc<ShardStats>,
+    bindings: Arc<DefenseBindings>,
 ) -> (ShardIngress, JoinHandle<()>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_cap);
     let ingress = ShardIngress {
@@ -88,7 +90,7 @@ pub(crate) fn spawn_shard(
     };
     let handle = std::thread::Builder::new()
         .name(format!("bfly-shard-{idx}"))
-        .spawn(move || worker(cfg, rx, registry, stats))
+        .spawn(move || worker(cfg, rx, registry, stats, bindings))
         .expect("spawn shard worker");
     (ingress, handle)
 }
@@ -97,7 +99,7 @@ pub(crate) fn spawn_shard(
 /// delta protocol needs (how many publications so far, and the stream
 /// position of the previous one — every delta's `base_len`).
 struct KeyState {
-    pipe: StreamPipeline<Box<dyn MinerBackend>>,
+    pipe: StreamPipeline<Box<dyn MinerBackend>, Box<dyn PrivacyDefense>>,
     published: u64,
     last_len: u64,
 }
@@ -135,6 +137,7 @@ fn worker(
     rx: Receiver<Job>,
     registry: Arc<SubscriberRegistry>,
     stats: Arc<ShardStats>,
+    bindings: Arc<DefenseBindings>,
 ) {
     let mut pipelines: HashMap<Arc<str>, KeyState> = HashMap::new();
     while let Ok(job) = rx.recv() {
@@ -143,8 +146,12 @@ fn worker(
             Job::Ingest { key, items } => {
                 let state = pipelines.entry(key.clone()).or_insert_with(|| {
                     ShardStats::add(&stats.keys, 1);
+                    // First ingest materializes the pipeline and seals the
+                    // key's bind window: a recorded override wins, else the
+                    // config's default defense applies.
+                    let kind = bindings.materialize(&key).unwrap_or(cfg.defense.kind);
                     KeyState {
-                        pipe: cfg.pipeline_for(&key),
+                        pipe: cfg.pipeline_with(&key, kind),
                         published: 0,
                         last_len: 0,
                     }
@@ -193,6 +200,7 @@ mod tests {
             epsilon: 0.2,
             delta: 0.5,
             scheme: bfly_core::BiasScheme::Basic,
+            defense: bfly_core::DefenseSpec::butterfly(),
             backend: BackendKind::Moment,
             every: 2,
             snapshot_every: 1,
@@ -207,7 +215,13 @@ mod tests {
         let cfg = tiny_cfg();
         let registry = Arc::new(SubscriberRegistry::new());
         let stats = Arc::new(ShardStats::default());
-        let (ingress, handle) = spawn_shard(0, cfg, registry.clone(), stats.clone());
+        let (ingress, handle) = spawn_shard(
+            0,
+            cfg,
+            registry.clone(),
+            stats.clone(),
+            Arc::new(DefenseBindings::default()),
+        );
         let (sub_tx, sub_rx) = sync_channel(64);
         registry.subscribe("k", 1, sub_tx);
 
@@ -245,7 +259,13 @@ mod tests {
     fn drive(cfg: ServeConfig) -> Vec<String> {
         let registry = Arc::new(SubscriberRegistry::new());
         let stats = Arc::new(ShardStats::default());
-        let (ingress, handle) = spawn_shard(0, cfg, registry.clone(), stats.clone());
+        let (ingress, handle) = spawn_shard(
+            0,
+            cfg,
+            registry.clone(),
+            stats.clone(),
+            Arc::new(DefenseBindings::default()),
+        );
         let (sub_tx, sub_rx) = sync_channel(64);
         registry.subscribe("k", 1, sub_tx);
         let key: Arc<str> = Arc::from("k");
@@ -311,6 +331,40 @@ mod tests {
         }
         assert_eq!(oracle.stream_len(), Some(11));
         assert_eq!(sub.entries(), oracle.entries());
+    }
+
+    #[test]
+    fn delta_cadence_reconstructs_under_every_defense() {
+        // Satellite invariant: the snapshot/delta wire cadence is defense-
+        // agnostic. For each backend, a mixed delta+snapshot subscriber must
+        // reconstruct exactly the state a snapshot-only subscriber sees.
+        for kind in bfly_core::DefenseKind::ALL {
+            let base = ServeConfig {
+                defense: bfly_core::DefenseSpec::new(kind),
+                ..tiny_cfg()
+            };
+            let delta_lines = drive(ServeConfig {
+                snapshot_every: 3,
+                ..base.clone()
+            });
+            let snap_lines = drive(base);
+            let mut sub = SubscriberState::new();
+            for l in &delta_lines {
+                sub.observe(&Json::parse(l).unwrap()).unwrap();
+            }
+            let mut oracle = SubscriberState::new();
+            for l in &snap_lines {
+                oracle.observe(&Json::parse(l).unwrap()).unwrap();
+            }
+            assert_eq!(oracle.stream_len(), Some(11), "{kind}: wrong cadence");
+            assert_eq!(sub.stream_len(), oracle.stream_len(), "{kind}");
+            assert_eq!(
+                sub.entries(),
+                oracle.entries(),
+                "{kind}: delta reconstruction diverged from snapshots"
+            );
+            assert!(sub.deltas_applied >= 1, "{kind}: no deltas ridden");
+        }
     }
 
     #[test]

@@ -15,11 +15,15 @@
 #    clients at 1 shard and at 4 shards; throughput + latency percentiles
 #    APPEND to BENCH_serve.json (entries record the host's core count —
 #    shard scaling is only meaningful with >1 core).
-# 3. The dependency-free overhead + mining micro-benchmark harnesses, run
+# 3. defbench: the cross-defense evaluation matrix — every registered
+#    PrivacyDefense published over the same mined stream and attacked by
+#    the same inference engine; prig/pred/utility/attack-MSE plus publish
+#    cost APPEND to BENCH_defense.json.
+# 4. The dependency-free overhead + mining micro-benchmark harnesses, run
 #    once at BFLY_THREADS=1 and once at the full worker count, for the
 #    per-stage context numbers.
 #
-# Pass --quick to skip step 3.
+# Pass --quick to skip step 4.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +40,9 @@ cargo run -q --release -p bfly-bench --bin parbench -- --reps "${REPS}" \
 echo "==> loadgen (1-shard vs 4-shard phases, appends to BENCH_serve.json)"
 cargo run -q --release -p bfly-bench --bin loadgen -- --out BENCH_serve.json
 
+echo "==> defbench (cross-defense matrix, appends to BENCH_defense.json)"
+cargo run -q --release -p bfly-bench --bin defbench -- --out BENCH_defense.json
+
 if [[ "${1:-}" != "--quick" ]]; then
   for bench in overhead mining; do
     echo "==> bench ${bench} (1 thread)"
@@ -45,4 +52,4 @@ if [[ "${1:-}" != "--quick" ]]; then
   done
 fi
 
-echo "==> appended run entries to BENCH_parallel.json, BENCH_support.json, and BENCH_release.json"
+echo "==> appended run entries to BENCH_parallel.json, BENCH_support.json, BENCH_release.json, and BENCH_defense.json"

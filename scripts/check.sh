@@ -57,4 +57,50 @@ grep -q 'watch t0: synced=true' "$WATCH_LOG" \
 wait "$SERVE_PID"   # exits 0 only after a clean drain
 trap - EXIT
 
+echo "==> cross-defense smoke (CLI + serve + matrix, each registered defense)"
+SMOKE_DIR=target/defense.smoke
+mkdir -p "$SMOKE_DIR"
+target/release/butterfly gen --profile webview1 --count 600 --seed 7 \
+  --out "$SMOKE_DIR/stream.dat"
+for DEFENSE in butterfly privbasis suppress; do
+  # Same stream, same seed, twice: every defense must be bit-reproducible.
+  for RUN in a b; do
+    target/release/butterfly protect --input "$SMOKE_DIR/stream.dat" \
+      --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --delta 0.5 \
+      --every 40 --seed 11 --defense "$DEFENSE" \
+      --out "$SMOKE_DIR/$DEFENSE.$RUN.jsonl" 2>/dev/null
+  done
+  cmp "$SMOKE_DIR/$DEFENSE.a.jsonl" "$SMOKE_DIR/$DEFENSE.b.jsonl" \
+    || { echo "defense $DEFENSE is not reproducible"; exit 1; }
+  # Boot a server with the defense as the default and drive it once.
+  PORT_FILE="$SMOKE_DIR/$DEFENSE.port"
+  rm -f "$PORT_FILE"
+  target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
+    --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 \
+    --defense "$DEFENSE" &
+  SERVE_PID=$!
+  trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+  for _ in $(seq 1 100); do
+    [[ -s "$PORT_FILE" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$PORT_FILE" ]] || { echo "serve --defense $DEFENSE never came up"; exit 1; }
+  cargo run -q --release -p bfly-bench --bin loadgen -- --quick --shutdown \
+    --addr "$(cat "$PORT_FILE")" --out "$SMOKE_DIR/$DEFENSE.serve.json"
+  wait "$SERVE_PID"
+  trap - EXIT
+done
+# Unknown defenses must be rejected with the valid-name list, not applied.
+if target/release/butterfly protect --input "$SMOKE_DIR/stream.dat" \
+  --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --delta 0.5 \
+  --defense rot13 2>"$SMOKE_DIR/unknown.err"; then
+  echo "unknown --defense was accepted"; exit 1
+fi
+grep -q 'unknown defense' "$SMOKE_DIR/unknown.err" \
+  || { echo "unknown --defense error lacks the defense name list"; exit 1; }
+
+echo "==> defense matrix smoke (scratch output under target/)"
+cargo run -q --release -p bfly-bench --bin defbench -- --quick \
+  --out target/BENCH_defense.smoke.json
+
 echo "==> all checks passed"

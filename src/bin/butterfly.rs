@@ -14,7 +14,9 @@
 //! deployment would have. `serve` exposes the same pipeline as a sharded
 //! multi-tenant TCP service (see `bfly_serve`).
 
-use butterfly_repro::butterfly::{BiasScheme, PrivacySpec, Publisher, StreamPipeline};
+use butterfly_repro::butterfly::{
+    BiasScheme, DefenseKind, DefenseSpec, PrivacyDefense, PrivacySpec, StreamPipeline,
+};
 use butterfly_repro::common::{io as dat, Database, Json};
 use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::inference::find_intra_window_breaches;
@@ -84,17 +86,22 @@ USAGE:
                     --epsilon <E> --delta <D> [--scheme <basic|order|ratio|hybrid>]
                     [--backend <moment|apriori|eclat|fpgrowth|charm|closed|fpstream|damped>]
                     [--lambda <L>] [--gamma <G>] [--every <N>] [--seed <S>] [--incremental]
+                    [--defense <butterfly|privbasis|suppress>] [--dp-budget <E>] [--dp-top-k <N>]
                     [--out <file.jsonl>]
   butterfly serve   [--addr <ip:port>] [--shards <N>] [--window <H>] [--min-support <C>]
                     [--vulnerable <K>] [--epsilon <E>] [--delta <D>] [--scheme <...>]
                     [--backend <...>] [--lambda <L>] [--gamma <G>] [--every <N>]
                     [--snapshot-every <N>] [--seed <S>] [--queue-cap <N>] [--out-queue-cap <N>]
-                    [--port-file <path>]
+                    [--port-file <path>] [--defense <...>] [--dp-budget <E>] [--dp-top-k <N>]
 
 `protect --incremental` runs the delta-maintained release engine (identical
 output, faster on overlapping windows; cache counters go to stderr).
 `serve --snapshot-every N` (N > 1) ships a release_delta event per
 publication plus a full release snapshot every N-th one.
+`--defense` swaps the publication stage: butterfly (default; FEC bias +
+noise), privbasis (ε-DP top-k with --dp-budget/--dp-top-k), or suppress
+(sensitive-itemset hiding at exact supports). Serve clients can override
+per stream with a `bind` request before the stream's first ingest.
 
 Every command also accepts --threads <N> to pin the worker-thread count of
 the parallel phases (default: BFLY_THREADS, else all hardware threads;
@@ -157,6 +164,9 @@ const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
             ("every", true),
             ("seed", true),
             ("incremental", false),
+            ("defense", true),
+            ("dp-budget", true),
+            ("dp-top-k", true),
             ("out", true),
         ],
     ),
@@ -180,6 +190,9 @@ const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
             ("queue-cap", true),
             ("out-queue-cap", true),
             ("port-file", true),
+            ("defense", true),
+            ("dp-budget", true),
+            ("dp-top-k", true),
         ],
     ),
 ];
@@ -252,6 +265,26 @@ fn out_writer(flags: &Flags) -> Result<Box<dyn Write>, String> {
         )),
         None => Box::new(BufWriter::new(std::io::stdout().lock())),
     })
+}
+
+/// Shared by `protect` and `serve`: `--defense` plus the PrivBasis knobs.
+/// Unknown names are rejected at parse time with the valid list — the same
+/// bind-time UX as unknown flags and `PrivacySpec::checked`.
+fn parse_defense(flags: &Flags) -> Result<DefenseSpec, String> {
+    let kind: DefenseKind = flags
+        .get("defense")
+        .map_or(DefenseKind::Butterfly.name(), String::as_str)
+        .parse()
+        .map_err(|e: butterfly_repro::common::Error| e.to_string())?;
+    let mut dspec = DefenseSpec::new(kind);
+    if let Some(v) = flags.get("dp-budget") {
+        dspec.dp_budget = parse(v, "dp-budget")?;
+    }
+    if let Some(v) = flags.get("dp-top-k") {
+        dspec.dp_top_k = parse(v, "dp-top-k")?;
+    }
+    dspec.validate()?;
+    Ok(dspec)
 }
 
 /// Shared by `protect` and `serve`: `--scheme` plus its `--lambda`/`--gamma`
@@ -379,14 +412,11 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
         .map_or("moment", String::as_str)
         .parse()
         .map_err(|e: butterfly_repro::common::Error| e.to_string())?;
+    let dspec = parse_defense(flags)?;
     let spec = PrivacySpec::new(c, k, epsilon, delta);
     let incremental = flags.contains_key("incremental");
-    let publisher = if incremental {
-        Publisher::new_incremental(spec, scheme, seed)
-    } else {
-        Publisher::new(spec, scheme, seed)
-    };
-    let mut pipeline = StreamPipeline::from_kind(window, backend, publisher);
+    let defense = dspec.build(spec, scheme, seed, incremental);
+    let mut pipeline = StreamPipeline::from_parts(window, backend, defense);
 
     let mut out = out_writer(flags)?;
     let mut published = 0usize;
@@ -404,13 +434,20 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
     }
     out.flush().map_err(|e| e.to_string())?;
     eprintln!(
-        "published {published} sanitized windows (C={c}, K={k}, ε={epsilon}, δ={delta}, {}, backend {})",
+        "published {published} sanitized windows (C={c}, K={k}, ε={epsilon}, δ={delta}, {}, backend {}, defense {})",
         scheme.name(),
-        backend.name()
+        backend.name(),
+        dspec.kind
     );
-    if let Some((reuse, warm, full)) = pipeline.publisher().incremental_stats() {
+    if let Some((reuse, warm, full)) = pipeline.defense().incremental_stats() {
         eprintln!(
             "incremental engine: {reuse} windows fully reused the DP cache, {warm} warm-started, {full} solved from scratch"
+        );
+    }
+    if let Some(s) = pipeline.defense().suppression_stats() {
+        eprintln!(
+            "suppression: {} breaches closed by removing {} itemsets ({} survived)",
+            s.breaches_found, s.suppressed, s.published
         );
     }
     Ok(())
@@ -452,6 +489,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cfg.out_queue_cap = parse(v, "out-queue-cap")?;
     }
     cfg.scheme = parse_scheme(flags)?;
+    cfg.defense = parse_defense(flags)?;
     if let Some(v) = flags.get("backend") {
         cfg.backend = v
             .parse()

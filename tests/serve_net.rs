@@ -388,6 +388,131 @@ fn overload_sheds_explicitly_with_accurate_accounting() {
     server.join();
 }
 
+/// The `bind` wire op end to end: a stream bound to a non-default defense
+/// before its first ingest publishes exactly what an in-process pipeline
+/// built with that defense publishes, streams on the same server keep the
+/// config default, and a bind arriving after the stream is active is
+/// rejected (a pipeline's defense is a creation-time property).
+#[test]
+fn bind_overrides_one_streams_defense_before_first_ingest() {
+    use butterfly_repro::butterfly::DefenseKind;
+    let cfg = feasible_cfg();
+    let records: Vec<ItemSet> = DatasetProfile::WebView1
+        .source(5)
+        .take_vec(130)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+
+    // In-process references: "alpha" under the bound suppression defense,
+    // "beta" under the config default (Butterfly).
+    let replay = |key: &str, kind: DefenseKind| -> Vec<String> {
+        let mut pipe = cfg.pipeline_with(key, kind);
+        let mut lines = Vec::new();
+        for items in &records {
+            pipe.advance(butterfly_repro::common::Transaction::new(0, items.clone()));
+            if pipe.window().is_full() && pipe.since_publish() >= cfg.every {
+                let r = pipe.publish_now().expect("full window");
+                lines.push(release_event(key, r.stream_len, &r.release).to_string());
+            }
+        }
+        if let Some(r) = pipe.flush() {
+            lines.push(release_event(key, r.stream_len, &r.release).to_string());
+        }
+        lines
+    };
+    let expected_alpha = replay("alpha", DefenseKind::Suppression);
+    let expected_beta = replay("beta", cfg.defense.kind);
+    assert_ne!(
+        expected_alpha, expected_beta,
+        "the override must actually change the output"
+    );
+
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut control = Client::connect(addr).expect("control connect");
+    let ack = control
+        .request(&Request::Bind {
+            stream: "alpha".into(),
+            defense: DefenseKind::Suppression,
+        })
+        .expect("bind ack");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)), "got {ack}");
+    assert_eq!(ack.get("defense").and_then(Json::as_str), Some("suppress"));
+
+    let subscribe = |key: &str| -> Client {
+        let mut c = Client::connect(addr).expect("subscriber connect");
+        c.request(&Request::Subscribe { stream: key.into() })
+            .expect("subscribe ack");
+        c
+    };
+    let mut sub_alpha = subscribe("alpha");
+    let mut sub_beta = subscribe("beta");
+
+    for key in ["alpha", "beta"] {
+        let reply = control
+            .request(&Request::Ingest {
+                stream: key.into(),
+                batch: records.clone(),
+            })
+            .expect("ingest reply");
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    // Both streams are active now: re-binding either must be refused.
+    loop {
+        let stats = control.request(&Request::Stats).expect("stats");
+        let processed: u64 = stats
+            .get("per_shard")
+            .and_then(Json::as_array)
+            .expect("per_shard")
+            .iter()
+            .map(|s| s.get("processed").and_then(Json::as_u64).unwrap_or(0))
+            .sum();
+        if processed >= 2 * records.len() as u64 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let refused = control
+        .request(&Request::Bind {
+            stream: "alpha".into(),
+            defense: DefenseKind::PrivBasis,
+        })
+        .expect("late bind reply");
+    assert_eq!(refused.get("ok"), Some(&Json::Bool(false)));
+    assert!(
+        refused
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("already active")),
+        "got {refused}"
+    );
+
+    control.request(&Request::Shutdown).expect("shutdown");
+    let drain = |client: &mut Client| -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let line = client.next_line().expect("read").expect("closed first");
+            if line.get("event").and_then(Json::as_str) == Some("closed") {
+                return lines;
+            }
+            lines.push(line.to_string());
+        }
+    };
+    assert_eq!(
+        drain(&mut sub_alpha),
+        expected_alpha,
+        "bound stream diverged from the in-process suppression replay"
+    );
+    assert_eq!(
+        drain(&mut sub_beta),
+        expected_beta,
+        "unbound stream must keep the config default defense"
+    );
+    server.join();
+}
+
 /// Protocol edges over a raw socket: ping, stats shape, unknown ops,
 /// malformed lines (recoverable), oversized lines (fatal), and ingest
 /// rejection during drain.
