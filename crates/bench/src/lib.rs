@@ -17,10 +17,11 @@ pub mod timing;
 pub mod tuning;
 
 pub use defense::{defense_matrix, evaluate_defense, DefenseEval};
-pub use record::{append_run, epoch_seconds};
+pub use record::{append_run, epoch_seconds, host_cores};
 pub use runner::{
-    audit_breaches_scan, audit_breaches_vertical, collect_truths, evaluate_cells, evaluate_scheme,
-    support_workload, EvalResult, ExperimentConfig, WindowTruth,
+    audit_breaches_scan, audit_breaches_scan_warm, audit_breaches_vertical,
+    audit_breaches_vertical_warm, collect_truths, evaluate_cells, evaluate_scheme,
+    prepare_audit_replay, support_workload, AuditReplay, EvalResult, ExperimentConfig, WindowTruth,
 };
 pub use table::{write_csv, Table};
 pub use timing::bench;

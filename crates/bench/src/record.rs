@@ -8,6 +8,12 @@ use bfly_common::Json;
 /// Append `run` to the `runs` array of the JSON document at `path`,
 /// creating the document if absent. A legacy flat-object file (pre-append
 /// format) is preserved as the first run entry.
+///
+/// Every appended run is stamped with `ts` (epoch seconds) and `cores`
+/// (host parallelism) when the caller didn't set them, so no future run
+/// can land unstamped the way the first BENCH_parallel.json entry did.
+/// Pre-existing runs are left exactly as written — readers must tolerate
+/// entries without `ts`/`cores`.
 pub fn append_run(path: &str, run: Json) {
     let mut runs: Vec<Json> = std::fs::read_to_string(path)
         .ok()
@@ -17,10 +23,28 @@ pub fn append_run(path: &str, run: Json) {
             None => vec![doc],
         })
         .unwrap_or_default();
-    runs.push(run);
+    runs.push(stamp_run(run));
     let doc = Json::obj([("runs", Json::Arr(runs))]);
     std::fs::write(path, format!("{doc}\n")).expect("write benchmark json");
     println!("appended run to {path}");
+}
+
+/// Host logical-core count (1 if undeterminable), for the `cores` stamp.
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+/// Fill in `ts` and `cores` on a run object unless the caller already set
+/// them. Non-object runs are passed through untouched.
+fn stamp_run(run: Json) -> Json {
+    let Json::Obj(mut map) = run else { return run };
+    map.entry("ts".to_string())
+        .or_insert_with(|| Json::from(epoch_seconds()));
+    map.entry("cores".to_string())
+        .or_insert_with(|| Json::from(host_cores()));
+    Json::Obj(map)
 }
 
 /// Seconds since the Unix epoch, for the run entries' `ts` field.
@@ -52,6 +76,28 @@ mod tests {
         append_run(path, Json::obj([("new", Json::from(3u64))]));
         let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(doc.get("runs").unwrap().as_array().unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_run_stamps_ts_and_cores_without_clobbering() {
+        let dir = std::env::temp_dir().join(format!("bfly-record-stamp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+        append_run(path, Json::obj([("metric", Json::from(7u64))]));
+        append_run(
+            path,
+            Json::obj([("ts", Json::from(42u64)), ("cores", Json::from(99u64))]),
+        );
+        let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        // Unstamped run gained both fields...
+        assert!(runs[0].get("ts").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(runs[0].get("cores").unwrap().as_u64(), Some(host_cores()));
+        // ...while caller-provided values survive.
+        assert_eq!(runs[1].get("ts").unwrap().as_u64(), Some(42));
+        assert_eq!(runs[1].get("cores").unwrap().as_u64(), Some(99));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -70,13 +70,77 @@ fn default_threads() -> usize {
     })
 }
 
+/// How many chunks each worker should get on average under dynamic
+/// scheduling: enough slack for load balancing, few enough that per-chunk
+/// dispatch overhead (one atomic RMW + one result splice) is amortized
+/// over many items.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// What the last pool dispatch actually did: the work-unit coarseness the
+/// scheduler chose and the workers it ran. `parbench` reads this after each
+/// stage so the committed records show per-stage chunk granularity instead
+/// of leaving it to be inferred from timings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Items in the mapped slice.
+    pub items: usize,
+    /// Contiguous items handed to a worker per scheduling step.
+    pub chunk_len: usize,
+    /// Number of chunks dispatched (`ceil(items / chunk_len)`).
+    pub chunks: usize,
+    /// Workers that ran (1 = serial on the calling thread).
+    pub workers: usize,
+}
+
+static MAX_ITEMS: AtomicUsize = AtomicUsize::new(0);
+static MAX_CHUNK_LEN: AtomicUsize = AtomicUsize::new(0);
+static MAX_CHUNKS: AtomicUsize = AtomicUsize::new(0);
+static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+fn record_dispatch(d: Dispatch) {
+    // Keep the *widest* fan-out since the last reset: a stage often ends
+    // on a small (or empty) trailing dispatch, and the dominant fan-out is
+    // the one whose chunking matters.
+    if d.items >= MAX_ITEMS.load(Ordering::Relaxed) {
+        MAX_ITEMS.store(d.items, Ordering::Relaxed);
+        MAX_CHUNK_LEN.store(d.chunk_len, Ordering::Relaxed);
+        MAX_CHUNKS.store(d.chunks, Ordering::Relaxed);
+        MAX_WORKERS.store(d.workers, Ordering::Relaxed);
+    }
+}
+
+/// Forget dispatch telemetry, so the next [`last_dispatch`] reflects only
+/// fan-outs issued after this call.
+pub fn reset_dispatch() {
+    MAX_ITEMS.store(0, Ordering::Relaxed);
+    MAX_CHUNK_LEN.store(0, Ordering::Relaxed);
+    MAX_CHUNKS.store(0, Ordering::Relaxed);
+    MAX_WORKERS.store(0, Ordering::Relaxed);
+}
+
+/// The widest [`par_map`]/[`par_map_min_chunk`] dispatch since the last
+/// [`reset_dispatch`] (telemetry; racy under concurrent dispatches by
+/// design — the fields may mix two same-width dispatches).
+pub fn last_dispatch() -> Dispatch {
+    Dispatch {
+        items: MAX_ITEMS.load(Ordering::Relaxed),
+        chunk_len: MAX_CHUNK_LEN.load(Ordering::Relaxed),
+        chunks: MAX_CHUNKS.load(Ordering::Relaxed),
+        workers: MAX_WORKERS.load(Ordering::Relaxed),
+    }
+}
+
 /// Map `f` over `items` in parallel, returning results in input order.
 ///
-/// Scheduling is dynamic (workers pull the next index from a shared atomic
-/// counter), so uneven tasks balance well; the output order is the input
-/// order regardless of which worker computed what. With an effective thread
-/// count of 1, or fewer than two items, this is a plain serial `map` on the
-/// calling thread.
+/// Scheduling is dynamic over **coarse contiguous chunks**: workers pull
+/// the next chunk index from a shared atomic counter, with the chunk length
+/// sized so each worker sees ~[`CHUNKS_PER_WORKER`] chunks — one atomic RMW
+/// per chunk instead of per item, which is what lets fine-grained workloads
+/// (per-candidate counting, per-FEC noise) go through the pool without the
+/// dispatch overhead eating the win. Output order is input order regardless
+/// of which worker computed what, so the chunk size is a throughput knob,
+/// never a semantics knob. With an effective thread count of 1, or fewer
+/// than two items, this is a plain serial `map` on the calling thread.
 ///
 /// Panics in `f` are propagated to the caller after all workers are joined.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -85,8 +149,44 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_min_chunk(items, 1, f)
+}
+
+/// [`par_map`] with a floor on the chunk length: no worker is ever handed
+/// fewer than `min_chunk` contiguous items per scheduling step. Use it for
+/// workloads whose per-item cost is tiny (a few hundred nanoseconds) so
+/// the candidate-batch granularity, not the itemset granularity, is the
+/// unit of scheduling. Inputs shorter than `min_chunk` run serially.
+pub fn par_map_min_chunk<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let min_chunk = min_chunk.max(1);
     let threads = current_threads().min(items.len());
-    if threads <= 1 {
+    if threads <= 1 || items.len() <= min_chunk {
+        record_dispatch(Dispatch {
+            items: items.len(),
+            chunk_len: items.len(),
+            chunks: usize::from(!items.is_empty()),
+            workers: 1,
+        });
+        return items.iter().map(&f).collect();
+    }
+    let chunk_len = items
+        .len()
+        .div_ceil(threads * CHUNKS_PER_WORKER)
+        .max(min_chunk);
+    let chunks = items.len().div_ceil(chunk_len);
+    let workers = threads.min(chunks);
+    record_dispatch(Dispatch {
+        items: items.len(),
+        chunk_len,
+        chunks,
+        workers,
+    });
+    if workers <= 1 {
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
@@ -95,16 +195,20 @@ where
     let f = &f;
     let next = &next;
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        let lo = c * chunk_len;
+                        if lo >= items.len() {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        let hi = (lo + chunk_len).min(items.len());
+                        for (i, item) in items[lo..hi].iter().enumerate() {
+                            local.push((lo + i, f(item)));
+                        }
                     }
                     local
                 })

@@ -24,6 +24,14 @@
 //!
 //! Counting costs `O(|I| · H/64)` per itemset instead of `O(H · |I|)`
 //! comparisons with branchy merges; `BENCH_support.json` tracks the ratio.
+//!
+//! The word loops themselves live in [`kernel`]: explicitly unrolled
+//! `u64x8` lanes with runtime-detected SIMD codegen and cache-blocked
+//! multi-operand intersection. Every in-place op maintains the invariant
+//! that bits past `capacity` are zero (debug-asserted after each one), so
+//! the cached popcount can never be inflated by a stale tail word.
+
+pub mod kernel;
 
 use crate::transaction::Tid;
 use crate::{Database, Item, ItemSet, ItemsetId, Pattern, Support, Transaction, WindowDelta};
@@ -107,37 +115,75 @@ impl TidBitmap {
         slot < self.capacity && self.words[slot / 64] & (1u64 << (slot % 64)) != 0
     }
 
+    /// Mask covering the valid bits of the last word (all-ones when the
+    /// capacity is word-aligned).
+    #[inline]
+    fn tail_mask(&self) -> u64 {
+        match self.capacity % 64 {
+            0 => u64::MAX,
+            r => (1u64 << r) - 1,
+        }
+    }
+
+    /// Clear any bits past `capacity` in the last word. The in-place ops
+    /// preserve a clear tail on their own (AND/AND-NOT shrink, OR of two
+    /// clear tails stays clear); this is the belt-and-braces mask applied
+    /// where foreign words enter wholesale, so a stale tail can never
+    /// inflate [`TidBitmap::count`].
+    #[inline]
+    fn mask_tail(&mut self) {
+        let mask = self.tail_mask();
+        if let Some(last) = self.words.last_mut() {
+            *last &= mask;
+        }
+    }
+
+    /// Debug invariant: no bit past `capacity` is set and the cached
+    /// popcount matches the words. Checked after every in-place op.
+    #[inline]
+    fn debug_assert_tail_clear(&self) {
+        debug_assert!(
+            self.words.last().is_none_or(|w| w & !self.tail_mask() == 0),
+            "bits past capacity {} are set",
+            self.capacity
+        );
+        debug_assert_eq!(
+            kernel::popcount(&self.words),
+            self.ones as u64,
+            "cached popcount diverged from the words"
+        );
+    }
+
     /// In-place intersection `self &= other`.
     pub fn intersect_with(&mut self, other: &TidBitmap) {
         debug_assert_eq!(self.capacity, other.capacity, "ring capacity mismatch");
-        let mut ones = 0u32;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-            ones += a.count_ones();
-        }
-        self.ones = ones;
+        self.ones = kernel::and_inplace_count(&mut self.words, &other.words) as u32;
+        self.debug_assert_tail_clear();
     }
 
     /// In-place difference `self &= !other`.
     pub fn subtract_with(&mut self, other: &TidBitmap) {
         debug_assert_eq!(self.capacity, other.capacity, "ring capacity mismatch");
-        let mut ones = 0u32;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-            ones += a.count_ones();
-        }
-        self.ones = ones;
+        self.ones = kernel::andnot_inplace_count(&mut self.words, &other.words) as u32;
+        self.debug_assert_tail_clear();
     }
 
     /// In-place union `self |= other`.
     pub fn union_with(&mut self, other: &TidBitmap) {
         debug_assert_eq!(self.capacity, other.capacity, "ring capacity mismatch");
-        let mut ones = 0u32;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-            ones += a.count_ones();
-        }
-        self.ones = ones;
+        kernel::or_inplace_count(&mut self.words, &other.words);
+        self.mask_tail();
+        self.ones = kernel::popcount(&self.words) as u32;
+        self.debug_assert_tail_clear();
+    }
+
+    /// Overwrite with `self = a & b` in one fused pass (the Eclat DFS step:
+    /// copy-then-intersect was two passes over the scratch buffer).
+    pub fn assign_and(&mut self, a: &TidBitmap, b: &TidBitmap) {
+        debug_assert_eq!(self.capacity, a.capacity, "ring capacity mismatch");
+        debug_assert_eq!(self.capacity, b.capacity, "ring capacity mismatch");
+        self.ones = kernel::assign_and_count(&mut self.words, &a.words, &b.words) as u32;
+        self.debug_assert_tail_clear();
     }
 
     /// Overwrite with `other`'s contents (no allocation when capacities
@@ -146,31 +192,24 @@ impl TidBitmap {
         debug_assert_eq!(self.capacity, other.capacity, "ring capacity mismatch");
         self.words.copy_from_slice(&other.words);
         self.ones = other.ones;
+        self.mask_tail();
+        self.debug_assert_tail_clear();
     }
 
     /// `|self & other|` without mutating either side.
     pub fn and_count(&self, other: &TidBitmap) -> usize {
         debug_assert_eq!(self.capacity, other.capacity, "ring capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernel::and_count(&self.words, &other.words) as usize
     }
 
-    /// Subset test `self ⊆ other`, early-exiting on the first word with a
-    /// bit of `self` not covered by `other`.
+    /// Subset test `self ⊆ other`, early-exiting on the first 8-word lane
+    /// step with a bit of `self` not covered by `other`.
     pub fn is_subset_of(&self, other: &TidBitmap) -> bool {
         debug_assert_eq!(self.capacity, other.capacity, "ring capacity mismatch");
         if self.ones > other.ones {
             return false;
         }
-        for (a, b) in self.words.iter().zip(&other.words) {
-            if a & !b != 0 {
-                return false;
-            }
-        }
-        true
+        kernel::is_subset(&self.words, &other.words)
     }
 
     /// Lowest set slot, if any.
@@ -381,6 +420,11 @@ impl VerticalIndex {
     /// Support `T(I)` of a positive itemset: intersect the item bitmaps in
     /// `scratch` and popcount. The empty itemset is supported by every live
     /// transaction, matching [`Database::support`].
+    ///
+    /// Two items take one fused AND+popcount pass with no scratch write;
+    /// wider probes run the cache-blocked [`kernel::and_many_count`], which
+    /// streams each scratch block through every operand while it is hot
+    /// instead of re-walking the full width once per item.
     pub fn support(&self, itemset: &ItemSet, scratch: &mut TidScratch) -> Support {
         let items = itemset.items();
         match items {
@@ -388,84 +432,67 @@ impl VerticalIndex {
             [single] => self
                 .item_bits(*single)
                 .map_or(0, |bits| bits.count() as Support),
+            [a, b] => {
+                let (Some(a), Some(b)) = (self.item_bits(*a), self.item_bits(*b)) else {
+                    return 0;
+                };
+                kernel::and_count(a.words(), b.words())
+            }
             [first, rest @ ..] => {
                 let Some(first_bits) = self.item_bits(*first) else {
                     return 0;
                 };
-                let words = scratch.prepare(first_bits.words().len());
-                words.copy_from_slice(first_bits.words());
-                let (last, mid) = rest.split_last().expect("len >= 2");
-                for item in mid {
+                let mut operands: Vec<&[u64]> = Vec::with_capacity(rest.len());
+                for item in rest {
                     let Some(bits) = self.item_bits(*item) else {
                         return 0;
                     };
-                    let mut any = 0u64;
-                    for (w, b) in words.iter_mut().zip(bits.words()) {
-                        *w &= b;
-                        any |= *w;
-                    }
-                    if any == 0 {
-                        return 0;
-                    }
+                    operands.push(bits.words());
                 }
-                let Some(bits) = self.item_bits(*last) else {
-                    return 0;
-                };
-                // Fuse the final AND with the popcount.
-                words
-                    .iter()
-                    .zip(bits.words())
-                    .map(|(w, b)| (w & b).count_ones() as u64)
-                    .sum()
+                let words = scratch.prepare(first_bits.words().len());
+                kernel::and_many_count(words, first_bits.words(), &operands)
             }
         }
     }
 
     /// Support `T(p)` of a generalized pattern: AND the positive items,
-    /// AND-NOT the negative ones, popcount. Matches
-    /// [`Database::pattern_support`] exactly.
+    /// AND-NOT the negative ones, popcount — both stages cache-blocked.
+    /// Matches [`Database::pattern_support`] exactly.
     pub fn pattern_support(&self, pattern: &Pattern, scratch: &mut TidScratch) -> Support {
-        // Base: the positives' intersection, or every live slot when the
-        // pattern is purely negative.
-        let base_words = if pattern.positives().is_empty() {
-            self.occupied.words()
-        } else {
-            let mut iter = pattern.positives().iter();
-            let first = iter.next().expect("non-empty positives");
-            let Some(bits) = self.item_bits(first) else {
-                return 0;
-            };
-            let words = scratch.prepare(bits.words().len());
-            words.copy_from_slice(bits.words());
-            for item in iter {
-                let Some(bits) = self.item_bits(item) else {
-                    return 0;
-                };
-                for (w, b) in words.iter_mut().zip(bits.words()) {
-                    *w &= b;
-                }
-            }
-            &scratch.words[..self.occupied.words().len()]
-        };
         // Negatives subtract; an item with no live occurrence excludes
-        // nothing. Accumulate the final popcount without another pass.
+        // nothing.
         let mut negative_words: Vec<&[u64]> = Vec::with_capacity(pattern.negatives().len());
         for item in pattern.negatives().iter() {
             if let Some(bits) = self.item_bits(item) {
                 negative_words.push(bits.words());
             }
         }
-        base_words
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| {
-                let mut word = w;
-                for neg in &negative_words {
-                    word &= !neg[i];
-                }
-                word.count_ones() as u64
-            })
-            .sum()
+        // Base: the positives' intersection, or every live slot when the
+        // pattern is purely negative; the negative chain and final popcount
+        // run fused without materializing the difference.
+        if pattern.positives().is_empty() {
+            return kernel::masked_count(self.occupied.words(), &negative_words);
+        }
+        let mut iter = pattern.positives().iter();
+        let first = iter.next().expect("non-empty positives");
+        let Some(first_bits) = self.item_bits(first) else {
+            return 0;
+        };
+        let mut positives: Vec<&[u64]> = Vec::new();
+        for item in iter {
+            let Some(bits) = self.item_bits(item) else {
+                return 0;
+            };
+            positives.push(bits.words());
+        }
+        if positives.is_empty() && negative_words.is_empty() {
+            return first_bits.count() as Support;
+        }
+        let words = scratch.prepare(first_bits.words().len());
+        if kernel::and_many_count(words, first_bits.words(), &positives) == 0 {
+            return 0;
+        }
+        kernel::masked_count(words, &negative_words)
     }
 }
 

@@ -35,6 +35,16 @@ pub struct Breach {
 /// adversary could analyse them too, at exponential cost).
 const MAX_SPAN: usize = 16;
 
+/// Spans per scheduling unit for the breach fan-outs: most spans are 2–3
+/// items (a handful of Möbius terms), so a single span is far below
+/// dispatch cost. Large spans are rare enough that batching them with
+/// small ones does not starve the pool.
+const SPAN_BATCH: usize = 8;
+
+/// Dropped-itemset pins per scheduling unit in the inter-window
+/// enumerator — each pin is one interval intersection, near-free.
+const PIN_BATCH: usize = 32;
+
 /// Enumerate all intra-window breaches: patterns `p = I(J\I)̄` with derived
 /// support in `1..=k`, over every published itemset `J` whose full subset
 /// lattice is published (always the case for a complete frequent-itemset
@@ -49,7 +59,7 @@ const MAX_SPAN: usize = 16;
 /// was not even deterministic run to run.
 pub fn find_intra_window_breaches(view: &HashMap<ItemsetId, Support>, k: Support) -> Vec<Breach> {
     let spans = eligible_spans(view);
-    pool::par_map(&spans, |span| {
+    pool::par_map_min_chunk(&spans, SPAN_BATCH, |span| {
         collect_span_breaches(view, span, k, BreachKind::IntraWindow, None)
     })
     .into_iter()
@@ -215,7 +225,7 @@ pub fn find_inter_window_breaches(
         .map(|(&id, &s)| (id, s))
         .collect();
     dropped.sort_unstable_by_key(|(id, _)| id.resolve());
-    let pinned = pool::par_map(&dropped, |&(id, prev_support)| {
+    let pinned = pool::par_map_min_chunk(&dropped, PIN_BATCH, |&(id, prev_support)| {
         let itemset = id.resolve();
         let transition = SupportBounds {
             lower: prev_support as i64 - slide as i64,
@@ -244,7 +254,7 @@ pub fn find_inter_window_breaches(
     let mut full_view = curr.clone();
     full_view.extend(augmented.iter().map(|(&i, &s)| (i, s)));
     let spans = eligible_spans(&full_view);
-    pool::par_map(&spans, |span| {
+    pool::par_map_min_chunk(&spans, SPAN_BATCH, |span| {
         collect_span_breaches(
             &full_view,
             span,

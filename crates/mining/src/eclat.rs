@@ -76,8 +76,7 @@ impl Eclat {
             .split_first_mut()
             .expect("one scratch bitmap per depth");
         for (idx, (item, item_tids)) in rest.iter().enumerate() {
-            buf.copy_from(tids);
-            buf.intersect_with(item_tids);
+            buf.assign_and(tids, item_tids);
             let support = buf.count() as Support;
             if support >= self.min_support {
                 let extended = prefix.with(*item);

@@ -141,8 +141,8 @@ fn explore(node: &mut CetNode, itemset: &ItemSet, ctx: &Ctx) {
             .index
             .item_bits(item)
             .expect("candidate item occurs in a live transaction");
-        let mut tids = node.tids.clone();
-        tids.intersect_with(item_bits);
+        let mut tids = TidBitmap::new(node.tids.capacity());
+        tids.assign_and(&node.tids, item_bits);
         let child_itemset = itemset.with(item);
         let mut child = CetNode {
             item: Some(item),
@@ -630,5 +630,87 @@ mod tests {
         let t = Transaction::new(1, iset("ab"));
         m.insert(&t);
         m.insert(&t);
+    }
+
+    #[test]
+    fn ring_grow_then_shrink_back_preserves_supports_exactly() {
+        // Remap-correctness in isolation: fill the initial ring completely,
+        // snapshot the mined answer, force a capacity doubling by inserting
+        // the one tid that collides with a live slot, then delete it again.
+        // The window contents are back to the pre-grow set, so any
+        // difference in the answer can only come from a corrupted remap.
+        let cfg = QuestConfig {
+            n_items: 25,
+            avg_transaction_len: 4.0,
+            ..QuestConfig::default()
+        };
+        let stream = QuestGenerator::new(cfg, 99).generate(INITIAL_RING + 1);
+        let mut m = MomentMiner::new(3);
+        for t in &stream[..INITIAL_RING] {
+            m.insert(t);
+        }
+        assert_eq!(
+            m.index.capacity(),
+            INITIAL_RING,
+            "grew before the ring filled"
+        );
+        let before = m.closed_frequent();
+        // tid INITIAL_RING collides with tid 0's slot (both ≡ 0 mod capacity).
+        m.insert(&stream[INITIAL_RING]);
+        assert!(
+            m.index.capacity() > INITIAL_RING,
+            "colliding insert did not grow the ring"
+        );
+        m.delete(&stream[INITIAL_RING]);
+        assert_eq!(
+            m.closed_frequent(),
+            before,
+            "grow + remap changed supports of an identical window"
+        );
+    }
+
+    #[test]
+    fn ring_doubling_mid_stream_property() {
+        // Property test over random streams whose window exceeds the
+        // initial ring: capacity must grow mid-stream, live tids must wrap
+        // both the old and the grown ring, and the mined answer must equal
+        // the rescan oracle at every slide through it all.
+        let cfg = QuestConfig {
+            n_items: 30,
+            n_patterns: 10,
+            avg_pattern_len: 3.0,
+            avg_transaction_len: 5.0,
+            max_transaction_len: 10,
+            ..QuestConfig::default()
+        };
+        for seed in 0..4u64 {
+            let window = INITIAL_RING + 32; // forces at least one doubling
+            let stream = QuestGenerator::new(cfg.clone(), seed).generate(3 * window);
+            let mut w = SlidingWindow::new(window);
+            let mut moment = MomentMiner::new(4);
+            let mut oracle = RescanMiner::new(4);
+            let mut grew_at = None;
+            for (step, t) in stream.iter().enumerate() {
+                let cap_before = moment.index.capacity();
+                let delta = w.slide(t.clone());
+                moment.apply(&delta);
+                oracle.apply(&delta);
+                if moment.index.capacity() > cap_before {
+                    grew_at = Some(step);
+                }
+                assert_eq!(
+                    moment.closed_frequent(),
+                    oracle.closed_frequent(),
+                    "divergence seed={seed} step={step} (ring grew at {grew_at:?})"
+                );
+            }
+            let grew_at = grew_at.expect("window > INITIAL_RING never grew the ring");
+            // The stream ran long enough past the grow that tids wrapped the
+            // grown ring too (tid range spans > final capacity).
+            assert!(
+                stream.len() - grew_at > moment.index.capacity(),
+                "stream too short to wrap the grown ring (grew at {grew_at})"
+            );
+        }
     }
 }

@@ -3,11 +3,14 @@
 # support-counting engine.
 #
 # 1. parbench: each parallel stage timed at 1 worker and at the full worker
-#    count in-process (median of $PARBENCH_REPS reps), plus the counting
-#    stages (per-transaction scan vs. vertical tid-bitmap) and the release
-#    stage (batch ReleaseEngine vs. incremental ReleaseEngine replaying the
-#    same high-overlap sliding-window publication schedule, with DP warm-start
-#    counters). Each invocation APPENDS one timestamped run entry to
+#    count in-process (median of $PARBENCH_REPS reps) with the pool's
+#    chunk-dispatch telemetry per stage, plus the counting stages
+#    (per-transaction scan vs. vertical tid-bitmap, the vertical path timed
+#    both with the kernels forced to the scalar reference level and at the
+#    host's detected SIMD level) and the release stage (batch ReleaseEngine
+#    vs. incremental ReleaseEngine replaying the same high-overlap
+#    sliding-window publication schedule, with DP warm-start counters).
+#    Each invocation APPENDS one timestamped run entry to
 #    BENCH_parallel.json, BENCH_support.json, and BENCH_release.json at the
 #    repo root, so the perf trajectory across changes is preserved — never
 #    overwritten.

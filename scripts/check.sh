@@ -19,14 +19,27 @@ cargo test -q --workspace
 echo "==> vertical-vs-scan differential tests"
 cargo test -q --release --test vertical_support
 
+echo "==> kernel differential tests (scalar vs unrolled vs simd, 1/2/8 threads)"
+cargo test -q --release --test kernel_differential
+
 echo "==> incremental-vs-batch release engine differential tests"
 cargo test -q --release --test release_engine
 
-echo "==> parbench smoke (1 rep, scratch output under target/)"
-cargo run -q --release -p bfly-bench --bin parbench -- --reps 1 \
+echo "==> parbench --quick smoke (chunk telemetry + kernel column sanity)"
+PARBENCH_LOG=target/parbench.smoke.log
+cargo run -q --release -p bfly-bench --bin parbench -- --quick \
   --out target/BENCH_parallel.smoke.json \
   --support-out target/BENCH_support.smoke.json \
-  --release-out target/BENCH_release.smoke.json
+  --release-out target/BENCH_release.smoke.json | tee "$PARBENCH_LOG"
+# Every parallel stage must report a non-empty dispatch (chunks NxM over K
+# items), and the counting stages must report both vertical columns.
+if grep -q 'chunks 0x0 over 0 items' "$PARBENCH_LOG"; then
+  echo "a parbench stage recorded an empty dispatch"; exit 1
+fi
+grep -q 'vertical(scalar)' "$PARBENCH_LOG" \
+  || { echo "parbench counting stages lost the scalar-kernel baseline column"; exit 1; }
+grep -Eq 'chunks [0-9]+x[0-9]+ over [0-9]+ items on [0-9]+ workers' "$PARBENCH_LOG" \
+  || { echo "parbench stages lost the chunk telemetry"; exit 1; }
 
 echo "==> serve smoke (real server, delta wire format, mid-stream subscriber)"
 cargo build -q --release

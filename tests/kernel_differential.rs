@@ -1,0 +1,146 @@
+//! Differential suite for the tidmap kernel levels: the scalar reference,
+//! the unrolled-lane path, and the `std::arch` fast path (when the host
+//! has it) must produce bit-identical supports on random sliding windows —
+//! including the steady state where tids wrap the ring boundary — and the
+//! full mining+breach pipeline must not care which level is active or how
+//! many pool threads run it.
+//!
+//! The kernel level is a process-wide switch, so every test here holds
+//! `LEVEL_LOCK` while it forces levels and restores auto-detection before
+//! releasing it.
+
+use bfly_bench::{collect_truths, ExperimentConfig};
+use butterfly_repro::common::rng::{Rng, SmallRng};
+use butterfly_repro::common::tidmap::kernel::{self, Level};
+use butterfly_repro::common::{
+    pool, ItemSet, Pattern, SlidingWindow, Support, TidScratch, VerticalIndex,
+};
+use butterfly_repro::datagen::{DatasetProfile, QuestConfig, QuestGenerator};
+use butterfly_repro::mining::BackendKind;
+use std::sync::{Mutex, MutexGuard};
+
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    // A poisoned lock only means another test failed while holding it.
+    LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Every level worth testing on this host: the scalar reference, the
+/// unrolled lanes, the detected fast path (degrades to unrolled where the
+/// host lacks it), and auto-detection itself.
+const LEVELS: [Option<Level>; 4] = [
+    Some(Level::Scalar),
+    Some(Level::Unrolled),
+    Some(Level::Simd),
+    None,
+];
+
+fn arb_itemset(rng: &mut SmallRng, universe: u32) -> ItemSet {
+    let len = 1 + rng.gen_range_usize(4);
+    ItemSet::from_ids((0..len).map(|_| rng.gen_range_usize(universe as usize) as u32))
+}
+
+/// Walk a window over a quest stream under the given kernel level,
+/// checking every support against the naive scan and returning a
+/// fingerprint of all counted values for cross-level comparison.
+fn window_walk_fingerprint(level: Option<Level>) -> Vec<Support> {
+    kernel::force_level(level);
+    let mut fingerprint = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(0x5ca1ab1e);
+    let mut gen = QuestGenerator::new(QuestConfig::default(), 404);
+    // Window 24 over 120 slides: tids wrap the ring boundary five times.
+    let mut window = SlidingWindow::new(24);
+    let mut index = VerticalIndex::new(24);
+    let mut scratch = TidScratch::new();
+    for step in 0..120 {
+        let delta = window.slide(gen.next_transaction());
+        index.apply(&delta);
+        let db = window.database();
+        for _ in 0..8 {
+            let q = arb_itemset(&mut rng, 40);
+            let got = index.support(&q, &mut scratch);
+            assert_eq!(
+                got,
+                db.support(&q),
+                "positive support of {q} diverged from scan at step {step} under {level:?}"
+            );
+            fingerprint.push(got);
+        }
+        for _ in 0..8 {
+            let span = arb_itemset(&mut rng, 40);
+            if span.len() < 2 {
+                continue;
+            }
+            let mask = 1 + rng.gen_range_usize((1 << span.len()) - 2) as u32;
+            let base = span.subset_by_mask(mask);
+            let p = Pattern::from_lattice(&base, &span).expect("base ⊂ span");
+            let got = index.pattern_support(&p, &mut scratch);
+            assert_eq!(
+                got,
+                db.pattern_support(&p),
+                "pattern support of {p} diverged from scan at step {step} under {level:?}"
+            );
+            fingerprint.push(got);
+        }
+    }
+    fingerprint
+}
+
+#[test]
+fn kernel_levels_agree_with_scan_on_wrapping_windows() {
+    let _guard = lock();
+    let baseline = window_walk_fingerprint(Some(Level::Scalar));
+    assert!(
+        baseline.iter().any(|&s| s > 0),
+        "all queried supports were zero; the differential would be vacuous"
+    );
+    for level in LEVELS {
+        let fp = window_walk_fingerprint(level);
+        assert_eq!(
+            fp, baseline,
+            "support fingerprint diverged from scalar under {level:?}"
+        );
+    }
+    kernel::force_level(None);
+}
+
+#[test]
+fn pipeline_supports_identical_across_levels_and_threads() {
+    let _guard = lock();
+    let cfg = |threads: usize| ExperimentConfig {
+        profile: DatasetProfile::WebView1,
+        window: 250,
+        c: 10,
+        k: 3,
+        windows: 6,
+        seed: 7,
+        backend: BackendKind::Moment,
+        threads,
+    };
+    kernel::force_level(Some(Level::Scalar));
+    let baseline = collect_truths(&cfg(1));
+    assert!(
+        baseline.iter().any(|t| !t.breaches.is_empty()),
+        "pipeline found no breaches; the differential would be vacuous"
+    );
+    for level in LEVELS {
+        for threads in [1usize, 2, 8] {
+            kernel::force_level(level);
+            let run = collect_truths(&cfg(threads));
+            assert_eq!(run.len(), baseline.len());
+            for (i, (a, b)) in run.iter().zip(&baseline).enumerate() {
+                assert_eq!(
+                    a.closed, b.closed,
+                    "window {i}: mining output changed under {level:?} at {threads} threads"
+                );
+                assert_eq!(
+                    a.breaches, b.breaches,
+                    "window {i}: breach list changed under {level:?} at {threads} threads"
+                );
+            }
+        }
+    }
+    kernel::force_level(None);
+    pool::set_threads(0);
+}
