@@ -4,33 +4,49 @@
 //!
 //! Two modes:
 //!
-//! * **In-process (default):** spins up its own server twice — once with 1
-//!   shard, once with `--shards` (default 4) — on an ephemeral port, runs
-//!   the identical workload against each, and records both phases plus the
-//!   throughput ratio. The run entry carries a `cores` field: shards scale
-//!   with physical parallelism, so on a single-core host the ratio measures
-//!   isolation overhead, not speedup (see DESIGN.md).
+//! * **In-process (default):** spins up its own servers on ephemeral ports
+//!   and runs the identical workload against an I/O-engine × frame-encoding
+//!   matrix — blocking/NDJSON (the legacy wire), reactor/NDJSON, and
+//!   reactor/binary — at 1 shard (the contended case), then reactor/binary
+//!   at `--shards` (default 4) for the scaling ratio. The unpaced phases
+//!   measure each wire's burst capacity, but their offered *rates* differ
+//!   (a faster wire delivers the same volume in less wall time), which
+//!   makes raw shed rates incomparable — so the matrix is repeated
+//!   **paced**: the blocking/json phase calibrates the sustainable offered
+//!   rate, and every paced phase then drips the identical volume at 75% of
+//!   it (override with `--pace <tx/s>`). At an equal offered rate, accepted
+//!   throughput and shed rate isolate how much CPU each engine leaves the
+//!   shard worker. The run entry carries a `cores` field: shards scale with
+//!   physical parallelism, so on a single-core host the ratio measures
+//!   isolation overhead, not speedup (see DESIGN.md). On platforms without
+//!   epoll the reactor phases are skipped.
 //! * **External (`--addr host:port`):** one phase against an already
 //!   running server (e.g. `butterfly serve` started by `scripts/check.sh`);
-//!   `--shutdown` sends the graceful-drain verb when done. `--watch <key>`
-//!   additionally subscribes to that stream key for the duration of the
-//!   phase and reconstructs its sanitized state from the event feed through
-//!   [`SubscriberState`] — on a server running `--snapshot-every N > 1`,
-//!   a watcher that joins mid-stream syncs on the next full snapshot and
-//!   rides `release_delta` events; its reconstruction counters go into the
-//!   run entry. The watcher drains until the stream's `closed` event, so
-//!   pair `--watch` with `--shutdown` (or an external drain).
+//!   `--frame json|binary` picks the ingest encoding and `--shutdown` sends
+//!   the graceful-drain verb when done. `--watch <key>` additionally
+//!   subscribes to that stream key (in the same frame mode) for the
+//!   duration of the phase and reconstructs its sanitized state from the
+//!   event feed through [`SubscriberState`] — on a server running
+//!   `--snapshot-every N > 1`, a watcher that joins mid-stream syncs on the
+//!   next full snapshot and rides `release_delta` events; its
+//!   reconstruction counters go into the run entry. The watcher drains
+//!   until the stream's `closed` event, so pair `--watch` with `--shutdown`
+//!   (or an external drain).
+//!
+//! Every phase row records its I/O engine (`io`), frame encoding (`frame`),
+//! and `shed_rate` alongside throughput and latency percentiles.
 //!
 //! Run: `cargo run --release -p bfly-bench --bin loadgen`
 //!      `[--quick] [--clients <N>] [--requests <N>] [--batch <N>]`
-//!      `[--keys <N>] [--shards <N>] [--seed <S>] [--out <path.json>]`
-//!      `[--addr <host:port>] [--watch <key>] [--shutdown]`
+//!      `[--keys <N>] [--shards <N>] [--seed <S>] [--pace <tx/s>]`
+//!      `[--out <path.json>] [--addr <host:port>] [--frame <json|binary>]`
+//!      `[--watch <key>] [--shutdown]`
 
 use bfly_bench::{append_run, arg, epoch_seconds, quick_mode};
 use bfly_common::Json;
 use bfly_datagen::DatasetProfile;
 use bfly_serve::protocol::SubscriberState;
-use bfly_serve::{Client, Request, ServeConfig, Server};
+use bfly_serve::{Client, FrameMode, IoMode, Request, ServeConfig, Server, REACTOR_SUPPORTED};
 use std::time::Instant;
 
 /// One client thread's tally.
@@ -44,8 +60,18 @@ struct ClientResult {
 /// Aggregated measurements for one server configuration.
 struct Phase {
     label: String,
+    /// The server's connection I/O engine ("blocking" / "reactor").
+    io: String,
+    /// The ingest frame encoding this phase drove ("json" / "binary").
+    frame: String,
     accepted: u64,
     shed: u64,
+    /// shed / (accepted + shed) — the fraction of offered load refused.
+    shed_rate: f64,
+    /// The rate the clients actually offered during the drive window.
+    offered_tx_s: f64,
+    /// The target pace (0 = unpaced burst).
+    pace_tx_s: f64,
     wall_ms: f64,
     tx_per_sec: f64,
     p50_us: u64,
@@ -57,8 +83,13 @@ impl Phase {
     fn to_json(&self) -> Json {
         Json::obj([
             ("label", Json::from(self.label.as_str())),
+            ("io", Json::from(self.io.as_str())),
+            ("frame", Json::from(self.frame.as_str())),
             ("accepted", Json::from(self.accepted)),
             ("shed", Json::from(self.shed)),
+            ("shed_rate", Json::from(self.shed_rate)),
+            ("offered_tx_s", Json::from(self.offered_tx_s)),
+            ("pace_tx_s", Json::from(self.pace_tx_s)),
             ("wall_ms", Json::from(self.wall_ms)),
             ("tx_per_sec", Json::from(self.tx_per_sec)),
             ("p50_us", Json::from(self.p50_us)),
@@ -85,21 +116,42 @@ struct Workload {
 }
 
 /// Run `clients` concurrent ingest loops against `addr`; aggregate.
-fn drive(addr: std::net::SocketAddr, label: &str, w: &Workload) -> Phase {
+/// `pace_tx_s > 0` spreads each client's requests on a fixed schedule so
+/// the aggregate offered rate is `pace_tx_s` regardless of how fast the
+/// wire could burst — the equal-offered-rate condition that makes shed
+/// rates comparable across I/O engines.
+fn drive(
+    addr: std::net::SocketAddr,
+    label: &str,
+    io: &str,
+    mode: FrameMode,
+    pace_tx_s: f64,
+    w: &Workload,
+) -> Phase {
     let start = Instant::now();
     let handles: Vec<std::thread::JoinHandle<ClientResult>> = (0..w.clients)
         .map(|ci| {
             let (requests, batch, keys) = (w.requests, w.batch, w.keys);
+            let per_client_rate = pace_tx_s / w.clients as f64;
             let seed = w.seed + ci as u64;
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("loadgen connect");
+                client.set_frame(mode);
                 let mut source = DatasetProfile::WebView1.source(seed);
                 let mut result = ClientResult {
                     accepted: 0,
                     shed: 0,
                     latencies: Vec::with_capacity(requests),
                 };
+                let begun = Instant::now();
                 for r in 0..requests {
+                    if per_client_rate > 0.0 {
+                        let due = (r * batch) as f64 / per_client_rate;
+                        let elapsed = begun.elapsed().as_secs_f64();
+                        if elapsed < due {
+                            std::thread::sleep(std::time::Duration::from_secs_f64(due - elapsed));
+                        }
+                    }
                     let stream = format!("t{}", (ci + r) % keys);
                     let batch: Vec<_> = (0..batch)
                         .map(|_| source.next_transaction().into_items())
@@ -132,8 +184,13 @@ fn drive(addr: std::net::SocketAddr, label: &str, w: &Workload) -> Phase {
     latencies.sort_unstable();
     let phase = Phase {
         label: label.to_string(),
+        io: io.to_string(),
+        frame: mode.name().to_string(),
         accepted,
         shed,
+        shed_rate: shed as f64 / ((accepted + shed) as f64).max(1.0),
+        offered_tx_s: (accepted + shed) as f64 / (wall_ms / 1e3).max(1e-9),
+        pace_tx_s,
         wall_ms,
         tx_per_sec: accepted as f64 / (wall_ms / 1e3).max(1e-9),
         p50_us: percentile(&latencies, 0.50),
@@ -141,56 +198,82 @@ fn drive(addr: std::net::SocketAddr, label: &str, w: &Workload) -> Phase {
         p99_us: percentile(&latencies, 0.99),
     };
     println!(
-        "{label:<12} {:>9.0} tx/s   accepted {accepted}   shed {shed}   p50 {} µs   p95 {} µs   p99 {} µs   ({wall_ms:.0} ms)",
-        phase.tx_per_sec, phase.p50_us, phase.p95_us, phase.p99_us
+        "{label:<30} {:>9.0} tx/s   accepted {accepted}   shed {shed} ({:.1}%)   offered {:.0} tx/s   p50 {} µs   p95 {} µs   p99 {} µs   ({wall_ms:.0} ms)",
+        phase.tx_per_sec,
+        phase.shed_rate * 100.0,
+        phase.offered_tx_s,
+        phase.p50_us,
+        phase.p95_us,
+        phase.p99_us
     );
     phase
 }
 
-/// One in-process phase: bind a fresh server with `shards`, drive it, and
-/// drain. The throughput clock runs to the end of the drain, so records
-/// still queued when the clients finish are not counted as free.
-fn in_process_phase(shards: usize, cfg_base: &ServeConfig, w: &Workload) -> Phase {
+/// One in-process phase: bind a fresh server with `shards` on the given I/O
+/// engine, drive it in `mode`, and drain. The throughput clock runs to the
+/// end of the drain, so records still queued when the clients finish are
+/// not counted as free.
+fn in_process_phase(
+    shards: usize,
+    io: IoMode,
+    mode: FrameMode,
+    pace_tx_s: f64,
+    cfg_base: &ServeConfig,
+    w: &Workload,
+) -> Phase {
     let cfg = ServeConfig {
         shards,
+        io,
         ..cfg_base.clone()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind loadgen server");
     let start = Instant::now();
-    let mut phase = drive(server.local_addr(), &format!("{shards}-shard"), w);
+    let label = format!(
+        "{shards}-shard/{}/{}{}",
+        io.name(),
+        mode.name(),
+        if pace_tx_s > 0.0 { "/paced" } else { "" }
+    );
+    let mut phase = drive(server.local_addr(), &label, io.name(), mode, pace_tx_s, w);
     server.shutdown();
     server.join();
     phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     phase.tx_per_sec = phase.accepted as f64 / (phase.wall_ms / 1e3).max(1e-9);
     println!(
-        "{:<12} {:>9.0} tx/s end-to-end ({:.0} ms including drain)",
+        "{:<30} {:>9.0} tx/s end-to-end ({:.0} ms including drain)",
         phase.label, phase.tx_per_sec, phase.wall_ms
     );
     phase
 }
 
-/// Subscribe to `key` and reconstruct its sanitized state from the event
-/// feed until the stream closes (the server's drain). Returns the
+/// Subscribe to `key` (in `mode`) and reconstruct its sanitized state from
+/// the event feed until the stream closes (the server's drain). Returns the
 /// reconstruction counters as a JSON row for the run entry.
-fn watch(addr: std::net::SocketAddr, key: String) -> std::thread::JoinHandle<Json> {
+fn watch(
+    addr: std::net::SocketAddr,
+    key: String,
+    mode: FrameMode,
+) -> std::thread::JoinHandle<Json> {
     std::thread::spawn(move || {
         let mut client = Client::connect(addr).expect("watch connect");
         client
             .request(&Request::Subscribe {
                 stream: key.clone(),
+                frame: mode,
             })
             .expect("watch subscribe ack");
         let mut state = SubscriberState::new();
-        while let Ok(Some(line)) = client.next_line() {
-            if line.get("event").and_then(Json::as_str) == Some("closed") {
+        while let Ok(Some(event)) = client.next_event() {
+            if event.get("event").and_then(Json::as_str) == Some("closed") {
                 break;
             }
             state
-                .observe(&line)
+                .observe(&event)
                 .expect("watched stream diverged from its deltas");
         }
         println!(
-            "watch {key}: synced={} stream_len={:?} entries={} snapshots={} deltas applied={} skipped={} verified={}",
+            "watch {key} ({}): synced={} stream_len={:?} entries={} snapshots={} deltas applied={} skipped={} verified={}",
+            mode.name(),
             state.is_synced(),
             state.stream_len(),
             state.entries().len(),
@@ -201,6 +284,7 @@ fn watch(addr: std::net::SocketAddr, key: String) -> std::thread::JoinHandle<Jso
         );
         Json::obj([
             ("key", Json::from(key.as_str())),
+            ("frame", Json::from(mode.name())),
             ("synced", Json::Bool(state.is_synced())),
             ("stream_len", Json::from(state.stream_len().unwrap_or(0))),
             ("entries", Json::from(state.entries().len() as u64)),
@@ -222,6 +306,9 @@ fn main() {
     let keys: usize = arg("--keys").and_then(|v| v.parse().ok()).unwrap_or(8);
     let shards: usize = arg("--shards").and_then(|v| v.parse().ok()).unwrap_or(4);
     let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let frame: FrameMode = arg("--frame")
+        .map(|v| v.parse().expect("bad --frame"))
+        .unwrap_or_default();
     let out = arg("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let w = Workload {
@@ -239,10 +326,17 @@ fn main() {
     let mut scaling: Option<f64> = None;
     let mut watch_stats: Option<Json> = None;
     if let Some(addr) = arg("--addr") {
-        // External mode: measure the already-running server as-is.
+        // External mode: measure the already-running server as-is; ask it
+        // which I/O engine it runs so the phase row records the truth.
         let addr = addr.parse().expect("bad --addr");
-        let watcher = arg("--watch").map(|key| watch(addr, key));
-        phases.push(drive(addr, "external", &w));
+        let io = Client::connect(addr)
+            .and_then(|mut c| c.request(&Request::Stats))
+            .ok()
+            .and_then(|s| s.get("io").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or_else(|| "unknown".to_string());
+        let pace: f64 = arg("--pace").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+        let watcher = arg("--watch").map(|key| watch(addr, key, frame));
+        phases.push(drive(addr, "external", &io, frame, pace, &w));
         if std::env::args().any(|a| a == "--shutdown") {
             let mut control = Client::connect(addr).expect("control connect");
             let reply = control.request(&Request::Shutdown).expect("shutdown reply");
@@ -261,9 +355,76 @@ fn main() {
             seed,
             ..ServeConfig::default()
         };
-        let single = in_process_phase(1, &cfg, &w);
-        let multi = in_process_phase(shards, &cfg, &w);
-        let ratio = multi.tx_per_sec / single.tx_per_sec.max(1e-9);
+        // Unpaced matrix at 1 shard — each wire's burst capacity. The
+        // blocking/json phase doubles as the pace calibration: its offered
+        // rate is what the legacy wire sustains end to end.
+        let cal = in_process_phase(1, IoMode::Blocking, FrameMode::Json, 0.0, &cfg, &w);
+        let pace: f64 = arg("--pace")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.75 * cal.offered_tx_s);
+        phases.push(cal);
+        if REACTOR_SUPPORTED {
+            phases.push(in_process_phase(
+                1,
+                IoMode::Reactor,
+                FrameMode::Json,
+                0.0,
+                &cfg,
+                &w,
+            ));
+            phases.push(in_process_phase(
+                1,
+                IoMode::Reactor,
+                FrameMode::Binary,
+                0.0,
+                &cfg,
+                &w,
+            ));
+        }
+        // Paced matrix: identical volume at an identical offered rate (75%
+        // of what the blocking wire just sustained), so accepted throughput
+        // and shed rate compare engines, not client burst speed.
+        println!("paced phases at {pace:.0} tx/s offered");
+        phases.push(in_process_phase(
+            1,
+            IoMode::Blocking,
+            FrameMode::Json,
+            pace,
+            &cfg,
+            &w,
+        ));
+        if REACTOR_SUPPORTED {
+            phases.push(in_process_phase(
+                1,
+                IoMode::Reactor,
+                FrameMode::Json,
+                pace,
+                &cfg,
+                &w,
+            ));
+            phases.push(in_process_phase(
+                1,
+                IoMode::Reactor,
+                FrameMode::Binary,
+                pace,
+                &cfg,
+                &w,
+            ));
+        }
+        // Scaling phase on the fastest wire, unpaced, against its unpaced
+        // 1-shard twin.
+        let (io, mode) = if REACTOR_SUPPORTED {
+            (IoMode::Reactor, FrameMode::Binary)
+        } else {
+            (IoMode::Blocking, FrameMode::Json)
+        };
+        let single_tx = phases
+            .iter()
+            .find(|p| p.io == io.name() && p.frame == mode.name() && p.pace_tx_s == 0.0)
+            .expect("unpaced 1-shard twin ran")
+            .tx_per_sec;
+        let multi = in_process_phase(shards, io, mode, 0.0, &cfg, &w);
+        let ratio = multi.tx_per_sec / single_tx.max(1e-9);
         println!(
             "scaling: {shards} shards vs 1 = {ratio:.2}x on {cores} core(s){}",
             if cores == 1 {
@@ -272,7 +433,6 @@ fn main() {
                 ""
             }
         );
-        phases.push(single);
         phases.push(multi);
         scaling = Some(ratio);
     }

@@ -15,6 +15,7 @@ pub mod bitset;
 pub mod database;
 pub mod error;
 pub mod fixtures;
+pub mod frame;
 pub mod intern;
 pub mod io;
 pub mod item;
@@ -31,6 +32,7 @@ pub mod window;
 pub use bitset::DenseItemSet;
 pub use database::Database;
 pub use error::{Error, Result};
+pub use frame::{BinaryEntry, BinaryFrame, Frame, FrameCodec, FrameMode};
 pub use intern::ItemsetId;
 pub use item::Item;
 pub use itemset::ItemSet;

@@ -13,6 +13,7 @@
 //!   parsing resumes on the next call, so servers can poll a shutdown flag
 //!   between reads without corrupting the frame stream.
 
+use crate::frame::{Frame, FrameCodec};
 use crate::{Error, Json, Result};
 use std::io::{Read, Write};
 
@@ -20,18 +21,17 @@ use std::io::{Read, Write};
 /// below anything that could pressure memory.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
-/// Incremental NDJSON reader over any [`Read`].
+/// Incremental frame reader over any [`Read`].
 ///
-/// Keeps its own buffer so short reads, read timeouts, and frames spanning
-/// multiple reads all compose; blank lines are skipped (mirroring the `.dat`
-/// reader's tolerance).
+/// Decoding is delegated to [`FrameCodec`], so short reads, read timeouts,
+/// and frames spanning multiple reads all compose; blank lines are skipped
+/// (mirroring the `.dat` reader's tolerance). [`FrameReader::next_frame`]
+/// keeps the historical JSON-only contract; [`FrameReader::next_any`] also
+/// accepts binary frames (negotiated by first byte — see [`crate::frame`]).
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
-    buf: Vec<u8>,
-    /// Bytes of `buf` already scanned for a newline (resume point).
-    scanned: usize,
-    max: usize,
+    codec: FrameCodec,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -44,52 +44,50 @@ impl<R: Read> FrameReader<R> {
     pub fn with_max(inner: R, max: usize) -> Self {
         FrameReader {
             inner,
-            buf: Vec::new(),
-            scanned: 0,
-            max,
+            codec: FrameCodec::with_max(max),
         }
     }
 
-    /// Next frame: `Ok(Some(json))` per document, `Ok(None)` at clean EOF.
+    /// Next NDJSON frame: `Ok(Some(json))` per document, `Ok(None)` at clean
+    /// EOF. A binary frame on the wire is a recoverable [`Error::Parse`]
+    /// (the frame is consumed; the stream stays aligned).
     ///
     /// # Errors
     /// * [`Error::Io`] with kind `WouldBlock`/`TimedOut` when the underlying
-    ///   read timed out before a full line arrived — call again to resume.
+    ///   read timed out before a full frame arrived — call again to resume.
     /// * [`Error::Parse`] for malformed JSON (the stream stays framed; the
     ///   caller may keep reading), for an oversized frame (the stream cannot
-    ///   be re-synced; close the connection), or for EOF mid-line.
+    ///   be re-synced; close the connection), or for EOF mid-frame.
     pub fn next_frame(&mut self) -> Result<Option<Json>> {
+        match self.next_any()? {
+            Some(Frame::Json(v)) => Ok(Some(v)),
+            Some(Frame::Binary(_)) => Err(Error::Parse(
+                "unexpected binary frame on a JSON-only stream".into(),
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// Next frame of either encoding: NDJSON line or binary frame.
+    ///
+    /// Same error contract as [`FrameReader::next_frame`], minus the
+    /// JSON-only restriction.
+    pub fn next_any(&mut self) -> Result<Option<Frame>> {
         loop {
-            // Scan only the unscanned suffix for the line terminator.
-            if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let end = self.scanned + off;
-                let line: Vec<u8> = self.buf.drain(..=end).collect();
-                self.scanned = 0;
-                let text = std::str::from_utf8(&line[..line.len() - 1])
-                    .map_err(|_| Error::Parse("frame is not utf-8".into()))?
-                    .trim();
-                if text.is_empty() {
-                    continue;
-                }
-                return Json::parse(text).map(Some);
-            }
-            self.scanned = self.buf.len();
-            if self.buf.len() > self.max {
-                return Err(Error::Parse(format!(
-                    "oversized frame: {} bytes without a newline (cap {})",
-                    self.buf.len(),
-                    self.max
-                )));
+            match self.codec.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {}
+                Err(e) => return Err(e),
             }
             let mut chunk = [0u8; 4096];
             match self.inner.read(&mut chunk) {
                 Ok(0) => {
-                    if self.buf.iter().all(|b| b.is_ascii_whitespace()) {
+                    if self.codec.is_blank() {
                         return Ok(None);
                     }
                     return Err(Error::Parse("eof inside a frame".into()));
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.codec.extend(&chunk[..n]),
                 Err(e) => return Err(Error::Io(e)),
             }
         }

@@ -2,8 +2,8 @@
 //! integration tests, the loadgen harness, and anything else that talks to
 //! a [`crate::Server`] without hand-rolling sockets.
 
-use crate::protocol::Request;
-use bfly_common::{Error, FrameReader, Json, Result};
+use crate::protocol::{binary_event_json, Request};
+use bfly_common::{BinaryFrame, Error, Frame, FrameMode, FrameReader, Json, Result};
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -11,10 +11,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub struct Client {
     frames: FrameReader<TcpStream>,
     writer: TcpStream,
+    frame: FrameMode,
 }
 
 impl Client {
-    /// Connect to `addr` (anything `ToSocketAddrs` accepts).
+    /// Connect to `addr` (anything `ToSocketAddrs` accepts). Requests go
+    /// out as NDJSON until [`Client::set_frame`] switches the encoding.
     ///
     /// # Errors
     /// Propagates connect/clone failures.
@@ -25,15 +27,39 @@ impl Client {
         Ok(Client {
             frames: FrameReader::new(stream),
             writer,
+            frame: FrameMode::Json,
         })
     }
 
+    /// Choose the wire encoding for subsequent ingests. Negotiation is per
+    /// frame (the server keys off the first byte), so this can change at
+    /// any time; control requests stay NDJSON either way.
+    pub fn set_frame(&mut self, mode: FrameMode) {
+        self.frame = mode;
+    }
+
+    /// The current outbound frame encoding.
+    pub fn frame(&self) -> FrameMode {
+        self.frame
+    }
+
     /// Send a request without waiting for its reply (pipelining). Callers
-    /// owe one [`Client::next_line`] per send.
+    /// owe one [`Client::next_line`] per send. In binary mode, `ingest`
+    /// requests ship as binary frames; everything else is NDJSON.
     ///
     /// # Errors
     /// Propagates socket write failures.
     pub fn send(&mut self, req: &Request) -> Result<()> {
+        if self.frame == FrameMode::Binary {
+            if let Request::Ingest { stream, batch } = req {
+                let frame = BinaryFrame::Ingest {
+                    stream: stream.clone(),
+                    batch: batch.clone(),
+                };
+                self.writer.write_all(&frame.encode())?;
+                return Ok(());
+            }
+        }
         bfly_common::ndjson::write_frame(&mut self.writer, &req.to_json())?;
         Ok(())
     }
@@ -49,14 +75,34 @@ impl Client {
             .ok_or_else(|| Error::Parse("server closed before replying".into()))
     }
 
-    /// Block for the next line from the server — a pipelined reply or, on a
-    /// subscriber connection, an event. `None` means the server closed the
-    /// connection.
+    /// Block for the next NDJSON line from the server — a pipelined reply
+    /// or, on a JSON-mode subscriber connection, an event. `None` means the
+    /// server closed the connection. A binary frame on the wire is an
+    /// error; subscribers in binary mode read [`Client::next_event`].
     ///
     /// # Errors
     /// Socket failures or a malformed server line.
     pub fn next_line(&mut self) -> Result<Option<Json>> {
         self.frames.next_frame()
+    }
+
+    /// Block for the next frame of either encoding, surfaced as the event's
+    /// JSON document — binary `release`/`release_delta` frames convert to
+    /// the identical shape NDJSON subscribers see, so one consumer handles
+    /// both negotiated modes. `None` means the server closed the
+    /// connection.
+    ///
+    /// # Errors
+    /// Socket failures, a malformed frame, or a binary frame that is not an
+    /// event (the server never sends binary requests).
+    pub fn next_event(&mut self) -> Result<Option<Json>> {
+        match self.frames.next_any()? {
+            None => Ok(None),
+            Some(Frame::Json(v)) => Ok(Some(v)),
+            Some(Frame::Binary(b)) => binary_event_json(&b)
+                .map(Some)
+                .ok_or_else(|| Error::Parse("unexpected binary request frame from server".into())),
+        }
     }
 
     /// Half-close: no more requests will be sent, but lines can still be

@@ -6,6 +6,65 @@ use bfly_core::{
 };
 use bfly_mining::{BackendKind, MinerBackend};
 
+/// Whether this build can run the epoll reactor (Linux with raw-syscall
+/// shims — see [`crate::reactor`]). Elsewhere the blocking thread-per-
+/// connection path is the only I/O mode.
+pub const REACTOR_SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+/// How the server performs socket I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoMode {
+    /// Thread-per-connection blocking sockets plus a writer pump per
+    /// connection (the legacy shape).
+    Blocking,
+    /// One reactor thread owns accept and every connection through a
+    /// readiness loop over nonblocking sockets (std-only epoll).
+    Reactor,
+}
+
+impl IoMode {
+    /// Wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Blocking => "blocking",
+            IoMode::Reactor => "reactor",
+        }
+    }
+}
+
+impl Default for IoMode {
+    /// The reactor wherever it is supported; the blocking path elsewhere.
+    fn default() -> Self {
+        if REACTOR_SUPPORTED {
+            IoMode::Reactor
+        } else {
+            IoMode::Blocking
+        }
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<IoMode, String> {
+        match s {
+            "blocking" => Ok(IoMode::Blocking),
+            "reactor" => Ok(IoMode::Reactor),
+            other => Err(format!(
+                "unknown io mode {other:?} (valid: blocking, reactor)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Everything a [`crate::Server`] needs to know: the Butterfly deployment
 /// parameters applied to every tenant stream, and the service's own knobs
 /// (shard count, queue bounds).
@@ -51,6 +110,17 @@ pub struct ServeConfig {
     /// events); a subscriber that falls this far behind is disconnected
     /// rather than buffered without bound.
     pub out_queue_cap: usize,
+    /// Socket I/O shape: the epoll reactor (default where supported) or the
+    /// legacy thread-per-connection blocking path.
+    pub io: IoMode,
+    /// Frame cap in bytes, enforced on both wire encodings: an NDJSON line
+    /// this long without a newline, or a binary header announcing a payload
+    /// over it, is fatal for the connection.
+    pub max_frame_bytes: usize,
+    /// Decoded ingest transactions are submitted to shard workers in chunks
+    /// of up to this many (clamped to `queue_cap`), amortizing one channel
+    /// operation per chunk instead of per transaction.
+    pub ingest_chunk: usize,
     /// Base seed; combined with each stream key by [`stream_seed`].
     pub seed: u64,
 }
@@ -74,6 +144,9 @@ impl Default for ServeConfig {
             snapshot_every: 1,
             queue_cap: 1024,
             out_queue_cap: 256,
+            io: IoMode::default(),
+            max_frame_bytes: bfly_common::ndjson::MAX_FRAME_BYTES,
+            ingest_chunk: 256,
             seed: 0,
         }
     }
@@ -89,10 +162,15 @@ impl ServeConfig {
             ("snapshot-every", self.snapshot_every),
             ("queue-cap", self.queue_cap),
             ("out-queue-cap", self.out_queue_cap),
+            ("max-frame-bytes", self.max_frame_bytes),
+            ("ingest-chunk", self.ingest_chunk),
         ] {
             if v == 0 {
                 return Err(format!("{name} must be positive"));
             }
+        }
+        if self.io == IoMode::Reactor && !REACTOR_SUPPORTED {
+            return Err("io mode \"reactor\" is not supported on this platform".into());
         }
         // An infeasible privacy contract must be rejected at bind time, not
         // discovered as a shard-worker panic at the first record.
@@ -133,6 +211,13 @@ impl ServeConfig {
         };
         let defense = dspec.build(self.spec(), self.scheme, stream_seed(self.seed, key), true);
         StreamPipeline::from_parts(self.window, self.backend, defense)
+    }
+
+    /// The ingest submission chunk actually used: the configured size,
+    /// clamped to the queue capacity so a single chunk can always be
+    /// accepted by an empty queue.
+    pub fn effective_ingest_chunk(&self) -> usize {
+        self.ingest_chunk.min(self.queue_cap).max(1)
     }
 }
 
@@ -241,6 +326,30 @@ mod tests {
         let pipe = cfg.pipeline_with("k", DefenseKind::Suppression);
         assert_eq!(pipe.defense().kind(), DefenseKind::Suppression);
         assert_eq!(pipe.window().capacity(), 16);
+    }
+
+    #[test]
+    fn io_mode_parses_and_rejects_unknown() {
+        assert_eq!("blocking".parse::<IoMode>().unwrap(), IoMode::Blocking);
+        assert_eq!("reactor".parse::<IoMode>().unwrap(), IoMode::Reactor);
+        let err = "uring".parse::<IoMode>().unwrap_err();
+        assert!(err.contains("blocking") && err.contains("reactor"), "{err}");
+    }
+
+    #[test]
+    fn ingest_chunk_clamps_to_queue_cap() {
+        let cfg = ServeConfig {
+            queue_cap: 4,
+            ingest_chunk: 256,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.effective_ingest_chunk(), 4);
+        let cfg = ServeConfig {
+            queue_cap: 1024,
+            ingest_chunk: 32,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.effective_ingest_chunk(), 32);
     }
 
     #[test]

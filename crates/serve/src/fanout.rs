@@ -1,24 +1,62 @@
 //! Subscriber registry: stream key → the connections that want its releases.
 //!
-//! Fan-out must never block a shard worker: every subscriber connection owns
-//! a bounded outbound queue drained by its own writer thread, and the
-//! registry only ever `try_send`s into it. A subscriber whose queue is full
-//! (a slow or stalled consumer) is disconnected and counted — bounded
+//! Fan-out must never block a shard worker: every subscriber connection is
+//! reached through a bounded sink — in blocking io mode a `sync_channel`
+//! drained by the connection's writer pump, in reactor mode an
+//! [`crate::reactor::EventSink`] that enqueues onto the reactor's mailbox —
+//! and the registry only ever try-sends into it. A subscriber whose sink is
+//! full (a slow or stalled consumer) is disconnected and counted — bounded
 //! memory beats unbounded patience, and the client can reconnect and
 //! re-subscribe.
+//!
+//! Subscribers may speak different frame encodings ([`FrameMode`]); a
+//! publication is serialized at most once per mode actually present via
+//! [`SubscriberRegistry::publish_with`]'s lazy per-mode cache.
 
+use crate::reactor::EventSink;
 use crate::stats::ShardStats;
+use bfly_common::FrameMode;
 use std::collections::HashMap;
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
-/// One line of output (already serialized). `Arc` so a release published to
-/// many subscribers is serialized once and shared.
-pub type OutLine = Arc<str>;
+/// One serialized outbound frame — an NDJSON line (`\n` included) or a
+/// binary frame. `Arc` so a release published to many subscribers is
+/// serialized once and shared.
+pub type OutBytes = Arc<[u8]>;
+
+/// Serialize one JSON document as an NDJSON wire line.
+pub fn json_line(v: &bfly_common::Json) -> OutBytes {
+    Arc::from(format!("{v}\n").into_bytes().into_boxed_slice())
+}
+
+/// Where a subscriber's events go. Both variants are bounded and never
+/// block the publisher.
+pub enum SubscriberSink {
+    /// Blocking io mode: a clone of the connection's outbound queue.
+    Channel(SyncSender<OutBytes>),
+    /// Reactor io mode: the connection's reactor-side event sink.
+    Event(Arc<EventSink>),
+}
+
+impl SubscriberSink {
+    /// Try to enqueue one frame; `Err` means the sink is full or its
+    /// connection is gone (the caller drops the subscriber).
+    fn try_send(&self, bytes: OutBytes) -> Result<(), ()> {
+        match self {
+            SubscriberSink::Channel(tx) => match tx.try_send(bytes) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(()),
+            },
+            SubscriberSink::Event(sink) => sink.try_send(bytes),
+        }
+    }
+}
 
 struct Entry {
     conn: u64,
-    tx: SyncSender<OutLine>,
+    mode: FrameMode,
+    sink: SubscriberSink,
 }
 
 /// Shared subscriber table. Lock granularity is the whole table, taken
@@ -35,13 +73,14 @@ impl SubscriberRegistry {
         SubscriberRegistry::default()
     }
 
-    /// Register connection `conn`'s outbound queue for `stream`'s releases.
-    pub fn subscribe(&self, stream: &str, conn: u64, tx: SyncSender<OutLine>) {
+    /// Register connection `conn`'s sink for `stream`'s releases, encoded
+    /// in `mode`.
+    pub fn subscribe(&self, stream: &str, conn: u64, mode: FrameMode, sink: SubscriberSink) {
         let mut map = self.inner.lock().expect("registry poisoned");
         let subs = map.entry(stream.to_string()).or_default();
         // Re-subscribing the same connection replaces, not duplicates.
         subs.retain(|e| e.conn != conn);
-        subs.push(Entry { conn, tx });
+        subs.push(Entry { conn, mode, sink });
     }
 
     /// Drop every subscription held by connection `conn` (connection
@@ -54,19 +93,31 @@ impl SubscriberRegistry {
         });
     }
 
-    /// Deliver `line` to every subscriber of `stream`. Never blocks: a full
-    /// or disconnected subscriber queue drops that subscriber (counted in
+    /// Deliver one publication to every subscriber of `stream`, encoding at
+    /// most once per frame mode present (`encode` is called lazily). Never
+    /// blocks: a full or disconnected sink drops that subscriber (counted in
     /// `stats.subscriber_drops`).
-    pub fn publish(&self, stream: &str, line: OutLine, stats: &ShardStats) {
+    pub fn publish_with(
+        &self,
+        stream: &str,
+        stats: &ShardStats,
+        mut encode: impl FnMut(FrameMode) -> OutBytes,
+    ) {
         let mut map = self.inner.lock().expect("registry poisoned");
         let Some(subs) = map.get_mut(stream) else {
             return;
         };
-        subs.retain(|e| match e.tx.try_send(line.clone()) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                ShardStats::add(&stats.subscriber_drops, 1);
-                false
+        let mut cache: [Option<OutBytes>; 2] = [None, None];
+        subs.retain(|e| {
+            let bytes = cache[e.mode.index()]
+                .get_or_insert_with(|| encode(e.mode))
+                .clone();
+            match e.sink.try_send(bytes) {
+                Ok(()) => true,
+                Err(()) => {
+                    ShardStats::add(&stats.subscriber_drops, 1);
+                    false
+                }
             }
         });
         if subs.is_empty() {
@@ -74,13 +125,15 @@ impl SubscriberRegistry {
         }
     }
 
-    /// Deliver a final line to `stream`'s subscribers and remove the stream
-    /// from the table (shutdown: the owning shard has flushed it).
-    pub fn close_stream(&self, stream: &str, line: OutLine) {
+    /// Deliver a final frame to `stream`'s subscribers and remove the
+    /// stream from the table (shutdown: the owning shard has flushed it).
+    /// The frame is the same bytes for every mode — `closed` events are
+    /// NDJSON control traffic even to binary subscribers.
+    pub fn close_stream(&self, stream: &str, bytes: OutBytes) {
         let mut map = self.inner.lock().expect("registry poisoned");
         if let Some(subs) = map.remove(stream) {
             for e in subs {
-                let _ = e.tx.try_send(line.clone());
+                let _ = e.sink.try_send(bytes.clone());
             }
         }
     }
@@ -127,28 +180,62 @@ mod tests {
     use super::*;
     use std::sync::mpsc::sync_channel;
 
+    fn chan(cap: usize) -> (SubscriberSink, std::sync::mpsc::Receiver<OutBytes>) {
+        let (tx, rx) = sync_channel(cap);
+        (SubscriberSink::Channel(tx), rx)
+    }
+
+    fn bytes(s: &str) -> OutBytes {
+        Arc::from(s.as_bytes().to_vec().into_boxed_slice())
+    }
+
+    fn text(b: &OutBytes) -> String {
+        String::from_utf8(b.to_vec()).unwrap()
+    }
+
     #[test]
     fn publish_reaches_only_that_streams_subscribers() {
         let reg = SubscriberRegistry::new();
         let stats = ShardStats::default();
-        let (tx_a, rx_a) = sync_channel(4);
-        let (tx_b, rx_b) = sync_channel(4);
-        reg.subscribe("a", 1, tx_a);
-        reg.subscribe("b", 2, tx_b);
-        reg.publish("a", Arc::from("ra"), &stats);
-        assert_eq!(rx_a.try_recv().unwrap().as_ref(), "ra");
+        let (sink_a, rx_a) = chan(4);
+        let (sink_b, rx_b) = chan(4);
+        reg.subscribe("a", 1, FrameMode::Json, sink_a);
+        reg.subscribe("b", 2, FrameMode::Json, sink_b);
+        reg.publish_with("a", &stats, |_| bytes("ra"));
+        assert_eq!(text(&rx_a.try_recv().unwrap()), "ra");
         assert!(rx_b.try_recv().is_err());
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn encode_runs_once_per_mode_present() {
+        let reg = SubscriberRegistry::new();
+        let stats = ShardStats::default();
+        let (sink_1, rx_1) = chan(4);
+        let (sink_2, rx_2) = chan(4);
+        let (sink_3, rx_3) = chan(4);
+        reg.subscribe("s", 1, FrameMode::Json, sink_1);
+        reg.subscribe("s", 2, FrameMode::Binary, sink_2);
+        reg.subscribe("s", 3, FrameMode::Json, sink_3);
+        let mut calls = Vec::new();
+        reg.publish_with("s", &stats, |mode| {
+            calls.push(mode);
+            bytes(mode.name())
+        });
+        assert_eq!(calls.len(), 2, "one encode per mode, not per subscriber");
+        assert_eq!(text(&rx_1.try_recv().unwrap()), "json");
+        assert_eq!(text(&rx_2.try_recv().unwrap()), "binary");
+        assert_eq!(text(&rx_3.try_recv().unwrap()), "json");
     }
 
     #[test]
     fn slow_subscriber_is_dropped_not_buffered() {
         let reg = SubscriberRegistry::new();
         let stats = ShardStats::default();
-        let (tx, _rx) = sync_channel(1);
-        reg.subscribe("s", 1, tx);
-        reg.publish("s", Arc::from("r1"), &stats); // fills the queue
-        reg.publish("s", Arc::from("r2"), &stats); // overflows → drop
+        let (sink, _rx) = chan(1);
+        reg.subscribe("s", 1, FrameMode::Json, sink);
+        reg.publish_with("s", &stats, |_| bytes("r1")); // fills the queue
+        reg.publish_with("s", &stats, |_| bytes("r2")); // overflows → drop
         assert!(reg.is_empty(), "slow subscriber kept");
         assert_eq!(
             stats
@@ -161,10 +248,12 @@ mod tests {
     #[test]
     fn unsubscribe_conn_removes_all_its_streams() {
         let reg = SubscriberRegistry::new();
-        let (tx, _rx) = sync_channel(4);
-        reg.subscribe("a", 7, tx.clone());
-        reg.subscribe("b", 7, tx.clone());
-        reg.subscribe("a", 8, tx);
+        let (sink_a, _rx_a) = chan(4);
+        let (sink_b, _rx_b) = chan(4);
+        let (sink_c, _rx_c) = chan(4);
+        reg.subscribe("a", 7, FrameMode::Json, sink_a);
+        reg.subscribe("b", 7, FrameMode::Json, sink_b);
+        reg.subscribe("a", 8, FrameMode::Json, sink_c);
         reg.unsubscribe_conn(7);
         assert_eq!(reg.len(), 1);
     }
@@ -172,19 +261,20 @@ mod tests {
     #[test]
     fn resubscribe_replaces() {
         let reg = SubscriberRegistry::new();
-        let (tx, _rx) = sync_channel(4);
-        reg.subscribe("a", 7, tx.clone());
-        reg.subscribe("a", 7, tx);
+        let (sink_1, _rx_1) = chan(4);
+        let (sink_2, _rx_2) = chan(4);
+        reg.subscribe("a", 7, FrameMode::Json, sink_1);
+        reg.subscribe("a", 7, FrameMode::Binary, sink_2);
         assert_eq!(reg.len(), 1);
     }
 
     #[test]
     fn close_stream_notifies_and_removes() {
         let reg = SubscriberRegistry::new();
-        let (tx, rx) = sync_channel(4);
-        reg.subscribe("a", 1, tx);
-        reg.close_stream("a", Arc::from("closed"));
-        assert_eq!(rx.try_recv().unwrap().as_ref(), "closed");
+        let (sink, rx) = chan(4);
+        reg.subscribe("a", 1, FrameMode::Json, sink);
+        reg.close_stream("a", bytes("closed"));
+        assert_eq!(text(&rx.try_recv().unwrap()), "closed");
         assert!(reg.is_empty());
     }
 }

@@ -33,12 +33,14 @@ pub mod client;
 pub mod config;
 mod fanout;
 pub mod protocol;
+mod reactor;
 pub mod server;
 mod shard;
 pub mod stats;
 
+pub use bfly_common::FrameMode;
 pub use client::Client;
-pub use config::ServeConfig;
+pub use config::{IoMode, ServeConfig, REACTOR_SUPPORTED};
 pub use protocol::Request;
 pub use server::Server;
-pub use stats::ShardStats;
+pub use stats::{ReactorStats, ShardStats};

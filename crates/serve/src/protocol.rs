@@ -6,7 +6,7 @@
 //! |-------------|------------------------------------------|-------|
 //! | `ingest`    | `stream`, `items` *or* `batch`           | `{"ok":true,"accepted":n}` or `{"ok":false,"error":"overloaded","accepted":a,"shed":s}` |
 //! | `bind`      | `stream`, `defense`                      | `{"ok":true,"stream":k,"defense":d}`; must precede the stream's first ingest |
-//! | `subscribe` | `stream`                                 | `{"ok":true,"stream":k}`, then events |
+//! | `subscribe` | `stream`, optional `frame` (`json`/`binary`) | `{"ok":true,"stream":k}`, then events |
 //! | `stats`     | —                                        | per-shard counters |
 //! | `ping`      | —                                        | `{"ok":true,"pong":true}` |
 //! | `shutdown`  | —                                        | `{"ok":true,"draining":true}`, then drain + exit |
@@ -30,9 +30,10 @@
 //! and rides O(churn) deltas from there ([`SubscriberState`] implements
 //! that reconstruction, verifying each snapshot it was already synced for).
 
-use bfly_common::{Error, ItemSet, Json, Result};
-use bfly_core::{DefenseKind, ReleaseDelta, SanitizedRelease};
+use bfly_common::{BinaryEntry, BinaryFrame, Error, FrameMode, ItemSet, Json, Result};
+use bfly_core::{DefenseKind, ReleaseDelta, SanitizedItemset, SanitizedRelease};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,6 +59,9 @@ pub enum Request {
     Subscribe {
         /// Stream key to subscribe to.
         stream: String,
+        /// Encoding the subscriber wants its `release`/`release_delta`
+        /// events in. Control events (`closed`) stay NDJSON either way.
+        frame: FrameMode,
     },
     /// Ask for per-shard counters.
     Stats,
@@ -98,9 +102,19 @@ impl Request {
                 let defense = name.parse::<DefenseKind>()?;
                 Ok(Request::Bind { stream, defense })
             }
-            "subscribe" => Ok(Request::Subscribe {
-                stream: required_stream(v)?,
-            }),
+            "subscribe" => {
+                let frame = match v.get("frame") {
+                    None => FrameMode::default(),
+                    Some(f) => f
+                        .as_str()
+                        .ok_or_else(|| Error::Parse("\"frame\" must be a string".into()))?
+                        .parse::<FrameMode>()?,
+                };
+                Ok(Request::Subscribe {
+                    stream: required_stream(v)?,
+                    frame,
+                })
+            }
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
@@ -125,10 +139,19 @@ impl Request {
                 ("stream", Json::from(stream.as_str())),
                 ("defense", Json::from(defense.name())),
             ]),
-            Request::Subscribe { stream } => Json::obj([
-                ("op", Json::from("subscribe")),
-                ("stream", Json::from(stream.as_str())),
-            ]),
+            Request::Subscribe { stream, frame } => match frame {
+                // Default mode omits the field: byte-compatible with the
+                // pre-negotiation wire form.
+                FrameMode::Json => Json::obj([
+                    ("op", Json::from("subscribe")),
+                    ("stream", Json::from(stream.as_str())),
+                ]),
+                FrameMode::Binary => Json::obj([
+                    ("op", Json::from("subscribe")),
+                    ("stream", Json::from(stream.as_str())),
+                    ("frame", Json::from(frame.name())),
+                ]),
+            },
             Request::Stats => Json::obj([("op", Json::from("stats"))]),
             Request::Ping => Json::obj([("op", Json::from("ping"))]),
             Request::Shutdown => Json::obj([("op", Json::from("shutdown"))]),
@@ -229,6 +252,129 @@ pub fn closed_event(stream: &str) -> Json {
         ("event", Json::from("closed")),
         ("stream", Json::from(stream)),
     ])
+}
+
+fn binary_entry(e: &SanitizedItemset) -> BinaryEntry {
+    BinaryEntry {
+        ids: e.itemset().items().iter().map(|i| i.id()).collect(),
+        support: e.sanitized,
+    }
+}
+
+fn itemset_ids(id: bfly_common::ItemsetId) -> Vec<u32> {
+    id.resolve().items().iter().map(|i| i.id()).collect()
+}
+
+/// Serialize one `release` publication as outbound wire bytes in `mode`:
+/// the NDJSON event line ([`release_event`]) or the equivalent binary
+/// frame. Both carry exactly the sanitized entries — never true supports.
+pub fn release_frame_bytes(
+    mode: FrameMode,
+    stream: &str,
+    stream_len: u64,
+    release: &SanitizedRelease,
+) -> Arc<[u8]> {
+    match mode {
+        FrameMode::Json => crate::fanout::json_line(&release_event(stream, stream_len, release)),
+        FrameMode::Binary => Arc::from(
+            BinaryFrame::Release {
+                stream: stream.to_string(),
+                stream_len,
+                entries: release.iter().map(binary_entry).collect(),
+            }
+            .encode()
+            .into_boxed_slice(),
+        ),
+    }
+}
+
+/// Serialize one `release_delta` publication as outbound wire bytes in
+/// `mode` (see [`release_frame_bytes`]).
+pub fn release_delta_frame_bytes(
+    mode: FrameMode,
+    stream: &str,
+    stream_len: u64,
+    base_len: u64,
+    delta: &ReleaseDelta,
+) -> Arc<[u8]> {
+    match mode {
+        FrameMode::Json => {
+            crate::fanout::json_line(&release_delta_event(stream, stream_len, base_len, delta))
+        }
+        FrameMode::Binary => Arc::from(
+            BinaryFrame::ReleaseDelta {
+                stream: stream.to_string(),
+                stream_len,
+                base_len,
+                added: delta.added.iter().map(binary_entry).collect(),
+                changed: delta.changed.iter().map(binary_entry).collect(),
+                removed: delta.removed.iter().copied().map(itemset_ids).collect(),
+            }
+            .encode()
+            .into_boxed_slice(),
+        ),
+    }
+}
+
+fn binary_entries_json(entries: &[BinaryEntry]) -> Json {
+    Json::Arr(
+        entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    (
+                        "itemset",
+                        Json::Arr(e.ids.iter().map(|&id| Json::from(id as u64)).collect()),
+                    ),
+                    ("support", Json::from(e.support)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Convert a decoded binary event frame into the identical JSON event
+/// document, so subscriber-side consumers ([`SubscriberState`], watchers)
+/// handle one shape regardless of the negotiated encoding. `Ingest` is a
+/// request, not an event — `None`.
+pub fn binary_event_json(frame: &BinaryFrame) -> Option<Json> {
+    match frame {
+        BinaryFrame::Ingest { .. } => None,
+        BinaryFrame::Release {
+            stream,
+            stream_len,
+            entries,
+        } => Some(Json::obj([
+            ("event", Json::from("release")),
+            ("stream", Json::from(stream.as_str())),
+            ("stream_len", Json::from(*stream_len)),
+            ("itemsets", binary_entries_json(entries)),
+        ])),
+        BinaryFrame::ReleaseDelta {
+            stream,
+            stream_len,
+            base_len,
+            added,
+            changed,
+            removed,
+        } => Some(Json::obj([
+            ("event", Json::from("release_delta")),
+            ("stream", Json::from(stream.as_str())),
+            ("stream_len", Json::from(*stream_len)),
+            ("base_len", Json::from(*base_len)),
+            ("added", binary_entries_json(added)),
+            ("changed", binary_entries_json(changed)),
+            (
+                "removed",
+                Json::Arr(
+                    removed
+                        .iter()
+                        .map(|ids| Json::Arr(ids.iter().map(|&id| Json::from(id as u64)).collect()))
+                        .collect(),
+                ),
+            ),
+        ])),
+    }
 }
 
 /// Client-side reconstruction of a stream's sanitized state from the event
@@ -438,7 +584,17 @@ mod tests {
             ("{\"op\":\"shutdown\"}", Request::Shutdown),
             (
                 "{\"op\":\"subscribe\",\"stream\":\"k\"}",
-                Request::Subscribe { stream: "k".into() },
+                Request::Subscribe {
+                    stream: "k".into(),
+                    frame: FrameMode::Json,
+                },
+            ),
+            (
+                "{\"op\":\"subscribe\",\"stream\":\"k\",\"frame\":\"binary\"}",
+                Request::Subscribe {
+                    stream: "k".into(),
+                    frame: FrameMode::Binary,
+                },
             ),
             (
                 "{\"op\":\"bind\",\"stream\":\"k\",\"defense\":\"privbasis\"}",
@@ -466,6 +622,7 @@ mod tests {
             "{\"op\":\"ingest\",\"stream\":\"s\",\"items\":[-1]}",
             "{\"op\":\"ingest\",\"stream\":\"s\",\"batch\":[7]}",
             "{\"op\":\"subscribe\"}",
+            "{\"op\":\"subscribe\",\"stream\":\"k\",\"frame\":\"msgpack\"}",
             "{\"op\":\"bind\",\"stream\":\"k\"}",
         ] {
             let v = Json::parse(bad).unwrap();
@@ -487,6 +644,82 @@ mod tests {
         assert!(err.contains("unknown defense"), "got {err}");
         for kind in DefenseKind::ALL {
             assert!(err.contains(kind.name()), "{err} missing {kind}");
+        }
+    }
+
+    #[test]
+    fn subscribe_frame_negotiation_round_trips_and_default_is_legacy() {
+        let legacy = Request::Subscribe {
+            stream: "k".into(),
+            frame: FrameMode::Json,
+        };
+        // Default mode serializes without the field: the pre-negotiation
+        // wire bytes, so old servers/clients interoperate.
+        assert_eq!(
+            legacy.to_json().to_string(),
+            "{\"op\":\"subscribe\",\"stream\":\"k\"}"
+        );
+        let binary = Request::Subscribe {
+            stream: "k".into(),
+            frame: FrameMode::Binary,
+        };
+        let back =
+            Request::from_json(&Json::parse(&binary.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, binary);
+    }
+
+    #[test]
+    fn frame_bytes_json_mode_matches_event_lines() {
+        let release = SanitizedRelease::new(vec![entry("b", 26, 25), entry("a", 30, 27)]);
+        let bytes = release_frame_bytes(FrameMode::Json, "t0", 4, &release);
+        assert_eq!(
+            String::from_utf8(bytes.to_vec()).unwrap(),
+            format!("{}\n", release_event("t0", 4, &release))
+        );
+        let delta = ReleaseDelta {
+            added: vec![entry("ab", 27, 24)],
+            changed: vec![entry("b", 27, 26)],
+            removed: vec![ItemsetId::intern(&"c".parse::<ItemSet>().unwrap())],
+        };
+        let bytes = release_delta_frame_bytes(FrameMode::Json, "t0", 6, 4, &delta);
+        assert_eq!(
+            String::from_utf8(bytes.to_vec()).unwrap(),
+            format!("{}\n", release_delta_event("t0", 6, 4, &delta))
+        );
+    }
+
+    #[test]
+    fn binary_frame_bytes_decode_to_the_same_event_json() {
+        use bfly_common::{Frame, FrameCodec};
+        let release = SanitizedRelease::new(vec![entry("b", 26, 25), entry("a", 30, 27)]);
+        let delta = ReleaseDelta {
+            added: vec![entry("ab", 27, 24)],
+            changed: vec![entry("b", 27, 26)],
+            removed: vec![ItemsetId::intern(&"c".parse::<ItemSet>().unwrap())],
+        };
+        let mut codec = FrameCodec::new();
+        codec.extend(&release_frame_bytes(FrameMode::Binary, "t0", 4, &release));
+        codec.extend(&release_delta_frame_bytes(
+            FrameMode::Binary,
+            "t0",
+            6,
+            4,
+            &delta,
+        ));
+        for want in [
+            release_event("t0", 4, &release),
+            release_delta_event("t0", 6, 4, &delta),
+        ] {
+            let frame = codec.next_frame().unwrap().unwrap();
+            let Frame::Binary(bin) = frame else {
+                panic!("expected a binary frame, got {frame:?}");
+            };
+            // The converted event is string-identical to the NDJSON form —
+            // one shape for SubscriberState regardless of encoding.
+            assert_eq!(
+                binary_event_json(&bin).unwrap().to_string(),
+                want.to_string()
+            );
         }
     }
 

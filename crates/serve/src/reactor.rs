@@ -1,0 +1,931 @@
+//! Std-only epoll reactor: one thread owns accept and every connection.
+//!
+//! The blocking io mode spends three threads per connection-ish unit of work
+//! (handler, writer pump, and a slice of the accept thread); under many
+//! connections the memory and context-switch cost dominates the actual
+//! protocol work. The reactor replaces all of that with a single thread
+//! running a readiness loop over nonblocking sockets:
+//!
+//! * **accept** — the listener is registered for read readiness; each burst
+//!   accepts until `WouldBlock`.
+//! * **reads** — each connection feeds a [`FrameCodec`]; every decoded frame
+//!   is dispatched through the same [`crate::server::dispatch_frame`] the
+//!   blocking mode uses, and replies are appended to the connection's write
+//!   buffer directly.
+//! * **writes** — buffered chunks drain when the socket is writable;
+//!   `EPOLLOUT` interest exists only while the buffer is non-empty, and read
+//!   interest is shed while a connection's write buffer is saturated
+//!   (read-backpressure instead of unbounded buffering).
+//! * **fan-out** — shard workers publish through [`EventSink`]s: a bounded
+//!   per-subscriber budget plus a mailbox the reactor drains between
+//!   readiness batches. A full budget drops the subscription (same slow-
+//!   client semantics as the blocking pump), never blocks the worker.
+//!
+//! There is no libc in this workspace, so `epoll_create1`/`epoll_ctl`/
+//! `epoll_wait` are raw syscall shims (`std::arch::asm!`) for x86_64 and
+//! aarch64 Linux — the bench targets. Everywhere else the module is a stub
+//! and [`crate::config::REACTOR_SUPPORTED`] is false (config validation
+//! rejects selecting the reactor there).
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use imp::{spawn, EventSink, Mail, Runtime};
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub use stub::{spawn, EventSink, Mail, Runtime};
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use crate::fanout::{OutBytes, SubscriberSink};
+    use crate::server::{dispatch_frame, Shared};
+    use bfly_common::{Error, FrameCodec};
+    use std::collections::{HashMap, VecDeque};
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    /// How long one `epoll_wait` sleeps with nothing ready: the reactor's
+    /// shutdown-flag poll cadence, mirroring the blocking mode's read
+    /// timeout.
+    const WAIT_TICK_MS: i32 = 100;
+    /// Finalize grace: how long the reactor keeps flushing write buffers
+    /// after the drain is complete before giving up on dead peers.
+    const FINALIZE_GRACE: Duration = Duration::from_secs(5);
+    /// Readiness batch size per `epoll_wait`.
+    const MAX_EVENTS: usize = 64;
+
+    /// Raw epoll syscall shims. Numbers differ per architecture; the shim
+    /// exposes one portable surface.
+    mod sys {
+        use std::arch::asm;
+        use std::io;
+
+        #[cfg(target_arch = "x86_64")]
+        mod nr {
+            pub const CLOSE: i64 = 3;
+            pub const EPOLL_WAIT: i64 = 232;
+            pub const EPOLL_CTL: i64 = 233;
+            pub const EPOLL_CREATE1: i64 = 291;
+        }
+        #[cfg(target_arch = "aarch64")]
+        mod nr {
+            pub const EPOLL_CREATE1: i64 = 20;
+            pub const EPOLL_CTL: i64 = 21;
+            pub const EPOLL_PWAIT: i64 = 22;
+            pub const CLOSE: i64 = 57;
+        }
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const CTL_ADD: i64 = 1;
+        pub const CTL_DEL: i64 = 2;
+        pub const CTL_MOD: i64 = 3;
+        const EPOLL_CLOEXEC: i64 = 0x80000;
+        const EINTR: i32 = 4;
+
+        /// The kernel's `struct epoll_event`. Packed on x86_64 only — the
+        /// kernel ABI quirk that keeps the 12-byte layout there.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy, Default)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+            let ret: i64;
+            asm!(
+                "syscall",
+                inlateout("rax") n => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+            ret
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+            let ret: i64;
+            asm!(
+                "svc #0",
+                in("x8") n,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack),
+            );
+            ret
+        }
+
+        fn check(ret: i64) -> io::Result<i64> {
+            if ret < 0 {
+                Err(io::Error::from_raw_os_error(-ret as i32))
+            } else {
+                Ok(ret)
+            }
+        }
+
+        /// `epoll_create1(EPOLL_CLOEXEC)`.
+        pub fn epoll_create1() -> io::Result<i32> {
+            let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+            check(ret).map(|fd| fd as i32)
+        }
+
+        /// `epoll_ctl(ep, op, fd, event)`.
+        pub fn epoll_ctl(ep: i32, op: i64, fd: i32, mut ev: EpollEvent) -> io::Result<()> {
+            // DEL must pass a null event on old kernels; everywhere else the
+            // pointer is read before the call returns, so a stack local is
+            // fine.
+            let ptr = if op == CTL_DEL {
+                0i64
+            } else {
+                &mut ev as *mut EpollEvent as i64
+            };
+            let ret = unsafe { syscall6(nr::EPOLL_CTL, ep as i64, op, fd as i64, ptr, 0, 0) };
+            check(ret).map(|_| ())
+        }
+
+        /// `epoll_wait` (x86_64) / `epoll_pwait` with a null sigmask
+        /// (aarch64, which has no plain `epoll_wait`). `EINTR` is reported
+        /// as zero events — the caller's loop re-enters anyway.
+        pub fn epoll_wait(
+            ep: i32,
+            events: &mut [EpollEvent],
+            timeout_ms: i32,
+        ) -> io::Result<usize> {
+            let ret = unsafe {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    syscall6(
+                        nr::EPOLL_WAIT,
+                        ep as i64,
+                        events.as_mut_ptr() as i64,
+                        events.len() as i64,
+                        timeout_ms as i64,
+                        0,
+                        0,
+                    )
+                }
+                #[cfg(target_arch = "aarch64")]
+                {
+                    syscall6(
+                        nr::EPOLL_PWAIT,
+                        ep as i64,
+                        events.as_mut_ptr() as i64,
+                        events.len() as i64,
+                        timeout_ms as i64,
+                        0, // null sigmask: plain epoll_wait semantics
+                        8, // sigsetsize (ignored with a null mask)
+                    )
+                }
+            };
+            match check(ret) {
+                Ok(n) => Ok(n as usize),
+                Err(e) if e.raw_os_error() == Some(EINTR) => Ok(0),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// `close(fd)` — for the epoll fd itself, which is not a std type.
+        pub fn close(fd: i32) {
+            let _ = unsafe { syscall6(nr::CLOSE, fd as i64, 0, 0, 0, 0, 0) };
+        }
+    }
+
+    /// Owned epoll instance: closes its fd on drop.
+    struct Epoll(i32);
+
+    impl Epoll {
+        fn new() -> std::io::Result<Epoll> {
+            sys::epoll_create1().map(Epoll)
+        }
+
+        fn add(&self, fd: i32, interest: u32, token: u64) -> std::io::Result<()> {
+            sys::epoll_ctl(
+                self.0,
+                sys::CTL_ADD,
+                fd,
+                sys::EpollEvent {
+                    events: interest,
+                    data: token,
+                },
+            )
+        }
+
+        fn modify(&self, fd: i32, interest: u32, token: u64) -> std::io::Result<()> {
+            sys::epoll_ctl(
+                self.0,
+                sys::CTL_MOD,
+                fd,
+                sys::EpollEvent {
+                    events: interest,
+                    data: token,
+                },
+            )
+        }
+
+        fn del(&self, fd: i32) {
+            let _ = sys::epoll_ctl(self.0, sys::CTL_DEL, fd, sys::EpollEvent::default());
+        }
+
+        fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> std::io::Result<usize> {
+            sys::epoll_wait(self.0, events, timeout_ms)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            sys::close(self.0);
+        }
+    }
+
+    /// Cross-thread input to the reactor.
+    pub enum Mail {
+        /// Fan one publication frame out to connection `conn`.
+        Publish {
+            /// Target connection id.
+            conn: u64,
+            /// The serialized frame.
+            bytes: OutBytes,
+        },
+        /// Drain complete (workers joined, registry cleared): flush every
+        /// write buffer and exit.
+        Finalize,
+    }
+
+    /// The reactor's cross-thread face: a mailbox plus a wake pipe. Shard
+    /// workers push publications here; [`crate::server::Server::join`]
+    /// pushes the final [`Mail::Finalize`].
+    pub struct ReactorShared {
+        mailbox: Mutex<VecDeque<Mail>>,
+        /// Write side of the wake pipe (nonblocking; a full pipe already
+        /// means a wake is pending).
+        wake_tx: UnixStream,
+    }
+
+    impl ReactorShared {
+        /// Enqueue one mail and wake the loop.
+        pub fn push(&self, mail: Mail) {
+            self.mailbox
+                .lock()
+                .expect("reactor mailbox poisoned")
+                .push_back(mail);
+            let _ = (&self.wake_tx).write(&[1]);
+        }
+
+        fn drain(&self) -> Vec<Mail> {
+            let mut box_ = self.mailbox.lock().expect("reactor mailbox poisoned");
+            box_.drain(..).collect()
+        }
+    }
+
+    /// A subscriber's sink in reactor mode: a bounded count of in-flight
+    /// publication frames for one connection. `try_send` reserves budget and
+    /// mails the frame; the budget is released only when the frame has fully
+    /// reached the socket — so a stalled peer exhausts its budget and is
+    /// dropped by the registry, exactly like a full pump queue in blocking
+    /// mode.
+    pub struct EventSink {
+        conn: u64,
+        shared: Arc<ReactorShared>,
+        pending: AtomicUsize,
+        cap: usize,
+        closed: AtomicBool,
+    }
+
+    impl EventSink {
+        /// Try to enqueue one publication frame; `Err` when the connection
+        /// is gone or its event budget is exhausted.
+        pub(crate) fn try_send(&self, bytes: OutBytes) -> Result<(), ()> {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(());
+            }
+            let mut p = self.pending.load(Ordering::Relaxed);
+            loop {
+                if p >= self.cap {
+                    return Err(());
+                }
+                match self.pending.compare_exchange_weak(
+                    p,
+                    p + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => p = seen,
+                }
+            }
+            self.shared.push(Mail::Publish {
+                conn: self.conn,
+                bytes,
+            });
+            Ok(())
+        }
+
+        /// One mailed frame fully reached the socket: release its budget.
+        fn complete(&self) {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+        }
+
+        fn close(&self) {
+            self.closed.store(true, Ordering::Release);
+        }
+    }
+
+    /// A live reactor: join the thread after pushing [`Mail::Finalize`].
+    pub struct Runtime {
+        /// The reactor thread.
+        pub thread: JoinHandle<()>,
+        /// Mailbox/wake handle.
+        pub shared: Arc<ReactorShared>,
+    }
+
+    /// Spawn the reactor thread over an already-bound listener.
+    pub fn spawn(listener: TcpListener, srv: Arc<Shared>) -> std::io::Result<Runtime> {
+        listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let shared = Arc::new(ReactorShared {
+            mailbox: Mutex::new(VecDeque::new()),
+            wake_tx,
+        });
+        let ep = Epoll::new()?;
+        ep.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+        ep.add(wake_rx.as_raw_fd(), sys::EPOLLIN, TOKEN_WAKE)?;
+        srv.reactor.fds.store(2, Ordering::Relaxed);
+        let thread_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("bfly-reactor".into())
+            .spawn(move || {
+                Reactor {
+                    ep,
+                    listener: Some(listener),
+                    wake_rx,
+                    conns: HashMap::new(),
+                    srv,
+                    shared: thread_shared,
+                    finalize_at: None,
+                }
+                .run()
+            })
+            .expect("spawn reactor thread");
+        Ok(Runtime { thread, shared })
+    }
+
+    const TOKEN_LISTENER: u64 = u64::MAX;
+    const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+    /// One buffered outbound chunk; `event` marks frames that hold
+    /// [`EventSink`] budget.
+    struct WChunk {
+        bytes: OutBytes,
+        off: usize,
+        event: bool,
+    }
+
+    /// Per-connection state machine.
+    struct Conn {
+        stream: TcpStream,
+        codec: FrameCodec,
+        wbuf: VecDeque<WChunk>,
+        sink: Arc<EventSink>,
+        /// Epoll interest currently registered for this fd.
+        interest: u32,
+        /// No more reads; flush `wbuf`, then close.
+        closing: bool,
+    }
+
+    struct Reactor {
+        ep: Epoll,
+        listener: Option<TcpListener>,
+        wake_rx: UnixStream,
+        conns: HashMap<u64, Conn>,
+        srv: Arc<Shared>,
+        shared: Arc<ReactorShared>,
+        /// Set when [`Mail::Finalize`] arrives: flush deadline.
+        finalize_at: Option<Instant>,
+    }
+
+    impl Reactor {
+        fn run(mut self) {
+            let mut events = [sys::EpollEvent::default(); MAX_EVENTS];
+            loop {
+                self.process_mailbox();
+                if self.srv.shutdown.load(Ordering::SeqCst) {
+                    self.drop_listener();
+                }
+                self.reap_closed();
+                if let Some(deadline) = self.finalize_at {
+                    if self.conns.is_empty() || Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                let n = match self.ep.wait(&mut events, WAIT_TICK_MS) {
+                    Ok(n) => n,
+                    Err(_) => break,
+                };
+                if n > 0 {
+                    self.srv.reactor.wakeups.fetch_add(1, Ordering::Relaxed);
+                }
+                for ev in &events[..n] {
+                    // Copy out of the (possibly packed) kernel struct.
+                    let token = ev.data;
+                    let ready = ev.events;
+                    match token {
+                        TOKEN_LISTENER => self.accept_burst(),
+                        TOKEN_WAKE => self.drain_wake(),
+                        conn_id => {
+                            if ready & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                                self.conn_write(conn_id);
+                            }
+                            if ready & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                                self.conn_read(conn_id);
+                            }
+                        }
+                    }
+                }
+            }
+            self.srv.reactor.fds.store(0, Ordering::Relaxed);
+        }
+
+        fn drop_listener(&mut self) {
+            if let Some(listener) = self.listener.take() {
+                self.ep.del(listener.as_raw_fd());
+                self.srv.reactor.fds.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        fn accept_burst(&mut self) {
+            loop {
+                let Some(listener) = self.listener.as_ref() else {
+                    return;
+                };
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let conn_id = self.srv.conn_seq.fetch_add(1, Ordering::Relaxed);
+                        let sink = Arc::new(EventSink {
+                            conn: conn_id,
+                            shared: self.shared.clone(),
+                            pending: AtomicUsize::new(0),
+                            cap: self.srv.cfg.out_queue_cap,
+                            closed: AtomicBool::new(false),
+                        });
+                        let conn = Conn {
+                            stream,
+                            codec: FrameCodec::with_max(self.srv.cfg.max_frame_bytes),
+                            wbuf: VecDeque::new(),
+                            sink,
+                            interest: sys::EPOLLIN,
+                            closing: false,
+                        };
+                        if self
+                            .ep
+                            .add(conn.stream.as_raw_fd(), sys::EPOLLIN, conn_id)
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        self.srv
+                            .reactor
+                            .accepted_conns
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.srv.reactor.fds.fetch_add(1, Ordering::Relaxed);
+                        self.conns.insert(conn_id, conn);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return,
+                }
+            }
+        }
+
+        fn drain_wake(&mut self) {
+            let mut sink = [0u8; 64];
+            while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+
+        /// Deliver mailed publications into connection write buffers.
+        fn process_mailbox(&mut self) {
+            let mails = self.shared.drain();
+            let mut touched = Vec::new();
+            for mail in mails {
+                match mail {
+                    Mail::Publish { conn, bytes } => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.wbuf.push_back(WChunk {
+                                bytes,
+                                off: 0,
+                                event: true,
+                            });
+                            if !touched.contains(&conn) {
+                                touched.push(conn);
+                            }
+                        }
+                        // Connection already gone: the frame is dropped, and
+                        // its sink is closed so the registry sheds the
+                        // subscription on the next publish.
+                    }
+                    Mail::Finalize => {
+                        self.finalize_at = Some(Instant::now() + FINALIZE_GRACE);
+                        let ids: Vec<u64> = self.conns.keys().copied().collect();
+                        for id in ids {
+                            self.start_closing(id);
+                        }
+                    }
+                }
+            }
+            for id in touched {
+                self.conn_write(id);
+            }
+        }
+
+        /// Stop reading `id`: unsubscribe, refuse new events, flush what is
+        /// buffered, then close.
+        fn start_closing(&mut self, id: u64) {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                if !conn.closing {
+                    conn.closing = true;
+                    conn.sink.close();
+                    self.srv.registry.unsubscribe_conn(id);
+                }
+                self.update_interest(id);
+            }
+        }
+
+        /// Re-register the fd's epoll interest from its state: read interest
+        /// unless closing or write-saturated (read-backpressure), write
+        /// interest while anything is buffered.
+        fn update_interest(&mut self, id: u64) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let mut want = 0;
+            if !conn.closing && conn.wbuf.len() <= self.srv.cfg.out_queue_cap {
+                want |= sys::EPOLLIN;
+            }
+            if !conn.wbuf.is_empty() {
+                want |= sys::EPOLLOUT;
+            }
+            if want != conn.interest {
+                let _ = self.ep.modify(conn.stream.as_raw_fd(), want, id);
+                conn.interest = want;
+            }
+        }
+
+        /// Read burst: consume socket bytes, decode frames, dispatch.
+        fn conn_read(&mut self, id: u64) {
+            let srv = self.srv.clone();
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.closing {
+                return;
+            }
+            let sink = conn.sink.clone();
+            let mut eof = false;
+            let mut dead = false;
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.codec.extend(&buf[..n]);
+                        loop {
+                            match conn.codec.next_frame() {
+                                Ok(Some(frame)) => {
+                                    let mut replies: Vec<OutBytes> = Vec::new();
+                                    dispatch_frame(
+                                        id,
+                                        frame,
+                                        &srv,
+                                        &mut |bytes| {
+                                            replies.push(bytes);
+                                            true
+                                        },
+                                        &mut || SubscriberSink::Event(sink.clone()),
+                                    );
+                                    for bytes in replies {
+                                        conn.wbuf.push_back(WChunk {
+                                            bytes,
+                                            off: 0,
+                                            event: false,
+                                        });
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(Error::Parse(msg)) => {
+                                    // Same contract as the blocking handler:
+                                    // malformed frames are recoverable (the
+                                    // codec stays aligned), oversized ones
+                                    // end the connection after the reply.
+                                    conn.wbuf.push_back(WChunk {
+                                        bytes: crate::fanout::json_line(
+                                            &crate::protocol::error_reply(&msg),
+                                        ),
+                                        off: 0,
+                                        event: false,
+                                    });
+                                    if msg.contains("oversized") {
+                                        eof = true;
+                                        break;
+                                    }
+                                }
+                                Err(_) => {
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if eof || dead {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                self.teardown(id);
+                return;
+            }
+            if eof {
+                // Mirror the blocking shape: stop reading, drain what is
+                // buffered, then close.
+                self.start_closing(id);
+            }
+            self.conn_write(id);
+        }
+
+        /// Write burst: drain the connection's buffered chunks until the
+        /// socket pushes back.
+        fn conn_write(&mut self, id: u64) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let mut dead = false;
+            while let Some(chunk) = conn.wbuf.front_mut() {
+                let remaining = &chunk.bytes[chunk.off..];
+                match conn.stream.write(remaining) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        chunk.off += n;
+                        if chunk.off == chunk.bytes.len() {
+                            let done = conn.wbuf.pop_front().expect("front just written");
+                            if done.event {
+                                conn.sink.complete();
+                            }
+                        } else {
+                            self.srv
+                                .reactor
+                                .partial_writes
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        self.srv
+                            .reactor
+                            .partial_writes
+                            .fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead || (conn.closing && conn.wbuf.is_empty()) {
+                self.teardown(id);
+            } else {
+                self.update_interest(id);
+            }
+        }
+
+        /// Remove a connection entirely: deregister, unsubscribe, close.
+        fn teardown(&mut self, id: u64) {
+            if let Some(conn) = self.conns.remove(&id) {
+                self.ep.del(conn.stream.as_raw_fd());
+                conn.sink.close();
+                self.srv.registry.unsubscribe_conn(id);
+                self.srv.reactor.fds.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        /// Sweep connections that finished closing outside an event (e.g.
+        /// marked by Finalize with an already-empty buffer).
+        fn reap_closed(&mut self) {
+            let done: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.closing && c.wbuf.is_empty())
+                .map(|(id, _)| *id)
+                .collect();
+            for id in done {
+                self.teardown(id);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn epoll_observes_pipe_readiness() {
+            let ep = Epoll::new().unwrap();
+            let (a, b) = UnixStream::pair().unwrap();
+            a.set_nonblocking(true).unwrap();
+            b.set_nonblocking(true).unwrap();
+            ep.add(a.as_raw_fd(), sys::EPOLLIN, 7).unwrap();
+
+            let mut events = [sys::EpollEvent::default(); 4];
+            // Nothing written yet: a zero-timeout wait sees nothing.
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+            (&b).write_all(&[1]).unwrap();
+            let n = ep.wait(&mut events, 1000).unwrap();
+            assert_eq!(n, 1);
+            let data = events[0].data;
+            let ready = events[0].events;
+            assert_eq!(data, 7);
+            assert_ne!(ready & sys::EPOLLIN, 0);
+
+            // Level-triggered: still ready until drained.
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+            let mut buf = [0u8; 8];
+            let _ = (&a).read(&mut buf).unwrap();
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        }
+
+        #[test]
+        fn epoll_mod_and_del_change_interest() {
+            let ep = Epoll::new().unwrap();
+            let (a, b) = UnixStream::pair().unwrap();
+            a.set_nonblocking(true).unwrap();
+            ep.add(a.as_raw_fd(), sys::EPOLLIN, 1).unwrap();
+            (&b).write_all(&[1]).unwrap();
+            let mut events = [sys::EpollEvent::default(); 4];
+            assert_eq!(ep.wait(&mut events, 100).unwrap(), 1);
+
+            // Drop read interest: the pending byte no longer wakes us.
+            ep.modify(a.as_raw_fd(), 0, 1).unwrap();
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+            ep.modify(a.as_raw_fd(), sys::EPOLLIN, 1).unwrap();
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+
+            ep.del(a.as_raw_fd());
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        }
+
+        fn test_sink(cap: usize) -> (Arc<ReactorShared>, EventSink) {
+            let (_rx, wake_tx) = UnixStream::pair().unwrap();
+            wake_tx.set_nonblocking(true).unwrap();
+            let shared = Arc::new(ReactorShared {
+                mailbox: Mutex::new(VecDeque::new()),
+                wake_tx,
+            });
+            let sink = EventSink {
+                conn: 9,
+                shared: shared.clone(),
+                pending: AtomicUsize::new(0),
+                cap,
+                closed: AtomicBool::new(false),
+            };
+            (shared, sink)
+        }
+
+        #[test]
+        fn event_sink_budget_bounds_inflight_frames() {
+            let (shared, sink) = test_sink(2);
+            let bytes: OutBytes = Arc::from(b"x".to_vec().into_boxed_slice());
+            assert!(sink.try_send(bytes.clone()).is_ok());
+            assert!(sink.try_send(bytes.clone()).is_ok());
+            assert!(sink.try_send(bytes.clone()).is_err(), "budget must cap");
+            assert_eq!(shared.drain().len(), 2, "only reserved sends are mailed");
+        }
+
+        #[test]
+        fn event_sink_budget_releases_on_complete_and_close_is_final() {
+            let (shared, sink) = test_sink(1);
+            let bytes: OutBytes = Arc::from(b"x".to_vec().into_boxed_slice());
+            assert!(sink.try_send(bytes.clone()).is_ok());
+            assert!(sink.try_send(bytes.clone()).is_err());
+            sink.complete();
+            assert!(sink.try_send(bytes.clone()).is_ok());
+            sink.close();
+            sink.complete();
+            assert!(sink.try_send(bytes).is_err(), "closed sink must refuse");
+            assert_eq!(
+                shared
+                    .drain()
+                    .iter()
+                    .filter(|m| matches!(m, Mail::Publish { conn: 9, .. }))
+                    .count(),
+                2
+            );
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod stub {
+    use crate::fanout::OutBytes;
+    use crate::server::Shared;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    /// Unsupported-platform stand-in; see the module docs.
+    pub enum Mail {
+        /// Matches the real variant for call sites.
+        Publish {
+            /// Target connection id.
+            conn: u64,
+            /// The serialized frame.
+            bytes: OutBytes,
+        },
+        /// Matches the real variant for call sites.
+        Finalize,
+    }
+
+    /// Unsupported-platform stand-in: never constructed at runtime
+    /// (config validation rejects reactor mode here).
+    pub struct ReactorShared;
+
+    impl ReactorShared {
+        /// No-op on the stub.
+        pub fn push(&self, _mail: Mail) {}
+    }
+
+    /// Unsupported-platform stand-in; never constructed.
+    pub struct EventSink;
+
+    impl EventSink {
+        pub(crate) fn try_send(&self, _bytes: OutBytes) -> Result<(), ()> {
+            Err(())
+        }
+    }
+
+    /// Unsupported-platform stand-in; never constructed.
+    pub struct Runtime {
+        /// Never spawned.
+        pub thread: JoinHandle<()>,
+        /// Never constructed.
+        pub shared: Arc<ReactorShared>,
+    }
+
+    /// Always fails: the reactor needs the Linux epoll shims.
+    pub fn spawn(_listener: TcpListener, _srv: Arc<Shared>) -> std::io::Result<Runtime> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "reactor io mode is not supported on this platform",
+        ))
+    }
+}

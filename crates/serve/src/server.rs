@@ -1,35 +1,44 @@
-//! The TCP server: accept loop, connection handlers, shard plumbing, and
-//! graceful shutdown.
+//! The TCP server: accept/readiness plumbing, request dispatch, shard
+//! wiring, and graceful shutdown.
 //!
-//! Thread shape: one accept thread, one worker thread per shard, and per
-//! connection a reader (handler) plus a writer (pump). The pump is the
-//! *only* thread writing to a connection, so reply lines and subscription
-//! events never interleave mid-line; it drains a bounded queue, which is
-//! what lets shard workers fan out releases without ever blocking on a slow
-//! client.
+//! Two io modes share one protocol brain ([`dispatch_frame`]):
+//!
+//! * **Reactor** (default where supported): one thread owns accept and
+//!   every connection through a nonblocking readiness loop — see
+//!   [`crate::reactor`]. Replies append to per-connection write buffers;
+//!   subscriber fan-out arrives through the reactor mailbox.
+//! * **Blocking** (legacy, and the fallback elsewhere): one accept thread,
+//!   and per connection a reader (handler) plus a writer (pump). The pump
+//!   is the only thread writing to a connection, so frames never interleave
+//!   mid-frame; it drains a bounded queue, which is what lets shard workers
+//!   fan out releases without ever blocking on a slow client.
 //!
 //! Shutdown (the `shutdown` verb or [`Server::shutdown`]) runs the drain
-//! protocol:
+//! protocol in either mode:
 //!
 //! 1. the shutdown flag flips and the shard ingress senders are dropped —
-//!    new ingests get a `shutting-down` reply;
+//!    new ingests get a `shutting-down` reply; the listener stops accepting;
 //! 2. each shard worker consumes its already-accepted queue, flushes every
 //!    pipeline whose full window still owes a release, publishes those, and
-//!    sends each of its streams' subscribers a `closed` event;
-//! 3. handler threads notice the flag (reads time out every 100 ms) and
-//!    exit — subscriber connections only once the drain has closed their
-//!    streams, so no event is cut off; pumps drain their outbound queues
-//!    and close the sockets;
+//!    sends each of its streams' subscribers a `closed` event — delivered by
+//!    the pump or the reactor loop independently of [`Server::join`], so a
+//!    subscriber that itself issued `shutdown` still receives its drain
+//!    events;
+//! 3. connections close: blocking handlers notice the flag at their poll
+//!    tick (subscribers only once the drain has closed their streams); the
+//!    reactor flushes every write buffer after the final
+//!    [`crate::reactor::Mail::Finalize`];
 //! 4. [`Server::join`] reaps every thread. No buffer anywhere is unbounded
 //!    at any point in this sequence.
 
 use crate::binding::DefenseBindings;
-use crate::config::{fnv1a, ServeConfig};
-use crate::fanout::{OutLine, SubscriberRegistry};
+use crate::config::{fnv1a, IoMode, ServeConfig};
+use crate::fanout::{json_line, OutBytes, SubscriberRegistry, SubscriberSink};
 use crate::protocol::{error_reply, ingest_ok, ingest_overloaded, Request};
+use crate::reactor;
 use crate::shard::{spawn_shard, ShardIngress};
-use crate::stats::ShardStats;
-use bfly_common::{Error, FrameReader, Json, Result};
+use crate::stats::{ReactorStats, ShardStats};
+use bfly_common::{BinaryFrame, Error, Frame, FrameReader, ItemSet, Json, Result};
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,32 +53,35 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// wedging shutdown.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
-struct Shared {
-    cfg: ServeConfig,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: AtomicBool,
     /// `None` once shutdown began: dropping the senders is what tells the
     /// shard workers to drain and exit.
-    ingress: RwLock<Option<Vec<ShardIngress>>>,
-    stats: Vec<Arc<ShardStats>>,
-    registry: Arc<SubscriberRegistry>,
-    bindings: Arc<DefenseBindings>,
-    conn_seq: AtomicU64,
-    conns: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) ingress: RwLock<Option<Vec<ShardIngress>>>,
+    pub(crate) stats: Vec<Arc<ShardStats>>,
+    pub(crate) registry: Arc<SubscriberRegistry>,
+    pub(crate) bindings: Arc<DefenseBindings>,
+    pub(crate) conn_seq: AtomicU64,
+    pub(crate) conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Reactor telemetry (zeros in blocking mode).
+    pub(crate) reactor: Arc<ReactorStats>,
 }
 
 impl Shared {
-    fn trigger_shutdown(&self) {
+    pub(crate) fn trigger_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         *self.ingress.write().expect("ingress poisoned") = None;
-        // Wake the accept loop so it observes the flag.
+        // Wake whichever io loop is blocked on the listener so it observes
+        // the flag (the reactor also polls it on its wait tick).
         let _ = TcpStream::connect(self.addr);
     }
 
-    fn stats_json(&self) -> Json {
-        Json::obj([
+    pub(crate) fn stats_json(&self) -> Json {
+        let mut fields = vec![
             ("ok", Json::Bool(true)),
             ("shards", Json::from(self.cfg.shards as u64)),
             (
@@ -84,20 +96,31 @@ impl Shared {
             ),
             ("subscribers", Json::from(self.registry.len() as u64)),
             ("draining", Json::Bool(self.shutdown.load(Ordering::SeqCst))),
-        ])
+            ("io", Json::from(self.cfg.io.name())),
+        ];
+        if self.cfg.io == IoMode::Reactor {
+            fields.push(("reactor", self.reactor.to_json()));
+        }
+        Json::obj(fields)
     }
+}
+
+/// The io-mode-specific runtime half of a [`Server`].
+enum IoRuntime {
+    Blocking { accept: Option<JoinHandle<()>> },
+    Reactor { runtime: Option<reactor::Runtime> },
 }
 
 /// A running Butterfly stream service.
 pub struct Server {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    io: IoRuntime,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), spawn the
-    /// shard workers and the accept loop, and return immediately.
+    /// shard workers and the configured io loop, and return immediately.
     ///
     /// # Errors
     /// [`Error::Parse`] for an invalid config, [`Error::Io`] for bind
@@ -135,17 +158,26 @@ impl Server {
             bindings,
             conn_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
+            reactor: Arc::new(ReactorStats::default()),
         });
-        let accept = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("bfly-accept".into())
-                .spawn(move || accept_loop(listener, shared))
-                .expect("spawn accept loop")
+        let io = match shared.cfg.io {
+            IoMode::Blocking => {
+                let accept_shared = shared.clone();
+                let accept = std::thread::Builder::new()
+                    .name("bfly-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared))
+                    .expect("spawn accept loop");
+                IoRuntime::Blocking {
+                    accept: Some(accept),
+                }
+            }
+            IoMode::Reactor => IoRuntime::Reactor {
+                runtime: Some(reactor::spawn(listener, shared.clone())?),
+            },
         };
         Ok(Server {
             shared,
-            accept: Some(accept),
+            io,
             workers,
         })
     }
@@ -175,8 +207,10 @@ impl Server {
     /// has yet, so `server.join()` alone is a valid full stop.
     pub fn join(mut self) {
         self.shared.trigger_shutdown();
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let IoRuntime::Blocking { accept } = &mut self.io {
+            if let Some(accept) = accept.take() {
+                let _ = accept.join();
+            }
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -184,10 +218,23 @@ impl Server {
         // Workers closed the streams they owned; drop whatever subscribers
         // remain (streams that never ingested a record).
         self.shared.registry.clear();
-        let conns: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.shared.conns.lock().expect("conns poisoned"));
-        for c in conns {
-            let _ = c.join();
+        match &mut self.io {
+            IoRuntime::Blocking { .. } => {
+                let conns: Vec<JoinHandle<()>> =
+                    std::mem::take(&mut *self.shared.conns.lock().expect("conns poisoned"));
+                for c in conns {
+                    let _ = c.join();
+                }
+            }
+            IoRuntime::Reactor { runtime } => {
+                // Every drain publication was mailed before this point
+                // (workers are joined); Finalize rides behind them in FIFO
+                // order, so the reactor flushes everything, then exits.
+                if let Some(rt) = runtime.take() {
+                    rt.shared.push(reactor::Mail::Finalize);
+                    let _ = rt.thread.join();
+                }
+            }
         }
     }
 }
@@ -211,8 +258,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Serialize a reply and enqueue it on the connection's outbound queue,
 /// blocking if the pump is behind (per-request backpressure). `Err` means
 /// the pump died — the connection is gone.
-fn send_line(out: &SyncSender<OutLine>, value: Json) -> std::result::Result<(), ()> {
-    out.send(Arc::from(value.to_string())).map_err(|_| ())
+fn send_line(out: &SyncSender<OutBytes>, value: Json) -> std::result::Result<(), ()> {
+    out.send(json_line(&value)).map_err(|_| ())
 }
 
 fn handle_conn(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
@@ -221,13 +268,13 @@ fn handle_conn(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
         return;
     };
     let _ = write_half.set_write_timeout(Some(WRITE_TIMEOUT));
-    let (out_tx, out_rx) = sync_channel::<OutLine>(shared.cfg.out_queue_cap);
+    let (out_tx, out_rx) = sync_channel::<OutBytes>(shared.cfg.out_queue_cap);
     let pump = std::thread::Builder::new()
         .name(format!("bfly-pump-{conn_id}"))
         .spawn(move || writer_pump(out_rx, write_half))
         .expect("spawn writer pump");
 
-    let mut frames = FrameReader::new(stream);
+    let mut frames = FrameReader::with_max(stream, shared.cfg.max_frame_bytes);
     loop {
         // During shutdown a plain connection exits at the next poll tick,
         // but a subscriber must stay until the drain closes its streams
@@ -235,9 +282,16 @@ fn handle_conn(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) && !shared.registry.has_conn(conn_id) {
             break;
         }
-        match frames.next_frame() {
+        match frames.next_any() {
             Ok(Some(frame)) => {
-                if !dispatch(conn_id, &frame, &out_tx, &shared) {
+                let ok = dispatch_frame(
+                    conn_id,
+                    frame,
+                    &shared,
+                    &mut |bytes| out_tx.send(bytes).is_ok(),
+                    &mut || SubscriberSink::Channel(out_tx.clone()),
+                );
+                if !ok {
                     break;
                 }
             }
@@ -250,9 +304,9 @@ fn handle_conn(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
             }
             Err(Error::Io(_)) => break,
             Err(Error::Parse(msg)) => {
-                // Malformed JSON is recoverable (the framer stays aligned);
-                // an oversized frame is not — the tail of the huge line
-                // would parse as garbage frames.
+                // A malformed frame is recoverable (the framer stays
+                // aligned); an oversized one is not — the tail of the huge
+                // frame would parse as garbage frames.
                 let fatal = msg.contains("oversized");
                 if send_line(&out_tx, error_reply(&msg)).is_err() || fatal {
                     break;
@@ -269,29 +323,48 @@ fn handle_conn(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
     let _ = pump.join();
 }
 
-/// Handle one request; `false` ends the connection.
-fn dispatch(conn_id: u64, frame: &Json, out: &SyncSender<OutLine>, shared: &Shared) -> bool {
-    let request = match Request::from_json(frame) {
-        Ok(r) => r,
-        Err(e) => return send_line(out, error_reply(&e.to_string())).is_ok(),
+/// Handle one decoded frame of either encoding. `reply` emits one reply
+/// frame and reports whether the connection can still be written; `false`
+/// from `dispatch_frame` ends the connection. `make_sink` builds this
+/// connection's subscriber sink on demand (a pump queue clone in blocking
+/// mode, an [`crate::reactor::EventSink`] in reactor mode) — the one seam
+/// where the io modes differ.
+pub(crate) fn dispatch_frame(
+    conn_id: u64,
+    frame: Frame,
+    shared: &Shared,
+    reply: &mut dyn FnMut(OutBytes) -> bool,
+    make_sink: &mut dyn FnMut() -> SubscriberSink,
+) -> bool {
+    let mut send = |value: Json| reply(json_line(&value));
+    let request = match frame {
+        Frame::Json(v) => match Request::from_json(&v) {
+            Ok(r) => r,
+            Err(e) => return send(error_reply(&e.to_string())),
+        },
+        // Binary ingest is the one client→server binary frame; it joins the
+        // JSON path here, so everything downstream is encoding-agnostic.
+        Frame::Binary(BinaryFrame::Ingest { stream, batch }) => Request::Ingest { stream, batch },
+        Frame::Binary(_) => {
+            // Release frames flow server→subscriber only; a client sending
+            // one is confused, not fatal (the codec stays aligned).
+            return send(error_reply("unexpected event frame from a client"));
+        }
     };
     match request {
-        Request::Ping => send_line(
-            out,
-            Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
-        )
-        .is_ok(),
-        Request::Stats => send_line(out, shared.stats_json()).is_ok(),
-        Request::Subscribe { stream } => {
-            shared.registry.subscribe(&stream, conn_id, out.clone());
-            send_line(
-                out,
-                Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("stream", Json::from(stream.as_str())),
-                ]),
-            )
-            .is_ok()
+        Request::Ping => send(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("pong", Json::Bool(true)),
+        ])),
+        Request::Stats => send(shared.stats_json()),
+        Request::Subscribe { stream, frame } => {
+            shared
+                .registry
+                .subscribe(&stream, conn_id, frame, make_sink());
+            send(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("stream", Json::from(stream.as_str())),
+            ]))
         }
         Request::Bind { stream, defense } => {
             // The defense name already parsed (unknown names were rejected
@@ -305,7 +378,7 @@ fn dispatch(conn_id: u64, frame: &Json, out: &SyncSender<OutLine>, shared: &Shar
                 ]),
                 Err(e) => error_reply(&e),
             };
-            send_line(out, reply).is_ok()
+            send(reply)
         }
         Request::Ingest { stream, batch } => {
             let reply = {
@@ -315,13 +388,23 @@ fn dispatch(conn_id: u64, frame: &Json, out: &SyncSender<OutLine>, shared: &Shar
                     Some(shards) => {
                         let shard = &shards[(fnv1a(&stream) % shards.len() as u64) as usize];
                         let key: Arc<str> = Arc::from(stream.as_str());
+                        // Coarse submission: one queue operation per chunk,
+                        // not per transaction. Shedding is all-or-nothing
+                        // per chunk, still counted in transactions.
+                        let chunk_size = shared.cfg.effective_ingest_chunk();
+                        let mut it = batch.into_iter();
                         let mut accepted = 0;
                         let mut shed = 0;
-                        for items in batch {
-                            if shard.offer(&key, items) {
-                                accepted += 1;
+                        loop {
+                            let chunk: Vec<ItemSet> = it.by_ref().take(chunk_size).collect();
+                            if chunk.is_empty() {
+                                break;
+                            }
+                            let n = chunk.len();
+                            if shard.offer(&key, chunk) {
+                                accepted += n;
                             } else {
-                                shed += 1;
+                                shed += n;
                             }
                         }
                         if shed == 0 {
@@ -332,33 +415,35 @@ fn dispatch(conn_id: u64, frame: &Json, out: &SyncSender<OutLine>, shared: &Shar
                     }
                 }
             };
-            send_line(out, reply).is_ok()
+            send(reply)
         }
         Request::Shutdown => {
-            let sent = send_line(
-                out,
-                Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
-            );
+            let sent = send(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
+            ]));
             shared.trigger_shutdown();
-            // Keep the handler alive: its loop condition closes a plain
-            // connection at the next poll tick, but lets a connection that
-            // also holds subscriptions linger until the drain has closed its
-            // streams — issuing `shutdown` must not cut off your own events.
-            sent.is_ok()
+            // Keep the connection alive: in blocking mode the handler's loop
+            // condition closes a plain connection at the next poll tick but
+            // lets a subscriber linger until the drain has closed its
+            // streams; the reactor keeps every connection until Finalize —
+            // issuing `shutdown` must not cut off your own events.
+            sent
         }
     }
 }
 
-/// The single writer for one connection: drains the outbound queue into the
-/// socket, flushing at queue boundaries so pipelined replies coalesce.
-fn writer_pump(rx: Receiver<OutLine>, stream: TcpStream) {
+/// The single writer for one connection (blocking mode): drains the
+/// outbound queue into the socket, flushing at queue boundaries so
+/// pipelined frames coalesce.
+fn writer_pump(rx: Receiver<OutBytes>, stream: TcpStream) {
     let mut w = BufWriter::new(stream);
-    'outer: while let Ok(line) = rx.recv() {
-        if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+    'outer: while let Ok(bytes) = rx.recv() {
+        if w.write_all(&bytes).is_err() {
             break;
         }
         while let Ok(more) = rx.try_recv() {
-            if w.write_all(more.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            if w.write_all(&more).is_err() {
                 break 'outer;
             }
         }

@@ -7,11 +7,20 @@
 //! [`StreamPipeline`]s and fanning sanitized releases out through the
 //! subscriber registry.
 //!
+//! **Batching.** A job carries a chunk of transactions for one stream key
+//! (up to [`ServeConfig::effective_ingest_chunk`]), so the channel cost —
+//! one send, one wakeup — is paid per chunk rather than per record. The
+//! shed budget stays denominated in *transactions*: `queue_depth` tracks
+//! enqueued records, and a chunk is accepted only if the whole chunk fits
+//! under `queue_cap`, reserved with a compare-exchange so concurrent
+//! connections cannot oversubscribe the queue.
+//!
 //! **Ordering and determinism.** A stream key lives on exactly one shard,
 //! so one stream's records are processed in the order its clients' ingests
 //! were accepted, by one thread — the same total order an in-process
-//! pipeline would see. Cross-key interleaving inside a shard does not
-//! matter: pipelines share no state, and each key's publisher noise is
+//! pipeline would see; chunking changes how many records ride one channel
+//! message, never their order. Cross-key interleaving inside a shard does
+//! not matter: pipelines share no state, and each key's publisher noise is
 //! seeded from `(base seed, key)` alone.
 //!
 //! **Drain.** When the server shuts down it drops the ingress senders; the
@@ -22,8 +31,8 @@
 
 use crate::binding::DefenseBindings;
 use crate::config::ServeConfig;
-use crate::fanout::SubscriberRegistry;
-use crate::protocol::{closed_event, release_delta_event, release_event};
+use crate::fanout::{json_line, SubscriberRegistry};
+use crate::protocol::{closed_event, release_delta_frame_bytes, release_frame_bytes};
 use crate::stats::ShardStats;
 use bfly_common::{ItemSet, Transaction};
 use bfly_core::{PrivacyDefense, StreamPipeline, WindowRelease};
@@ -36,12 +45,12 @@ use std::thread::JoinHandle;
 
 /// One unit of shard work.
 pub(crate) enum Job {
-    /// One accepted transaction for one stream key.
+    /// A chunk of accepted transactions for one stream key.
     Ingest {
         /// Stream key (shared, not cloned per record).
         key: Arc<str>,
-        /// The transaction's items.
-        items: ItemSet,
+        /// The chunk's transactions, in arrival order.
+        chunk: Vec<ItemSet>,
     },
 }
 
@@ -50,23 +59,56 @@ pub(crate) enum Job {
 pub(crate) struct ShardIngress {
     tx: SyncSender<Job>,
     stats: Arc<ShardStats>,
+    /// Queue capacity in *transactions* — the shed budget.
+    cap: usize,
 }
 
 impl ShardIngress {
-    /// Try to enqueue one transaction; `true` if accepted, `false` if the
-    /// queue is full and the record was shed.
-    pub(crate) fn offer(&self, key: &Arc<str>, items: ItemSet) -> bool {
+    /// Try to enqueue one chunk of transactions; `true` if the whole chunk
+    /// was accepted, `false` if it was shed because it does not fit in the
+    /// remaining queue budget. All-or-nothing per chunk: the caller sizes
+    /// chunks via [`ServeConfig::effective_ingest_chunk`], which never
+    /// exceeds the budget, so an empty queue always accepts a full chunk.
+    pub(crate) fn offer(&self, key: &Arc<str>, chunk: Vec<ItemSet>) -> bool {
+        let n = chunk.len() as u64;
+        if chunk.is_empty() {
+            return true;
+        }
+        // Reserve the chunk's budget before touching the channel: depth is
+        // shared by every connection handler, and the compare-exchange makes
+        // reservation atomic — two handlers cannot both claim the last slot.
+        let mut depth = self.stats.queue_depth.load(Ordering::Relaxed);
+        loop {
+            if depth + n > self.cap as u64 {
+                ShardStats::add(&self.stats.shed, n);
+                return false;
+            }
+            match self.stats.queue_depth.compare_exchange_weak(
+                depth,
+                depth + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => depth = seen,
+            }
+        }
+        // Channel capacity is `queue_cap` jobs and every job carries ≥ 1
+        // reserved transaction, so a reserved chunk cannot find the channel
+        // full — only disconnected (server draining).
         match self.tx.try_send(Job::Ingest {
             key: key.clone(),
-            items,
+            chunk,
         }) {
             Ok(()) => {
-                ShardStats::add(&self.stats.ingested, 1);
-                ShardStats::add(&self.stats.queue_depth, 1);
+                ShardStats::add(&self.stats.ingested, n);
+                ShardStats::add(&self.stats.batch_submits, 1);
+                ShardStats::add(&self.stats.batch_tx, n);
                 true
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                ShardStats::add(&self.stats.shed, 1);
+                self.stats.queue_depth.fetch_sub(n, Ordering::Relaxed);
+                ShardStats::add(&self.stats.shed, n);
                 false
             }
         }
@@ -87,6 +129,7 @@ pub(crate) fn spawn_shard(
     let ingress = ShardIngress {
         tx,
         stats: stats.clone(),
+        cap: cfg.queue_cap,
     };
     let handle = std::thread::Builder::new()
         .name(format!("bfly-shard-{idx}"))
@@ -110,7 +153,8 @@ struct KeyState {
 /// a `release_delta` on every publication — emitted first, so a synced
 /// subscriber advances before any snapshot line — plus the full snapshot on
 /// every `N`-th publication (including the first, so early subscribers sync
-/// immediately).
+/// immediately). Each event is serialized per frame mode actually
+/// subscribed, at most once per mode.
 fn emit_publication(
     cfg: &ServeConfig,
     registry: &SubscriberRegistry,
@@ -120,12 +164,15 @@ fn emit_publication(
     release: &WindowRelease,
 ) {
     if cfg.snapshot_every > 1 {
-        let line = release_delta_event(key, release.stream_len, state.last_len, &release.delta);
-        registry.publish(key, Arc::from(line.to_string()), stats);
+        let base_len = state.last_len;
+        registry.publish_with(key, stats, |mode| {
+            release_delta_frame_bytes(mode, key, release.stream_len, base_len, &release.delta)
+        });
     }
     if cfg.snapshot_every <= 1 || state.published.is_multiple_of(cfg.snapshot_every as u64) {
-        let line = release_event(key, release.stream_len, &release.release);
-        registry.publish(key, Arc::from(line.to_string()), stats);
+        registry.publish_with(key, stats, |mode| {
+            release_frame_bytes(mode, key, release.stream_len, &release.release)
+        });
     }
     state.published += 1;
     state.last_len = release.stream_len;
@@ -141,9 +188,11 @@ fn worker(
 ) {
     let mut pipelines: HashMap<Arc<str>, KeyState> = HashMap::new();
     while let Ok(job) = rx.recv() {
-        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
         match job {
-            Job::Ingest { key, items } => {
+            Job::Ingest { key, chunk } => {
+                stats
+                    .queue_depth
+                    .fetch_sub(chunk.len() as u64, Ordering::Relaxed);
                 let state = pipelines.entry(key.clone()).or_insert_with(|| {
                     ShardStats::add(&stats.keys, 1);
                     // First ingest materializes the pipeline and seals the
@@ -156,15 +205,21 @@ fn worker(
                         last_len: 0,
                     }
                 });
-                // The window assigns the real tid from the stream position.
-                state.pipe.advance(Transaction::new(0, items));
-                ShardStats::add(&stats.processed, 1);
-                if state.pipe.window().is_full() && state.pipe.since_publish() >= cfg.every {
-                    let release = state
-                        .pipe
-                        .publish_now()
-                        .expect("full window cannot be partial");
-                    emit_publication(&cfg, &registry, &stats, &key, state, &release);
+                // The publish cadence is checked per record, not per chunk:
+                // chunking amortizes the queue, it must not move or merge
+                // publication positions.
+                for items in chunk {
+                    // The window assigns the real tid from the stream
+                    // position.
+                    state.pipe.advance(Transaction::new(0, items));
+                    ShardStats::add(&stats.processed, 1);
+                    if state.pipe.window().is_full() && state.pipe.since_publish() >= cfg.every {
+                        let release = state
+                            .pipe
+                            .publish_now()
+                            .expect("full window cannot be partial");
+                        emit_publication(&cfg, &registry, &stats, &key, state, &release);
+                    }
                 }
             }
         }
@@ -179,15 +234,16 @@ fn worker(
         if let Some(release) = state.pipe.flush() {
             emit_publication(&cfg, &registry, &stats, &key, state, &release);
         }
-        registry.close_stream(&key, Arc::from(closed_event(&key).to_string()));
+        registry.close_stream(&key, json_line(&closed_event(&key)));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fanout::{OutBytes, SubscriberSink};
     use crate::protocol::SubscriberState;
-    use bfly_common::Json;
+    use bfly_common::{FrameMode, Json};
     use bfly_mining::BackendKind;
     use std::sync::mpsc::sync_channel;
 
@@ -207,7 +263,19 @@ mod tests {
             queue_cap: 64,
             out_queue_cap: 64,
             seed: 1,
+            ..ServeConfig::default()
         }
+    }
+
+    fn lines_of(rx: std::sync::mpsc::Receiver<OutBytes>) -> Vec<String> {
+        rx.iter()
+            .map(|b| {
+                String::from_utf8(b.to_vec())
+                    .unwrap()
+                    .trim_end()
+                    .to_string()
+            })
+            .collect()
     }
 
     #[test]
@@ -223,19 +291,19 @@ mod tests {
             Arc::new(DefenseBindings::default()),
         );
         let (sub_tx, sub_rx) = sync_channel(64);
-        registry.subscribe("k", 1, sub_tx);
+        registry.subscribe("k", 1, FrameMode::Json, SubscriberSink::Channel(sub_tx));
 
         let key: Arc<str> = Arc::from("k");
         let mut src = bfly_datagen::DatasetProfile::WebView1.source(3);
         // 11 records, window 8, every 2: cadence publishes at 8 and 10;
         // the drain flush owes one more at 11.
         for _ in 0..11 {
-            assert!(ingress.offer(&key, src.next_transaction().into_items()));
+            assert!(ingress.offer(&key, vec![src.next_transaction().into_items()]));
         }
         drop(ingress);
         handle.join().expect("worker paniced");
 
-        let lines: Vec<String> = sub_rx.iter().map(|l| l.to_string()).collect();
+        let lines = lines_of(sub_rx);
         let releases: Vec<&String> = lines
             .iter()
             .filter(|l| l.contains("\"event\":\"release\""))
@@ -252,11 +320,14 @@ mod tests {
         assert_eq!(stats.published.load(Ordering::Relaxed), 3);
         assert_eq!(stats.keys.load(Ordering::Relaxed), 1);
         assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.batch_submits.load(Ordering::Relaxed), 11);
+        assert_eq!(stats.batch_tx.load(Ordering::Relaxed), 11);
     }
 
     /// Run one shard over the cadence test's 11-record stream and collect
-    /// every line a subscriber of `"k"` sees.
-    fn drive(cfg: ServeConfig) -> Vec<String> {
+    /// every line a subscriber of `"k"` sees. `chunk` sizes the offers: 1
+    /// reproduces the historical record-at-a-time submission.
+    fn drive_chunked(cfg: ServeConfig, chunk: usize) -> Vec<String> {
         let registry = Arc::new(SubscriberRegistry::new());
         let stats = Arc::new(ShardStats::default());
         let (ingress, handle) = spawn_shard(
@@ -267,15 +338,40 @@ mod tests {
             Arc::new(DefenseBindings::default()),
         );
         let (sub_tx, sub_rx) = sync_channel(64);
-        registry.subscribe("k", 1, sub_tx);
+        registry.subscribe("k", 1, FrameMode::Json, SubscriberSink::Channel(sub_tx));
         let key: Arc<str> = Arc::from("k");
         let mut src = bfly_datagen::DatasetProfile::WebView1.source(3);
+        let mut pending = Vec::new();
         for _ in 0..11 {
-            assert!(ingress.offer(&key, src.next_transaction().into_items()));
+            pending.push(src.next_transaction().into_items());
+            if pending.len() == chunk {
+                assert!(ingress.offer(&key, std::mem::take(&mut pending)));
+            }
+        }
+        if !pending.is_empty() {
+            assert!(ingress.offer(&key, pending));
         }
         drop(ingress);
         handle.join().expect("worker paniced");
-        sub_rx.iter().map(|l| l.to_string()).collect()
+        lines_of(sub_rx)
+    }
+
+    fn drive(cfg: ServeConfig) -> Vec<String> {
+        drive_chunked(cfg, 1)
+    }
+
+    #[test]
+    fn chunked_submission_preserves_publication_bytes() {
+        // Chunk size is a queueing detail: the published wire bytes must be
+        // identical whether records arrive one per job or many.
+        let per_record = drive_chunked(tiny_cfg(), 1);
+        for chunk in [3, 11] {
+            assert_eq!(
+                drive_chunked(tiny_cfg(), chunk),
+                per_record,
+                "chunk {chunk}"
+            );
+        }
     }
 
     #[test]
@@ -380,14 +476,38 @@ mod tests {
         let ingress = ShardIngress {
             tx,
             stats: stats.clone(),
+            cap: cfg.queue_cap,
         };
         let key: Arc<str> = Arc::from("k");
         let accepted = (0..5)
-            .filter(|_| ingress.offer(&key, ItemSet::from_ids([1, 2])))
+            .filter(|_| ingress.offer(&key, vec![ItemSet::from_ids([1, 2])]))
             .count();
         assert_eq!(accepted, 2, "queue cap must bound acceptance");
         assert_eq!(stats.shed.load(Ordering::Relaxed), 3);
         assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 2);
         drop(registry);
+    }
+
+    #[test]
+    fn chunk_budget_is_denominated_in_transactions() {
+        let stats = Arc::new(ShardStats::default());
+        let (tx, _rx_keepalive) = sync_channel(4);
+        let ingress = ShardIngress {
+            tx,
+            stats: stats.clone(),
+            cap: 4,
+        };
+        let key: Arc<str> = Arc::from("k");
+        let set = || ItemSet::from_ids([1]);
+        // 3 fit, then a chunk of 2 would oversubscribe (3+2 > 4) and is shed
+        // whole, then a chunk of 1 still fits in the remaining budget.
+        assert!(ingress.offer(&key, vec![set(), set(), set()]));
+        assert!(!ingress.offer(&key, vec![set(), set()]));
+        assert!(ingress.offer(&key, vec![set()]));
+        assert_eq!(stats.ingested.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.shed.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.batch_submits.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.batch_tx.load(Ordering::Relaxed), 4);
     }
 }

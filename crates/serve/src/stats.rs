@@ -21,6 +21,11 @@ pub struct ShardStats {
     pub keys: AtomicU64,
     /// Subscriber connections dropped for falling behind the fan-out.
     pub subscriber_drops: AtomicU64,
+    /// Chunked submissions into the ingress queue (one channel op each).
+    pub batch_submits: AtomicU64,
+    /// Transactions carried by those submissions (`batch_tx /
+    /// batch_submits` is the realized mean chunk size).
+    pub batch_tx: AtomicU64,
 }
 
 impl ShardStats {
@@ -50,12 +55,54 @@ impl ShardStats {
                 "subscriber_drops",
                 Json::from(self.subscriber_drops.load(Ordering::Relaxed)),
             ),
+            (
+                "batch_submits",
+                Json::from(self.batch_submits.load(Ordering::Relaxed)),
+            ),
+            (
+                "batch_tx",
+                Json::from(self.batch_tx.load(Ordering::Relaxed)),
+            ),
         ])
     }
 
     /// Bump a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Live counters for the reactor event loop (reactor io mode only),
+/// reported under the server stats' `"reactor"` key.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    /// File descriptors currently registered with epoll (listener, wake
+    /// pipe, and one per live connection). A gauge, not a counter.
+    pub fds: AtomicU64,
+    /// Connections accepted over the reactor's lifetime.
+    pub accepted_conns: AtomicU64,
+    /// `epoll_wait` returns that delivered at least one readiness event.
+    pub wakeups: AtomicU64,
+    /// Socket writes that could not take a full buffered chunk (the peer's
+    /// window filled; the rest waits for write readiness).
+    pub partial_writes: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Snapshot as the `"reactor"` object of the server stats reply.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("fds", Json::from(self.fds.load(Ordering::Relaxed))),
+            (
+                "accepted_conns",
+                Json::from(self.accepted_conns.load(Ordering::Relaxed)),
+            ),
+            ("wakeups", Json::from(self.wakeups.load(Ordering::Relaxed))),
+            (
+                "partial_writes",
+                Json::from(self.partial_writes.load(Ordering::Relaxed)),
+            ),
+        ])
     }
 }
 

@@ -15,9 +15,11 @@
 #    repo root, so the perf trajectory across changes is preserved — never
 #    overwritten.
 # 2. loadgen: the bfly_serve stream service driven by concurrent TCP
-#    clients at 1 shard and at 4 shards; throughput + latency percentiles
-#    APPEND to BENCH_serve.json (entries record the host's core count —
-#    shard scaling is only meaningful with >1 core).
+#    clients across the I/O-engine × frame-encoding matrix at 1 shard
+#    (blocking/json, reactor/json, reactor/binary), then reactor/binary at
+#    4 shards for the scaling ratio; throughput + latency percentiles +
+#    shed rates APPEND to BENCH_serve.json (entries record the host's core
+#    count — shard scaling is only meaningful with >1 core).
 # 3. defbench: the cross-defense evaluation matrix — every registered
 #    PrivacyDefense published over the same mined stream and attacked by
 #    the same inference engine; prig/pred/utility/attack-MSE plus publish
@@ -40,7 +42,7 @@ cargo run -q --release -p bfly-bench --bin parbench -- --reps "${REPS}" \
   --out BENCH_parallel.json --support-out BENCH_support.json \
   --release-out BENCH_release.json
 
-echo "==> loadgen (1-shard vs 4-shard phases, appends to BENCH_serve.json)"
+echo "==> loadgen (io-engine × frame matrix at 1 shard + 4-shard scaling, appends to BENCH_serve.json)"
 cargo run -q --release -p bfly-bench --bin loadgen -- --out BENCH_serve.json
 
 echo "==> defbench (cross-defense matrix, appends to BENCH_defense.json)"

@@ -41,13 +41,13 @@ grep -q 'vertical(scalar)' "$PARBENCH_LOG" \
 grep -Eq 'chunks [0-9]+x[0-9]+ over [0-9]+ items on [0-9]+ workers' "$PARBENCH_LOG" \
   || { echo "parbench stages lost the chunk telemetry"; exit 1; }
 
-echo "==> serve smoke (real server, delta wire format, mid-stream subscriber)"
+echo "==> serve smoke (reactor server, both frame modes, delta wire, mid-stream subscriber)"
 cargo build -q --release
 PORT_FILE=target/serve.smoke.port
 rm -f "$PORT_FILE"
 target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
   --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 \
-  --snapshot-every 4 &
+  --snapshot-every 4 --io reactor &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 for _ in $(seq 1 100); do
@@ -55,17 +55,19 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [[ -s "$PORT_FILE" ]] || { echo "server never wrote its port file"; exit 1; }
-# First burst publishes releases for every key; the second burst's watcher
-# therefore joins stream t0 mid-flight and must reconstruct its sanitized
-# state from the next full snapshot plus the release_delta events after it
-# (loadgen's watcher dies on any divergence).
+# First burst drives the legacy NDJSON wire; its releases publish for every
+# key, so the second burst's watcher joins stream t0 mid-flight and must
+# reconstruct its sanitized state from the next full snapshot plus the
+# release_delta events after it (loadgen's watcher dies on any divergence).
+# The second burst ingests and watches over binary frames, so one reactor
+# process has served both encodings before the drain.
 cargo run -q --release -p bfly-bench --bin loadgen -- --quick \
-  --addr "$(cat "$PORT_FILE")" --out target/BENCH_serve.smoke.json
+  --addr "$(cat "$PORT_FILE")" --frame json --out target/BENCH_serve.smoke.json
 WATCH_LOG=target/serve.smoke.watch.log
 cargo run -q --release -p bfly-bench --bin loadgen -- --quick \
-  --addr "$(cat "$PORT_FILE")" --watch t0 --shutdown \
+  --addr "$(cat "$PORT_FILE")" --frame binary --watch t0 --shutdown \
   --out target/BENCH_serve.smoke.json | tee "$WATCH_LOG"
-grep -q 'watch t0: synced=true' "$WATCH_LOG" \
+grep -q 'watch t0 (binary): synced=true' "$WATCH_LOG" \
   || { echo "mid-stream watcher never reconstructed stream t0"; exit 1; }
 wait "$SERVE_PID"   # exits 0 only after a clean drain
 trap - EXIT

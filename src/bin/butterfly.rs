@@ -92,6 +92,7 @@ USAGE:
                     [--vulnerable <K>] [--epsilon <E>] [--delta <D>] [--scheme <...>]
                     [--backend <...>] [--lambda <L>] [--gamma <G>] [--every <N>]
                     [--snapshot-every <N>] [--seed <S>] [--queue-cap <N>] [--out-queue-cap <N>]
+                    [--io <blocking|reactor>] [--max-frame-bytes <N>] [--ingest-chunk <N>]
                     [--port-file <path>] [--defense <...>] [--dp-budget <E>] [--dp-top-k <N>]
 
 `protect --incremental` runs the delta-maintained release engine (identical
@@ -102,6 +103,11 @@ publication plus a full release snapshot every N-th one.
 noise), privbasis (ε-DP top-k with --dp-budget/--dp-top-k), or suppress
 (sensitive-itemset hiding at exact supports). Serve clients can override
 per stream with a `bind` request before the stream's first ingest.
+`serve --io` picks the connection I/O engine: reactor (default on Linux;
+one epoll event-loop thread) or blocking (two threads per connection).
+Clients negotiate NDJSON or binary framing per frame by leading byte;
+`--max-frame-bytes` caps both encodings and `--ingest-chunk` sets the
+batch size for shard submissions.
 
 Every command also accepts --threads <N> to pin the worker-thread count of
 the parallel phases (default: BFLY_THREADS, else all hardware threads;
@@ -189,6 +195,9 @@ const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
             ("seed", true),
             ("queue-cap", true),
             ("out-queue-cap", true),
+            ("io", true),
+            ("max-frame-bytes", true),
+            ("ingest-chunk", true),
             ("port-file", true),
             ("defense", true),
             ("dp-budget", true),
@@ -488,6 +497,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if let Some(v) = flags.get("out-queue-cap") {
         cfg.out_queue_cap = parse(v, "out-queue-cap")?;
     }
+    if let Some(v) = flags.get("io") {
+        cfg.io = v.parse()?;
+    }
+    if let Some(v) = flags.get("max-frame-bytes") {
+        cfg.max_frame_bytes = parse(v, "max-frame-bytes")?;
+    }
+    if let Some(v) = flags.get("ingest-chunk") {
+        cfg.ingest_chunk = parse(v, "ingest-chunk")?;
+    }
     cfg.scheme = parse_scheme(flags)?;
     cfg.defense = parse_defense(flags)?;
     if let Some(v) = flags.get("backend") {
@@ -503,7 +521,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         std::fs::write(path, format!("{local}\n")).map_err(|e| e.to_string())?;
     }
     eprintln!(
-        "serving on {local}: {} shards, window {}, C={}, K={}, ε={}, δ={}, {}, backend {}, every {}, snapshot-every {}",
+        "serving on {local}: {} shards, window {}, C={}, K={}, ε={}, δ={}, {}, backend {}, every {}, snapshot-every {}, io {}",
         cfg.shards,
         cfg.window,
         cfg.c,
@@ -513,7 +531,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cfg.scheme.name(),
         cfg.backend.name(),
         cfg.every,
-        cfg.snapshot_every
+        cfg.snapshot_every,
+        cfg.io.name()
     );
     server.run_until_shutdown();
     eprintln!("drained and stopped");

@@ -5,7 +5,7 @@
 use butterfly_repro::common::{ItemSet, Json};
 use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::serve::protocol::{closed_event, release_event, SubscriberState};
-use butterfly_repro::serve::{Client, Request, ServeConfig, Server};
+use butterfly_repro::serve::{Client, FrameMode, IoMode, Request, ServeConfig, Server};
 use std::io::{BufRead, BufReader, Write};
 
 fn feasible_cfg() -> ServeConfig {
@@ -61,6 +61,7 @@ fn network_releases_bit_identical_to_in_process() {
     let ack = subscriber
         .request(&Request::Subscribe {
             stream: "alpha".into(),
+            frame: FrameMode::Json,
         })
         .expect("subscribe ack");
     assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
@@ -156,6 +157,7 @@ fn mid_stream_subscriber_reconstructs_from_snapshot_and_deltas() {
     early
         .request(&Request::Subscribe {
             stream: "alpha".into(),
+            frame: FrameMode::Json,
         })
         .expect("early subscribe");
 
@@ -189,6 +191,7 @@ fn mid_stream_subscriber_reconstructs_from_snapshot_and_deltas() {
     let mut late = Client::connect(addr).expect("late connect");
     late.request(&Request::Subscribe {
         stream: "alpha".into(),
+        frame: FrameMode::Json,
     })
     .expect("late subscribe");
 
@@ -252,8 +255,11 @@ fn same_seed_reproduces_across_server_instances() {
         };
         let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
         let mut sub = Client::connect(server.local_addr()).expect("connect");
-        sub.request(&Request::Subscribe { stream: "s".into() })
-            .expect("subscribe");
+        sub.request(&Request::Subscribe {
+            stream: "s".into(),
+            frame: FrameMode::Json,
+        })
+        .expect("subscribe");
         let mut ingest = Client::connect(server.local_addr()).expect("connect");
         ingest
             .request(&Request::Ingest {
@@ -288,7 +294,10 @@ fn subscriber_issuing_shutdown_still_receives_drain_events() {
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
     client
-        .request(&Request::Subscribe { stream: "s".into() })
+        .request(&Request::Subscribe {
+            stream: "s".into(),
+            frame: FrameMode::Json,
+        })
         .expect("subscribe ack");
     let batch: Vec<ItemSet> = DatasetProfile::Pos
         .source(13)
@@ -442,8 +451,11 @@ fn bind_overrides_one_streams_defense_before_first_ingest() {
 
     let subscribe = |key: &str| -> Client {
         let mut c = Client::connect(addr).expect("subscriber connect");
-        c.request(&Request::Subscribe { stream: key.into() })
-            .expect("subscribe ack");
+        c.request(&Request::Subscribe {
+            stream: key.into(),
+            frame: FrameMode::Json,
+        })
+        .expect("subscribe ack");
         c
     };
     let mut sub_alpha = subscribe("alpha");
@@ -513,6 +525,152 @@ fn bind_overrides_one_streams_defense_before_first_ingest() {
     server.join();
 }
 
+/// Frame negotiation end to end under the default I/O engine (the epoll
+/// reactor on Linux): a binary-mode subscriber and a JSON-mode subscriber
+/// on the same stream see the same releases — binary frames decode to event
+/// documents string-identical to the NDJSON lines and to the in-process
+/// replay — and binary-framed ingest drives the pipeline to exactly the
+/// state NDJSON ingest would.
+#[test]
+fn binary_and_json_subscribers_see_identical_releases() {
+    let cfg = feasible_cfg();
+    let records: Vec<ItemSet> = DatasetProfile::WebView1
+        .source(5)
+        .take_vec(130)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+
+    let mut pipe = cfg.pipeline_for("alpha");
+    let mut expected: Vec<String> = Vec::new();
+    for items in &records {
+        pipe.advance(butterfly_repro::common::Transaction::new(0, items.clone()));
+        if pipe.window().is_full() && pipe.since_publish() >= cfg.every {
+            let r = pipe.publish_now().expect("full window");
+            expected.push(release_event("alpha", r.stream_len, &r.release).to_string());
+        }
+    }
+    if let Some(r) = pipe.flush() {
+        expected.push(release_event("alpha", r.stream_len, &r.release).to_string());
+    }
+    assert_eq!(expected.len(), 2, "cadence at 120 plus drain flush at 130");
+
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut sub_json = Client::connect(addr).expect("json subscriber");
+    sub_json
+        .request(&Request::Subscribe {
+            stream: "alpha".into(),
+            frame: FrameMode::Json,
+        })
+        .expect("json subscribe ack");
+    let mut sub_bin = Client::connect(addr).expect("binary subscriber");
+    let ack = sub_bin
+        .request(&Request::Subscribe {
+            stream: "alpha".into(),
+            frame: FrameMode::Binary,
+        })
+        .expect("binary subscribe ack");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)), "got {ack}");
+
+    // Ingest over binary frames: same records, length-prefixed encoding.
+    let mut ingest = Client::connect(addr).expect("ingest connect");
+    ingest.set_frame(FrameMode::Binary);
+    for chunk in records.chunks(40) {
+        let reply = ingest
+            .request(&Request::Ingest {
+                stream: "alpha".into(),
+                batch: chunk.to_vec(),
+            })
+            .expect("binary ingest reply");
+        assert_eq!(
+            reply.get("accepted").and_then(Json::as_u64),
+            Some(chunk.len() as u64),
+            "binary ingest must be accepted whole: {reply}"
+        );
+    }
+    ingest.request(&Request::Shutdown).expect("shutdown reply");
+
+    let drain = |client: &mut Client| -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let ev = client
+                .next_event()
+                .expect("subscriber read")
+                .expect("closed event must arrive before EOF");
+            if ev.get("event").and_then(Json::as_str) == Some("closed") {
+                assert_eq!(ev.to_string(), closed_event("alpha").to_string());
+                return lines;
+            }
+            lines.push(ev.to_string());
+        }
+    };
+    assert_eq!(
+        drain(&mut sub_json),
+        expected,
+        "JSON subscriber diverged from in-process replay"
+    );
+    assert_eq!(
+        drain(&mut sub_bin),
+        expected,
+        "binary subscriber diverged from in-process replay"
+    );
+    server.join();
+}
+
+/// The blocking engine stays available behind `--io blocking` and is
+/// byte-identical to the default engine (the reactor, where supported):
+/// releases depend only on (config, seed, key, record order), never on the
+/// connection I/O machinery.
+#[test]
+fn blocking_io_engine_is_byte_identical_to_default() {
+    let records: Vec<ItemSet> = DatasetProfile::Pos
+        .source(17)
+        .take_vec(130)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+    let run = |io: IoMode| -> Vec<String> {
+        let cfg = ServeConfig {
+            io,
+            ..feasible_cfg()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        let mut sub = Client::connect(server.local_addr()).expect("connect");
+        sub.request(&Request::Subscribe {
+            stream: "s".into(),
+            frame: FrameMode::Json,
+        })
+        .expect("subscribe");
+        let mut ingest = Client::connect(server.local_addr()).expect("connect");
+        ingest
+            .request(&Request::Ingest {
+                stream: "s".into(),
+                batch: records.clone(),
+            })
+            .expect("ingest");
+        ingest.request(&Request::Shutdown).expect("shutdown");
+        let mut lines = Vec::new();
+        loop {
+            let line = sub.next_line().expect("read").expect("closed before EOF");
+            let closed = line.get("event").and_then(Json::as_str) == Some("closed");
+            lines.push(line.to_string());
+            if closed {
+                break;
+            }
+        }
+        server.join();
+        lines
+    };
+    let blocking = run(IoMode::Blocking);
+    let default = run(IoMode::default());
+    assert_eq!(blocking, default, "I/O engine must not affect the bytes");
+    assert!(
+        blocking.len() > 1,
+        "expected releases plus the closed event"
+    );
+}
+
 /// Protocol edges over a raw socket: ping, stats shape, unknown ops,
 /// malformed lines (recoverable), oversized lines (fatal), and ingest
 /// rejection during drain.
@@ -547,6 +705,25 @@ fn protocol_edges() {
         Some(shards)
     );
     assert_eq!(stats.get("draining"), Some(&Json::Bool(false)));
+    assert_eq!(
+        stats.get("io").and_then(Json::as_str),
+        Some(IoMode::default().name()),
+        "stats must name the I/O engine"
+    );
+    if butterfly_repro::serve::REACTOR_SUPPORTED {
+        let reactor = stats.get("reactor").expect("reactor telemetry in stats");
+        assert!(
+            reactor
+                .get("fds")
+                .and_then(Json::as_u64)
+                .is_some_and(|n| n >= 3),
+            "listener + wake pipe + this connection: {reactor}"
+        );
+        assert!(
+            reactor.get("wakeups").and_then(Json::as_u64).is_some(),
+            "got {reactor}"
+        );
+    }
 
     let unknown = roundtrip("{\"op\":\"frobnicate\"}");
     assert!(unknown.contains("unknown op"), "got {unknown}");
@@ -597,6 +774,7 @@ fn protocol_edges() {
     let mut late = Client::connect(server.local_addr()).expect("late connect");
     late.request(&Request::Subscribe {
         stream: "idle".into(),
+        frame: FrameMode::Json,
     })
     .expect("subscribe ack");
     server.shutdown();
