@@ -36,25 +36,59 @@
 //! Every phase row records its I/O engine (`io`), frame encoding (`frame`),
 //! and `shed_rate` alongside throughput and latency percentiles.
 //!
+//! In-process mode also runs a **durability-tax matrix**: the unpaced
+//! 1-shard drive repeated with the write-ahead log on at each sync policy
+//! (`never`, `interval:64`, `always`) per I/O engine — compare against the
+//! engine's no-WAL twin to read the cost of each durability level.
+//!
 //! Run: `cargo run --release -p bfly-bench --bin loadgen`
 //!      `[--quick] [--clients <N>] [--requests <N>] [--batch <N>]`
 //!      `[--keys <N>] [--shards <N>] [--seed <S>] [--pace <tx/s>]`
 //!      `[--out <path.json>] [--addr <host:port>] [--frame <json|binary>]`
-//!      `[--watch <key>] [--shutdown]`
+//!      `[--watch <key>] [--shutdown] [--reconnect]`
 
 use bfly_bench::{append_run, arg, epoch_seconds, quick_mode};
 use bfly_common::Json;
 use bfly_datagen::DatasetProfile;
 use bfly_serve::protocol::SubscriberState;
-use bfly_serve::{Client, FrameMode, IoMode, Request, ServeConfig, Server, REACTOR_SUPPORTED};
-use std::time::Instant;
+use bfly_serve::{
+    Client, FrameMode, IoMode, Request, ServeConfig, Server, WalConfig, WalSyncPolicy,
+    REACTOR_SUPPORTED,
+};
+use std::time::{Duration, Instant};
 
 /// One client thread's tally.
 struct ClientResult {
     accepted: u64,
     shed: u64,
+    /// Times this client lost its connection and dialed back in
+    /// (`--reconnect` only; without it a lost connection is fatal).
+    reconnects: u64,
     /// Request round-trip latencies, microseconds.
     latencies: Vec<u64>,
+}
+
+/// Dial `addr`, retrying with doubling backoff (50 ms → 2 s, ~20 tries)
+/// when `retry` — the `--reconnect` behavior for a server that is
+/// restarting (e.g. crash-recovery smoke tests) or not yet up.
+fn connect_with_retry(addr: std::net::SocketAddr, mode: FrameMode, retry: bool) -> Client {
+    let mut delay = Duration::from_millis(50);
+    let mut attempts = 0;
+    loop {
+        match Client::connect(addr) {
+            Ok(mut c) => {
+                c.set_frame(mode);
+                return c;
+            }
+            Err(e) if retry && attempts < 20 => {
+                attempts += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(2));
+                let _ = e;
+            }
+            Err(e) => panic!("loadgen connect {addr}: {e}"),
+        }
+    }
 }
 
 /// Aggregated measurements for one server configuration.
@@ -66,6 +100,8 @@ struct Phase {
     frame: String,
     accepted: u64,
     shed: u64,
+    /// Connections lost and re-dialed across all clients (`--reconnect`).
+    reconnects: u64,
     /// shed / (accepted + shed) — the fraction of offered load refused.
     shed_rate: f64,
     /// The rate the clients actually offered during the drive window.
@@ -87,6 +123,7 @@ impl Phase {
             ("frame", Json::from(self.frame.as_str())),
             ("accepted", Json::from(self.accepted)),
             ("shed", Json::from(self.shed)),
+            ("reconnects", Json::from(self.reconnects)),
             ("shed_rate", Json::from(self.shed_rate)),
             ("offered_tx_s", Json::from(self.offered_tx_s)),
             ("pace_tx_s", Json::from(self.pace_tx_s)),
@@ -113,6 +150,9 @@ struct Workload {
     batch: usize,
     keys: usize,
     seed: u64,
+    /// Survive connection loss: re-dial with backoff and retry the failed
+    /// request instead of dying.
+    reconnect: bool,
 }
 
 /// Run `clients` concurrent ingest loops against `addr`; aggregate.
@@ -134,13 +174,14 @@ fn drive(
             let (requests, batch, keys) = (w.requests, w.batch, w.keys);
             let per_client_rate = pace_tx_s / w.clients as f64;
             let seed = w.seed + ci as u64;
+            let reconnect = w.reconnect;
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("loadgen connect");
-                client.set_frame(mode);
+                let mut client = connect_with_retry(addr, mode, reconnect);
                 let mut source = DatasetProfile::WebView1.source(seed);
                 let mut result = ClientResult {
                     accepted: 0,
                     shed: 0,
+                    reconnects: 0,
                     latencies: Vec::with_capacity(requests),
                 };
                 let begun = Instant::now();
@@ -156,10 +197,24 @@ fn drive(
                     let batch: Vec<_> = (0..batch)
                         .map(|_| source.next_transaction().into_items())
                         .collect();
+                    let request = Request::Ingest { stream, batch };
                     let t0 = Instant::now();
-                    let reply = client
-                        .request(&Request::Ingest { stream, batch })
-                        .expect("ingest reply");
+                    let reply = loop {
+                        match client.request(&request) {
+                            Ok(reply) => break reply,
+                            Err(_) if reconnect => {
+                                // The connection died mid-request (server
+                                // crash or restart): dial back in and
+                                // re-offer the same batch. A batch the old
+                                // server accepted before dying may land
+                                // twice — at-least-once, like any retrying
+                                // producer without idempotence tokens.
+                                result.reconnects += 1;
+                                client = connect_with_retry(addr, mode, true);
+                            }
+                            Err(e) => panic!("ingest reply: {e}"),
+                        }
+                    };
                     result
                         .latencies
                         .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
@@ -180,6 +235,7 @@ fn drive(
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let accepted: u64 = results.iter().map(|r| r.accepted).sum();
     let shed: u64 = results.iter().map(|r| r.shed).sum();
+    let reconnects: u64 = results.iter().map(|r| r.reconnects).sum();
     let mut latencies: Vec<u64> = results.into_iter().flat_map(|r| r.latencies).collect();
     latencies.sort_unstable();
     let phase = Phase {
@@ -188,6 +244,7 @@ fn drive(
         frame: mode.name().to_string(),
         accepted,
         shed,
+        reconnects,
         shed_rate: shed as f64 / ((accepted + shed) as f64).max(1.0),
         offered_tx_s: (accepted + shed) as f64 / (wall_ms / 1e3).max(1e-9),
         pace_tx_s,
@@ -228,10 +285,16 @@ fn in_process_phase(
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind loadgen server");
     let start = Instant::now();
+    let wal_tag = cfg_base
+        .wal
+        .as_ref()
+        .map(|w| format!("/wal-{}", w.sync))
+        .unwrap_or_default();
     let label = format!(
-        "{shards}-shard/{}/{}{}",
+        "{shards}-shard/{}/{}{}{}",
         io.name(),
         mode.name(),
+        wal_tag,
         if pace_tx_s > 0.0 { "/paced" } else { "" }
     );
     let mut phase = drive(server.local_addr(), &label, io.name(), mode, pace_tx_s, w);
@@ -260,6 +323,7 @@ fn watch(
             .request(&Request::Subscribe {
                 stream: key.clone(),
                 frame: mode,
+                from: None,
             })
             .expect("watch subscribe ack");
         let mut state = SubscriberState::new();
@@ -310,6 +374,7 @@ fn main() {
         .map(|v| v.parse().expect("bad --frame"))
         .unwrap_or_default();
     let out = arg("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let reconnect = std::env::args().any(|a| a == "--reconnect");
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let w = Workload {
         clients,
@@ -317,6 +382,7 @@ fn main() {
         batch,
         keys,
         seed,
+        reconnect,
     };
     println!(
         "loadgen: {clients} clients × {requests} requests × {batch} tx, {keys} stream keys, {cores} core(s)"
@@ -435,6 +501,34 @@ fn main() {
         );
         phases.push(multi);
         scaling = Some(ratio);
+
+        // Durability-tax matrix: the unpaced 1-shard drive again, WAL on at
+        // each sync policy, per engine. The no-WAL baselines are the
+        // unpaced 1-shard rows above (blocking/json and reactor/binary).
+        let wal_root =
+            std::env::temp_dir().join(format!("bfly-loadgen-wal-{}", std::process::id()));
+        let mut engines = vec![(IoMode::Blocking, FrameMode::Json)];
+        if REACTOR_SUPPORTED {
+            engines.push((IoMode::Reactor, FrameMode::Binary));
+        }
+        let mut wal_idx = 0u32;
+        for (io, mode) in engines {
+            for sync in [
+                WalSyncPolicy::Never,
+                WalSyncPolicy::Interval(64),
+                WalSyncPolicy::Always,
+            ] {
+                wal_idx += 1;
+                let mut wal = WalConfig::new(wal_root.join(format!("p{wal_idx}")));
+                wal.sync = sync;
+                let wal_cfg = ServeConfig {
+                    wal: Some(wal),
+                    ..cfg.clone()
+                };
+                phases.push(in_process_phase(1, io, mode, 0.0, &wal_cfg, &w));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&wal_root);
     }
 
     let mut entry = vec![

@@ -184,6 +184,20 @@ fn put_entries(buf: &mut Vec<u8>, entries: &[BinaryEntry]) {
 impl BinaryFrame {
     /// Encode to the full wire form (header + payload).
     pub fn encode(&self) -> Vec<u8> {
+        let (op, payload) = self.encode_payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.push(BINARY_MAGIC);
+        out.push(op);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Encode just the `(op, payload)` pair, without the wire header.
+    ///
+    /// The WAL embeds frame payloads under its own (checksummed) record
+    /// header, so it needs the body separate from the `0xBF` framing.
+    pub fn encode_payload(&self) -> (u8, Vec<u8>) {
         let mut payload = Vec::with_capacity(64);
         let op = match self {
             BinaryFrame::Ingest { stream, batch } => {
@@ -224,12 +238,15 @@ impl BinaryFrame {
                 OP_RELEASE_DELTA
             }
         };
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.push(BINARY_MAGIC);
-        out.push(op);
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        (op, payload)
+    }
+
+    /// Decode an `(op, payload)` pair produced by [`BinaryFrame::encode_payload`].
+    ///
+    /// The public twin of the codec's internal payload decoder, for callers
+    /// (the WAL) that frame payloads under their own headers.
+    pub fn decode_payload(op: u8, payload: &[u8]) -> Result<BinaryFrame> {
+        decode_payload(op, payload)
     }
 }
 

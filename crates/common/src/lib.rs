@@ -12,6 +12,7 @@
 //! are `O(n)` merges rather than hash-set operations.
 
 pub mod bitset;
+pub mod crc32;
 pub mod database;
 pub mod error;
 pub mod fixtures;

@@ -65,6 +65,22 @@ impl SlidingWindow {
         self.stream_len
     }
 
+    /// Restart the stream counter at `base` so the next `slide` assigns tid
+    /// `base + 1`. Used by WAL replay to rebuild a window whose oldest
+    /// retained record is not the first record of the stream.
+    ///
+    /// # Panics
+    /// If any record has already been slid in — tids already assigned from
+    /// the old base would be inconsistent with the new one.
+    pub fn set_base(&mut self, base: u64) {
+        assert!(
+            self.buf.is_empty(),
+            "set_base requires an empty window (len {})",
+            self.buf.len()
+        );
+        self.stream_len = base;
+    }
+
     /// Records currently in the window, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &Transaction> {
         self.buf.iter()

@@ -88,6 +88,19 @@ pub trait PrivacyDefense: Send + fmt::Debug {
     /// Drop all cross-window state (e.g. when retargeting to a new stream).
     fn reset(&mut self);
 
+    /// Reinstate cross-window state from a recovered previous release, as
+    /// if `published` windows had already been released and the last one
+    /// was `previous` — followed by live publishes, the stream must be
+    /// bit-identical to one that never restarted.
+    ///
+    /// Every shipped defense implements this (it is what makes WAL crash
+    /// recovery exact); the default drops state so a hypothetical stateless
+    /// defense — whose output depends only on the window — stays correct.
+    fn restore(&mut self, published: u64, previous: &SanitizedRelease) {
+        let _ = (published, previous);
+        self.reset();
+    }
+
     /// Whether releases honour Butterfly's audit contract (noise within the
     /// α-region of an in-budget bias, republication pinning). The pipeline
     /// only runs [`crate::audit::audit_release`] on defenses that claim it.
@@ -143,6 +156,10 @@ impl PrivacyDefense for Box<dyn PrivacyDefense> {
         (**self).reset()
     }
 
+    fn restore(&mut self, published: u64, previous: &SanitizedRelease) {
+        (**self).restore(published, previous)
+    }
+
     fn honors_butterfly_contract(&self) -> bool {
         (**self).honors_butterfly_contract()
     }
@@ -183,6 +200,10 @@ impl PrivacyDefense for Publisher {
 
     fn reset(&mut self) {
         Publisher::reset(self)
+    }
+
+    fn restore(&mut self, published: u64, previous: &SanitizedRelease) {
+        Publisher::restore(self, published, previous)
     }
 
     fn honors_butterfly_contract(&self) -> bool {

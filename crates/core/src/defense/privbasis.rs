@@ -174,6 +174,15 @@ impl PrivacyDefense for PrivBasisDefense {
         self.prev = SanitizedRelease::default();
     }
 
+    fn restore(&mut self, published: u64, previous: &SanitizedRelease) {
+        // The window index is the only thing the noise stream keys on, and
+        // `prev` is only the delta base — both come straight from the
+        // recovered release, so post-restore publishes redraw exactly the
+        // noise the uncrashed process would have.
+        self.windows_published = published;
+        self.prev = previous.clone();
+    }
+
     fn boxed_clone(&self) -> Box<dyn PrivacyDefense> {
         Box::new(self.clone())
     }

@@ -132,6 +132,18 @@ impl PrivacyDefense for SuppressionDefense {
         self.stats = SuppressionStats::default();
     }
 
+    fn restore(&mut self, published: u64, previous: &SanitizedRelease) {
+        // Suppression is stateless per window apart from the delta base;
+        // the ledger is monitoring-only and restarts from the recovered
+        // window count (breach/suppression totals before the crash are not
+        // reconstructed).
+        self.prev = previous.clone();
+        self.stats = SuppressionStats {
+            windows: published,
+            ..SuppressionStats::default()
+        };
+    }
+
     fn suppression_stats(&self) -> Option<SuppressionStats> {
         Some(self.stats)
     }

@@ -199,6 +199,25 @@ impl ReleaseEngine {
         (SanitizedRelease::new(entries), delta)
     }
 
+    /// Reinstate the cross-window publication state from a previous release,
+    /// as if `windows` publications had already run and the last one emitted
+    /// `previous`.
+    ///
+    /// This is the WAL-recovery hook. A fresh publish cannot substitute for
+    /// it: the republication rule may have pinned a sanitized value drawn
+    /// under an *earlier* window's bias, and only the `(true, sanitized)`
+    /// pairs of the previous release carry those pins forward. The
+    /// incremental FEC index and warm DP stay empty — both are perf-only
+    /// caches whose from-empty update is pinned equal to the batch path.
+    pub fn restore(&mut self, windows: u64, previous: &SanitizedRelease) {
+        self.reset();
+        self.windows = windows;
+        self.values = previous
+            .iter()
+            .map(|e| (e.id, (e.true_support, e.sanitized)))
+            .collect();
+    }
+
     /// Drop all cross-window state (stream retarget). The sequential noise
     /// stream, if any, keeps its position — matching the pre-engine
     /// publisher's reset semantics.

@@ -197,6 +197,29 @@ impl<B: MinerBackend, D: PrivacyDefense> StreamPipeline<B, D> {
         &self.window
     }
 
+    /// WAL-recovery hook: restart the stream counter at `base` so the next
+    /// record fed is stream position `base + 1`. Must be called before any
+    /// record is fed (the window asserts it is still empty).
+    pub fn set_stream_base(&mut self, base: u64) {
+        self.window.set_base(base);
+    }
+
+    /// WAL-recovery hook: reinstate the defense's cross-window publication
+    /// state — `published` windows already released, the last of them being
+    /// `previous` (see [`PrivacyDefense::restore`]).
+    pub fn restore_defense(&mut self, published: u64, previous: &SanitizedRelease) {
+        self.defense.restore(published, previous);
+    }
+
+    /// WAL-recovery hook: zero the cadence counter. A snapshot is taken at a
+    /// publication point (`since_publish == 0`), but replay refills the
+    /// window by feeding its contents through [`StreamPipeline::advance`],
+    /// which counts them as pending records; this puts the counter back
+    /// where the uncrashed process had it.
+    pub fn reset_cadence(&mut self) {
+        self.since_publish = 0;
+    }
+
     /// The defense driving the release path (e.g. to read Butterfly's
     /// incremental cache counters or suppression's side-effect ledger after
     /// a run).

@@ -111,6 +111,13 @@ impl Publisher {
     pub fn reset(&mut self) {
         self.engine.reset();
     }
+
+    /// Reinstate republication state from a previous release, as if
+    /// `windows` publications had already run and the last one emitted
+    /// `previous` (the WAL-recovery hook — see [`ReleaseEngine::restore`]).
+    pub fn restore(&mut self, windows: u64, previous: &SanitizedRelease) {
+        self.engine.restore(windows, previous);
+    }
 }
 
 #[cfg(test)]

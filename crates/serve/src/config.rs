@@ -65,6 +65,95 @@ impl std::fmt::Display for IoMode {
     }
 }
 
+/// When the write-ahead log forces appended records to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalSyncPolicy {
+    /// `fsync` after every appended record: a crash loses nothing the
+    /// server acknowledged (the durability the paper's republication rule
+    /// actually needs — see DESIGN.md §11).
+    Always,
+    /// `fsync` every `n` appended records: bounded loss, amortized cost.
+    Interval(u32),
+    /// Never `fsync`; the OS page cache decides. Survives process crashes
+    /// (the file contents are already in the kernel) but not power loss.
+    Never,
+}
+
+impl WalSyncPolicy {
+    /// Wire/CLI name.
+    pub fn name(self) -> String {
+        match self {
+            WalSyncPolicy::Always => "always".into(),
+            WalSyncPolicy::Interval(n) => format!("interval:{n}"),
+            WalSyncPolicy::Never => "never".into(),
+        }
+    }
+}
+
+impl std::str::FromStr for WalSyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<WalSyncPolicy, String> {
+        if let Some(n) = s.strip_prefix("interval:") {
+            let n: u32 = n
+                .parse()
+                .map_err(|_| format!("bad wal-sync interval {n:?} (want a positive integer)"))?;
+            if n == 0 {
+                return Err("wal-sync interval must be positive".into());
+            }
+            return Ok(WalSyncPolicy::Interval(n));
+        }
+        match s {
+            "always" => Ok(WalSyncPolicy::Always),
+            "never" => Ok(WalSyncPolicy::Never),
+            other => Err(format!(
+                "unknown wal-sync policy {other:?} (valid: always, interval:<n>, never)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for WalSyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Durability knobs for the per-shard write-ahead release log. Present ⇒
+/// every shard logs ingests and publications under `dir/shard-<idx>/` and
+/// replays them on startup (see [`crate::wal`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalConfig {
+    /// Root directory; each shard owns the `shard-<idx>` subdirectory.
+    pub dir: std::path::PathBuf,
+    /// When appended records reach stable storage.
+    pub sync: WalSyncPolicy,
+    /// Rotation floor: a segment is not cut before it holds at least this
+    /// many bytes, even once it has the snapshots rotation wants. Keeps
+    /// tiny-window test configs from spraying one segment per publication.
+    pub segment_min_bytes: u64,
+    /// Rotation ceiling: a segment this large is cut regardless of snapshot
+    /// count, bounding replay read size per segment.
+    pub segment_max_bytes: u64,
+    /// Compaction grace: fully-covered segments below the coverage floor
+    /// are deleted only beyond the newest `keep_segments` of them, which is
+    /// what bounds how far back `subscribe from:` can reach.
+    pub keep_segments: usize,
+}
+
+impl WalConfig {
+    /// A WAL rooted at `dir` with the default policy (`interval:64`) and
+    /// rotation bounds.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            sync: WalSyncPolicy::Interval(64),
+            segment_min_bytes: 32 * 1024,
+            segment_max_bytes: 8 * 1024 * 1024,
+            keep_segments: 2,
+        }
+    }
+}
+
 /// Everything a [`crate::Server`] needs to know: the Butterfly deployment
 /// parameters applied to every tenant stream, and the service's own knobs
 /// (shard count, queue bounds).
@@ -123,6 +212,10 @@ pub struct ServeConfig {
     pub ingest_chunk: usize,
     /// Base seed; combined with each stream key by [`stream_seed`].
     pub seed: u64,
+    /// Per-shard write-ahead release log; `None` keeps all state in memory
+    /// (the pre-WAL behaviour — a restart re-randomizes, which is exactly
+    /// the averaging channel the WAL exists to close).
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -148,6 +241,7 @@ impl Default for ServeConfig {
             max_frame_bytes: bfly_common::ndjson::MAX_FRAME_BYTES,
             ingest_chunk: 256,
             seed: 0,
+            wal: None,
         }
     }
 }
@@ -171,6 +265,17 @@ impl ServeConfig {
         }
         if self.io == IoMode::Reactor && !REACTOR_SUPPORTED {
             return Err("io mode \"reactor\" is not supported on this platform".into());
+        }
+        if let Some(wal) = &self.wal {
+            if wal.dir.as_os_str().is_empty() {
+                return Err("wal-dir must not be empty".into());
+            }
+            if wal.segment_max_bytes == 0 || wal.segment_max_bytes < wal.segment_min_bytes {
+                return Err(format!(
+                    "wal segment bounds invalid: min {} max {}",
+                    wal.segment_min_bytes, wal.segment_max_bytes
+                ));
+            }
         }
         // An infeasible privacy contract must be rejected at bind time, not
         // discovered as a shard-worker panic at the first record.
@@ -350,6 +455,44 @@ mod tests {
             ..ServeConfig::default()
         };
         assert_eq!(cfg.effective_ingest_chunk(), 32);
+    }
+
+    #[test]
+    fn wal_sync_policy_parses_and_rejects_garbage() {
+        assert_eq!(
+            "always".parse::<WalSyncPolicy>().unwrap(),
+            WalSyncPolicy::Always
+        );
+        assert_eq!(
+            "never".parse::<WalSyncPolicy>().unwrap(),
+            WalSyncPolicy::Never
+        );
+        assert_eq!(
+            "interval:64".parse::<WalSyncPolicy>().unwrap(),
+            WalSyncPolicy::Interval(64)
+        );
+        for bad in ["", "sometimes", "interval:", "interval:0", "interval:x"] {
+            assert!(bad.parse::<WalSyncPolicy>().is_err(), "{bad:?} accepted");
+        }
+        for p in [
+            WalSyncPolicy::Always,
+            WalSyncPolicy::Interval(7),
+            WalSyncPolicy::Never,
+        ] {
+            assert_eq!(p.name().parse::<WalSyncPolicy>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn wal_config_bounds_validated() {
+        let mut cfg = ServeConfig {
+            wal: Some(WalConfig::new("/tmp/wal")),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        let wal = cfg.wal.as_mut().unwrap();
+        wal.segment_max_bytes = wal.segment_min_bytes - 1;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

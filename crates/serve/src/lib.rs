@@ -37,10 +37,11 @@ mod reactor;
 pub mod server;
 mod shard;
 pub mod stats;
+pub mod wal;
 
 pub use bfly_common::FrameMode;
 pub use client::Client;
-pub use config::{IoMode, ServeConfig, REACTOR_SUPPORTED};
+pub use config::{IoMode, ServeConfig, WalConfig, WalSyncPolicy, REACTOR_SUPPORTED};
 pub use protocol::Request;
 pub use server::Server;
-pub use stats::{ReactorStats, ShardStats};
+pub use stats::{ReactorStats, ShardStats, WalStats};

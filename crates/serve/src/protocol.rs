@@ -6,7 +6,7 @@
 //! |-------------|------------------------------------------|-------|
 //! | `ingest`    | `stream`, `items` *or* `batch`           | `{"ok":true,"accepted":n}` or `{"ok":false,"error":"overloaded","accepted":a,"shed":s}` |
 //! | `bind`      | `stream`, `defense`                      | `{"ok":true,"stream":k,"defense":d}`; must precede the stream's first ingest |
-//! | `subscribe` | `stream`, optional `frame` (`json`/`binary`) | `{"ok":true,"stream":k}`, then events |
+//! | `subscribe` | `stream`, optional `frame` (`json`/`binary`), optional `from` (`earliest` / `window:<n>`) | `{"ok":true,"stream":k}`, then events; with `from`, logged releases replay first (requires `--wal-dir`) |
 //! | `stats`     | —                                        | per-shard counters |
 //! | `ping`      | —                                        | `{"ok":true,"pong":true}` |
 //! | `shutdown`  | —                                        | `{"ok":true,"draining":true}`, then drain + exit |
@@ -62,6 +62,10 @@ pub enum Request {
         /// Encoding the subscriber wants its `release`/`release_delta`
         /// events in. Control events (`closed`) stay NDJSON either way.
         frame: FrameMode,
+        /// Catch-up request: replay the stream's logged releases (from the
+        /// WAL, oldest first) before live events. `None` = live only, the
+        /// pre-WAL behavior. Requires the server to run with `--wal-dir`.
+        from: Option<CatchUp>,
     },
     /// Ask for per-shard counters.
     Stats,
@@ -70,6 +74,54 @@ pub enum Request {
     /// Graceful shutdown: drain queues, flush full windows, close
     /// subscribers, exit.
     Shutdown,
+}
+
+/// How far back a subscriber wants log-served catch-up to reach. The log's
+/// horizon is whatever compaction retained — `earliest` means "everything
+/// still on disk", not "since the stream began".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CatchUp {
+    /// Every logged release still retained.
+    Earliest,
+    /// Logged releases at stream position `>= n`.
+    Window(u64),
+}
+
+impl CatchUp {
+    /// Lowest `stream_len` the subscriber wants replayed.
+    pub fn min_len(self) -> u64 {
+        match self {
+            CatchUp::Earliest => 0,
+            CatchUp::Window(n) => n,
+        }
+    }
+
+    /// The wire spelling (`earliest` / `window:<n>`).
+    pub fn wire(self) -> String {
+        match self {
+            CatchUp::Earliest => "earliest".to_string(),
+            CatchUp::Window(n) => format!("window:{n}"),
+        }
+    }
+}
+
+impl std::str::FromStr for CatchUp {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<CatchUp> {
+        if s == "earliest" {
+            return Ok(CatchUp::Earliest);
+        }
+        if let Some(n) = s.strip_prefix("window:") {
+            return n
+                .parse::<u64>()
+                .map(CatchUp::Window)
+                .map_err(|_| Error::Parse(format!("bad \"from\" window {n:?}")));
+        }
+        Err(Error::Parse(format!(
+            "bad \"from\" {s:?} (expected \"earliest\" or \"window:<n>\")"
+        )))
+    }
 }
 
 impl Request {
@@ -110,9 +162,18 @@ impl Request {
                         .ok_or_else(|| Error::Parse("\"frame\" must be a string".into()))?
                         .parse::<FrameMode>()?,
                 };
+                let from = match v.get("from") {
+                    None => None,
+                    Some(f) => Some(
+                        f.as_str()
+                            .ok_or_else(|| Error::Parse("\"from\" must be a string".into()))?
+                            .parse::<CatchUp>()?,
+                    ),
+                };
                 Ok(Request::Subscribe {
                     stream: required_stream(v)?,
                     frame,
+                    from,
                 })
             }
             "stats" => Ok(Request::Stats),
@@ -139,19 +200,25 @@ impl Request {
                 ("stream", Json::from(stream.as_str())),
                 ("defense", Json::from(defense.name())),
             ]),
-            Request::Subscribe { stream, frame } => match frame {
-                // Default mode omits the field: byte-compatible with the
-                // pre-negotiation wire form.
-                FrameMode::Json => Json::obj([
+            Request::Subscribe {
+                stream,
+                frame,
+                from,
+            } => {
+                // Defaults omit their fields: byte-compatible with the
+                // pre-negotiation (and pre-WAL) wire forms.
+                let mut fields = vec![
                     ("op", Json::from("subscribe")),
                     ("stream", Json::from(stream.as_str())),
-                ]),
-                FrameMode::Binary => Json::obj([
-                    ("op", Json::from("subscribe")),
-                    ("stream", Json::from(stream.as_str())),
-                    ("frame", Json::from(frame.name())),
-                ]),
-            },
+                ];
+                if *frame == FrameMode::Binary {
+                    fields.push(("frame", Json::from(frame.name())));
+                }
+                if let Some(from) = from {
+                    fields.push(("from", Json::Str(from.wire())));
+                }
+                Json::obj(fields)
+            }
             Request::Stats => Json::obj([("op", Json::from("stats"))]),
             Request::Ping => Json::obj([("op", Json::from("ping"))]),
             Request::Shutdown => Json::obj([("op", Json::from("shutdown"))]),
@@ -254,7 +321,7 @@ pub fn closed_event(stream: &str) -> Json {
     ])
 }
 
-fn binary_entry(e: &SanitizedItemset) -> BinaryEntry {
+pub(crate) fn binary_entry(e: &SanitizedItemset) -> BinaryEntry {
     BinaryEntry {
         ids: e.itemset().items().iter().map(|i| i.id()).collect(),
         support: e.sanitized,
@@ -309,6 +376,36 @@ pub fn release_delta_frame_bytes(
                 added: delta.added.iter().map(binary_entry).collect(),
                 changed: delta.changed.iter().map(binary_entry).collect(),
                 removed: delta.removed.iter().copied().map(itemset_ids).collect(),
+            }
+            .encode()
+            .into_boxed_slice(),
+        ),
+    }
+}
+
+/// Serialize one catch-up `release` event from its logged wire entries.
+/// The WAL stores exactly the binary release payload, so both encodings
+/// here are byte-identical to what a live subscriber received when the
+/// window was published (`binary_entries_json` output is string-identical
+/// to [`release_event`]'s `itemsets` — the frame tests pin this).
+pub fn catchup_release_frame_bytes(
+    mode: FrameMode,
+    stream: &str,
+    stream_len: u64,
+    entries: &[BinaryEntry],
+) -> Arc<[u8]> {
+    match mode {
+        FrameMode::Json => crate::fanout::json_line(&Json::obj([
+            ("event", Json::from("release")),
+            ("stream", Json::from(stream)),
+            ("stream_len", Json::from(stream_len)),
+            ("itemsets", binary_entries_json(entries)),
+        ])),
+        FrameMode::Binary => Arc::from(
+            BinaryFrame::Release {
+                stream: stream.to_string(),
+                stream_len,
+                entries: entries.to_vec(),
             }
             .encode()
             .into_boxed_slice(),
@@ -400,6 +497,9 @@ pub struct SubscriberState {
     /// Snapshots that arrived while already caught up and matched the
     /// reconstructed state exactly.
     pub verified: u64,
+    /// Snapshots skipped for predating the reconstructed position — WAL
+    /// catch-up replay racing a live release can deliver these.
+    pub snapshots_stale: u64,
 }
 
 impl SubscriberState {
@@ -441,6 +541,13 @@ impl SubscriberState {
     fn observe_snapshot(&mut self, event: &Json) -> Result<()> {
         let len = field_u64(event, "stream_len")?;
         let snapshot = entries_of(event.get("itemsets"), "itemsets")?;
+        if self.last_len.is_some_and(|last| len < last) {
+            // An older snapshot after a newer one: the tail of a log
+            // catch-up replay overlapping a release that beat the
+            // subscription. Position only moves forward.
+            self.snapshots_stale += 1;
+            return Ok(());
+        }
         if self.last_len == Some(len) {
             // Already reconstructed this position from deltas: the snapshot
             // is a checksum, not new information.
@@ -587,6 +694,7 @@ mod tests {
                 Request::Subscribe {
                     stream: "k".into(),
                     frame: FrameMode::Json,
+                    from: None,
                 },
             ),
             (
@@ -594,6 +702,7 @@ mod tests {
                 Request::Subscribe {
                     stream: "k".into(),
                     frame: FrameMode::Binary,
+                    from: None,
                 },
             ),
             (
@@ -652,6 +761,7 @@ mod tests {
         let legacy = Request::Subscribe {
             stream: "k".into(),
             frame: FrameMode::Json,
+            from: None,
         };
         // Default mode serializes without the field: the pre-negotiation
         // wire bytes, so old servers/clients interoperate.
@@ -662,10 +772,77 @@ mod tests {
         let binary = Request::Subscribe {
             stream: "k".into(),
             frame: FrameMode::Binary,
+            from: None,
         };
         let back =
             Request::from_json(&Json::parse(&binary.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, binary);
+    }
+
+    #[test]
+    fn subscribe_from_parses_and_round_trips() {
+        for (wire, want) in [
+            ("earliest", CatchUp::Earliest),
+            ("window:120", CatchUp::Window(120)),
+        ] {
+            let req = Request::Subscribe {
+                stream: "k".into(),
+                frame: FrameMode::Json,
+                from: Some(want),
+            };
+            let text = req.to_json().to_string();
+            assert!(text.contains(&format!("\"from\":\"{wire}\"")), "{text}");
+            let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+        assert_eq!(CatchUp::Earliest.min_len(), 0);
+        assert_eq!(CatchUp::Window(40).min_len(), 40);
+        for bad in [
+            "{\"op\":\"subscribe\",\"stream\":\"k\",\"from\":\"latest\"}",
+            "{\"op\":\"subscribe\",\"stream\":\"k\",\"from\":\"window:\"}",
+            "{\"op\":\"subscribe\",\"stream\":\"k\",\"from\":\"window:-3\"}",
+            "{\"op\":\"subscribe\",\"stream\":\"k\",\"from\":7}",
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn catchup_frame_bytes_match_live_release_bytes() {
+        // A catch-up frame built from logged wire entries must be
+        // byte-identical (per encoding) to the live release frame for the
+        // same publication — the guarantee behind log-served catch-up.
+        let release = SanitizedRelease::new(vec![entry("b", 26, 25), entry("a", 30, 27)]);
+        let logged: Vec<BinaryEntry> = release.iter().map(binary_entry).collect();
+        for mode in [FrameMode::Json, FrameMode::Binary] {
+            assert_eq!(
+                catchup_release_frame_bytes(mode, "t0", 4, &logged),
+                release_frame_bytes(mode, "t0", 4, &release),
+            );
+        }
+    }
+
+    #[test]
+    fn stale_snapshots_after_catchup_are_skipped() {
+        let mut sub = SubscriberState::new();
+        sub.observe(&release_event(
+            "t0",
+            8,
+            &SanitizedRelease::new(vec![entry("a", 30, 27)]),
+        ))
+        .unwrap();
+        // The catch-up tail delivering an older position must not rewind
+        // (or error on) the reconstructed state.
+        sub.observe(&release_event(
+            "t0",
+            4,
+            &SanitizedRelease::new(vec![entry("b", 26, 25)]),
+        ))
+        .unwrap();
+        assert_eq!(sub.snapshots_stale, 1);
+        assert_eq!(sub.stream_len(), Some(8));
+        assert_eq!(sub.entries().get(&ids("a")), Some(&27));
     }
 
     #[test]

@@ -34,10 +34,13 @@
 use crate::binding::DefenseBindings;
 use crate::config::{fnv1a, IoMode, ServeConfig};
 use crate::fanout::{json_line, OutBytes, SubscriberRegistry, SubscriberSink};
-use crate::protocol::{error_reply, ingest_ok, ingest_overloaded, Request};
+use crate::protocol::{
+    catchup_release_frame_bytes, error_reply, ingest_ok, ingest_overloaded, Request,
+};
 use crate::reactor;
 use crate::shard::{spawn_shard, ShardIngress};
-use crate::stats::{ReactorStats, ShardStats};
+use crate::stats::{ReactorStats, ShardStats, WalStats};
+use crate::wal;
 use bfly_common::{BinaryFrame, Error, Frame, FrameReader, ItemSet, Json, Result};
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,7 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked connection reads wake to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -67,6 +70,12 @@ pub(crate) struct Shared {
     pub(crate) conns: Mutex<Vec<JoinHandle<()>>>,
     /// Reactor telemetry (zeros in blocking mode).
     pub(crate) reactor: Arc<ReactorStats>,
+    /// WAL telemetry, shared by every shard writer (zeros when the WAL is
+    /// off; the `stats` reply includes the block only when it is on).
+    pub(crate) wal_stats: Arc<WalStats>,
+    /// When this process bound the listener (feeds `uptime_ms`, which is
+    /// how the crash-recovery tests tell a restart from the original).
+    pub(crate) started: Instant,
 }
 
 impl Shared {
@@ -97,9 +106,20 @@ impl Shared {
             ("subscribers", Json::from(self.registry.len() as u64)),
             ("draining", Json::Bool(self.shutdown.load(Ordering::SeqCst))),
             ("io", Json::from(self.cfg.io.name())),
+            (
+                "uptime_ms",
+                Json::from(self.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "recovered_windows",
+                Json::from(self.wal_stats.recovered_windows.load(Ordering::Relaxed)),
+            ),
         ];
         if self.cfg.io == IoMode::Reactor {
             fields.push(("reactor", self.reactor.to_json()));
+        }
+        if self.cfg.wal.is_some() {
+            fields.push(("wal", self.wal_stats.to_json()));
         }
         Json::obj(fields)
     }
@@ -132,18 +152,35 @@ impl Server {
         let addr = listener.local_addr()?;
         let registry = Arc::new(SubscriberRegistry::new());
         let bindings = Arc::new(DefenseBindings::default());
+        let wal_stats = Arc::new(WalStats::default());
         let stats: Vec<Arc<ShardStats>> = (0..cfg.shards)
             .map(|_| Arc::new(ShardStats::default()))
             .collect();
         let mut ingress = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         for (i, shard_stats) in stats.iter().enumerate() {
+            // Recovery happens before the worker spawns, so a bind error or
+            // corrupt mid-log refuses startup instead of killing a thread.
+            let recovered = match &cfg.wal {
+                Some(w) => {
+                    let rec = wal::recover_shard(&cfg, w, i, &wal_stats)?;
+                    for key in rec.streams.keys() {
+                        // Recovered streams are live: seal their bind
+                        // windows so a post-restart `bind` is rejected the
+                        // same way it would have been without the crash.
+                        let _ = bindings.materialize(key);
+                    }
+                    Some(rec)
+                }
+                None => None,
+            };
             let (handle, worker) = spawn_shard(
                 i,
                 cfg.clone(),
                 registry.clone(),
                 shard_stats.clone(),
                 bindings.clone(),
+                recovered,
             );
             ingress.push(handle);
             workers.push(worker);
@@ -159,6 +196,8 @@ impl Server {
             conn_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             reactor: Arc::new(ReactorStats::default()),
+            wal_stats,
+            started: Instant::now(),
         });
         let io = match shared.cfg.io {
             IoMode::Blocking => {
@@ -357,14 +396,53 @@ pub(crate) fn dispatch_frame(
             ("pong", Json::Bool(true)),
         ])),
         Request::Stats => send(shared.stats_json()),
-        Request::Subscribe { stream, frame } => {
+        Request::Subscribe {
+            stream,
+            frame,
+            from,
+        } => {
+            let Some(wal_dir) = shared.cfg.wal.as_ref().map(|w| w.dir.clone()) else {
+                if from.is_some() {
+                    return send(error_reply(
+                        "catch-up subscribe requires a write-ahead log (start with --wal-dir)",
+                    ));
+                }
+                shared
+                    .registry
+                    .subscribe(&stream, conn_id, frame, make_sink());
+                return send(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("stream", Json::from(stream.as_str())),
+                ]));
+            };
+            // Register live *before* scanning the log so no release falls in
+            // the gap between them. A release published during the scan can
+            // then arrive both live and in the catch-up tail; positions only
+            // move forward, so [`crate::protocol::SubscriberState`] skips the
+            // stale copy.
             shared
                 .registry
                 .subscribe(&stream, conn_id, frame, make_sink());
-            send(Json::obj([
+            let ok = send(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("stream", Json::from(stream.as_str())),
-            ]))
+            ]));
+            if !ok {
+                return false;
+            }
+            if let Some(from) = from {
+                let shard = (fnv1a(&stream) % shared.cfg.shards as u64) as usize;
+                for (stream_len, entries) in
+                    wal::scan_catchup(&wal_dir, shard, &stream, from.min_len())
+                {
+                    if !reply(catchup_release_frame_bytes(
+                        frame, &stream, stream_len, &entries,
+                    )) {
+                        return false;
+                    }
+                }
+            }
+            true
         }
         Request::Bind { stream, defense } => {
             // The defense name already parsed (unknown names were rejected

@@ -32,9 +32,11 @@
 use crate::binding::DefenseBindings;
 use crate::config::ServeConfig;
 use crate::fanout::{json_line, SubscriberRegistry};
-use crate::protocol::{closed_event, release_delta_frame_bytes, release_frame_bytes};
+use crate::protocol::{binary_entry, closed_event, release_delta_frame_bytes, release_frame_bytes};
 use crate::stats::ShardStats;
+use crate::wal::{snapshot_of, RecoveredShard, WalRecord, WalWriter};
 use bfly_common::{ItemSet, Transaction};
+use bfly_core::defense::DefenseKind;
 use bfly_core::{PrivacyDefense, StreamPipeline, WindowRelease};
 use bfly_mining::MinerBackend;
 use std::collections::HashMap;
@@ -124,6 +126,7 @@ pub(crate) fn spawn_shard(
     registry: Arc<SubscriberRegistry>,
     stats: Arc<ShardStats>,
     bindings: Arc<DefenseBindings>,
+    wal: Option<RecoveredShard>,
 ) -> (ShardIngress, JoinHandle<()>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_cap);
     let ingress = ShardIngress {
@@ -133,15 +136,17 @@ pub(crate) fn spawn_shard(
     };
     let handle = std::thread::Builder::new()
         .name(format!("bfly-shard-{idx}"))
-        .spawn(move || worker(cfg, rx, registry, stats, bindings))
+        .spawn(move || worker(cfg, rx, registry, stats, bindings, wal))
         .expect("spawn shard worker");
     (ingress, handle)
 }
 
 /// Per-key worker state: the pipeline plus the wire-cadence bookkeeping the
 /// delta protocol needs (how many publications so far, and the stream
-/// position of the previous one — every delta's `base_len`).
+/// position of the previous one — every delta's `base_len`), plus the
+/// defense kind so snapshot records are self-describing.
 struct KeyState {
+    kind: DefenseKind,
     pipe: StreamPipeline<Box<dyn MinerBackend>, Box<dyn PrivacyDefense>>,
     published: u64,
     last_len: u64,
@@ -179,32 +184,109 @@ fn emit_publication(
     ShardStats::add(&stats.published, 1);
 }
 
+/// Log one publication (and, on the snapshot cadence, a full state
+/// snapshot) *before* it fans out to subscribers: durable-before-visible is
+/// what makes a post-crash restart byte-identical to the uncrashed run —
+/// no subscriber ever saw a release the log does not remember.
+///
+/// A WAL append failure is a broken durability contract, not a degraded
+/// mode: the worker dies loudly rather than silently serving an
+/// unrecoverable stream.
+fn log_publication(
+    cfg: &ServeConfig,
+    log: &mut WalWriter,
+    key: &str,
+    state: &KeyState,
+    release: &WindowRelease,
+) {
+    log.append(&WalRecord::Release {
+        stream: key.to_string(),
+        stream_len: release.stream_len,
+        entries: release.release.iter().map(binary_entry).collect(),
+    })
+    .expect("wal release append failed");
+    if cfg.snapshot_every <= 1 || state.published.is_multiple_of(cfg.snapshot_every as u64) {
+        log.append(&WalRecord::Snapshot(snapshot_of(
+            key,
+            state.kind,
+            &state.pipe,
+            state.published + 1,
+            &release.release,
+        )))
+        .expect("wal snapshot append failed");
+    }
+}
+
 fn worker(
     cfg: ServeConfig,
     rx: Receiver<Job>,
     registry: Arc<SubscriberRegistry>,
     stats: Arc<ShardStats>,
     bindings: Arc<DefenseBindings>,
+    wal: Option<RecoveredShard>,
 ) {
-    let mut pipelines: HashMap<Arc<str>, KeyState> = HashMap::new();
+    // Replayed streams slot in exactly where the crashed (or cleanly
+    // restarted) process left them; the writer continues the same log.
+    let (mut log, recovered) = match wal {
+        Some(r) => (Some(r.writer), r.streams),
+        None => (None, HashMap::new()),
+    };
+    let mut pipelines: HashMap<Arc<str>, KeyState> = recovered
+        .into_iter()
+        .map(|(key, s)| {
+            ShardStats::add(&stats.keys, 1);
+            (
+                Arc::from(key.as_str()),
+                KeyState {
+                    kind: s.kind,
+                    pipe: s.pipe,
+                    published: s.published,
+                    last_len: s.last_len,
+                },
+            )
+        })
+        .collect();
     while let Ok(job) = rx.recv() {
         match job {
             Job::Ingest { key, chunk } => {
                 stats
                     .queue_depth
                     .fetch_sub(chunk.len() as u64, Ordering::Relaxed);
-                let state = pipelines.entry(key.clone()).or_insert_with(|| {
+                if !pipelines.contains_key(&key) {
                     ShardStats::add(&stats.keys, 1);
                     // First ingest materializes the pipeline and seals the
                     // key's bind window: a recorded override wins, else the
                     // config's default defense applies.
                     let kind = bindings.materialize(&key).unwrap_or(cfg.defense.kind);
-                    KeyState {
-                        pipe: cfg.pipeline_with(&key, kind),
-                        published: 0,
-                        last_len: 0,
+                    if let Some(w) = log.as_mut() {
+                        w.append(&WalRecord::Open {
+                            stream: key.to_string(),
+                            kind,
+                        })
+                        .expect("wal open append failed");
                     }
-                });
+                    pipelines.insert(
+                        key.clone(),
+                        KeyState {
+                            kind,
+                            pipe: cfg.pipeline_with(&key, kind),
+                            published: 0,
+                            last_len: 0,
+                        },
+                    );
+                }
+                let state = pipelines.get_mut(&key).expect("key just ensured");
+                // Accepted-before-advanced: the chunk is durable (per the
+                // sync policy) before any of its records can shape a
+                // release.
+                if let Some(w) = log.as_mut() {
+                    w.append(&WalRecord::Ingest {
+                        stream: key.to_string(),
+                        base: state.pipe.stream_len(),
+                        batch: chunk.clone(),
+                    })
+                    .expect("wal ingest append failed");
+                }
                 // The publish cadence is checked per record, not per chunk:
                 // chunking amortizes the queue, it must not move or merge
                 // publication positions.
@@ -218,6 +300,9 @@ fn worker(
                             .pipe
                             .publish_now()
                             .expect("full window cannot be partial");
+                        if let Some(w) = log.as_mut() {
+                            log_publication(&cfg, w, &key, state, &release);
+                        }
                         emit_publication(&cfg, &registry, &stats, &key, state, &release);
                     }
                 }
@@ -232,9 +317,17 @@ fn worker(
     for key in keys {
         let state = pipelines.get_mut(&key).expect("key just listed");
         if let Some(release) = state.pipe.flush() {
+            if let Some(w) = log.as_mut() {
+                log_publication(&cfg, w, &key, state, &release);
+            }
             emit_publication(&cfg, &registry, &stats, &key, state, &release);
         }
         registry.close_stream(&key, json_line(&closed_event(&key)));
+    }
+    // Whatever the sync policy deferred goes down with the drain: a clean
+    // shutdown never owes recovery a torn tail.
+    if let Some(w) = log.as_mut() {
+        let _ = w.sync();
     }
 }
 
@@ -289,6 +382,7 @@ mod tests {
             registry.clone(),
             stats.clone(),
             Arc::new(DefenseBindings::default()),
+            None,
         );
         let (sub_tx, sub_rx) = sync_channel(64);
         registry.subscribe("k", 1, FrameMode::Json, SubscriberSink::Channel(sub_tx));
@@ -336,6 +430,7 @@ mod tests {
             registry.clone(),
             stats.clone(),
             Arc::new(DefenseBindings::default()),
+            None,
         );
         let (sub_tx, sub_rx) = sync_channel(64);
         registry.subscribe("k", 1, FrameMode::Json, SubscriberSink::Channel(sub_tx));

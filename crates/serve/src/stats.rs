@@ -106,6 +106,63 @@ impl ReactorStats {
     }
 }
 
+/// Live counters for the write-ahead log, aggregated across all shard
+/// writers and reported under the server stats' `"wal"` key. Recovery
+/// counters are filled once by startup replay; the rest tick per append.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Record bytes appended (headers + payloads), across all shards.
+    pub bytes_appended: AtomicU64,
+    /// Records appended.
+    pub records_appended: AtomicU64,
+    /// `fsync` calls issued by the sync policy.
+    pub fsyncs: AtomicU64,
+    /// Live segment files across all shards (a gauge: created minus
+    /// compacted).
+    pub segments: AtomicU64,
+    /// Segments deleted by snapshot-coverage compaction.
+    pub segments_compacted: AtomicU64,
+    /// Publications rebuilt by startup replay (the over-the-wire signal
+    /// that a restart recovered state instead of starting fresh).
+    pub recovered_windows: AtomicU64,
+    /// Torn tails truncated by startup replay (at most one per shard per
+    /// recovery — a torn record can only be the last thing written).
+    pub truncated_tails: AtomicU64,
+}
+
+impl WalStats {
+    /// Snapshot as the `"wal"` object of the server stats reply.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "bytes_appended",
+                Json::from(self.bytes_appended.load(Ordering::Relaxed)),
+            ),
+            (
+                "records_appended",
+                Json::from(self.records_appended.load(Ordering::Relaxed)),
+            ),
+            ("fsyncs", Json::from(self.fsyncs.load(Ordering::Relaxed))),
+            (
+                "segments",
+                Json::from(self.segments.load(Ordering::Relaxed)),
+            ),
+            (
+                "segments_compacted",
+                Json::from(self.segments_compacted.load(Ordering::Relaxed)),
+            ),
+            (
+                "recovered_windows",
+                Json::from(self.recovered_windows.load(Ordering::Relaxed)),
+            ),
+            (
+                "truncated_tails",
+                Json::from(self.truncated_tails.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

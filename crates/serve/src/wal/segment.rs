@@ -1,0 +1,86 @@
+//! Segment files: the unit of rotation and compaction.
+//!
+//! Each shard owns `wal_dir/shard-<idx>/`, holding `seg-<NNNNNN>.wal` files
+//! with monotonically increasing indices. Records append to the
+//! highest-indexed segment; rotation cuts a new one; compaction deletes
+//! whole old segments once every live stream has a snapshot in a newer one
+//! (see [`super::writer`]). Nothing is ever rewritten in place — a segment
+//! is append-only while live and immutable once rotated, which is what
+//! makes concurrent catch-up reads safe without locks.
+
+use bfly_common::{Error, Result};
+use std::path::{Path, PathBuf};
+
+const SEG_PREFIX: &str = "seg-";
+const SEG_SUFFIX: &str = ".wal";
+
+/// The shard's log directory under the WAL root.
+pub fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+/// File name of segment `idx` (zero-padded so lexical order is index order).
+pub fn segment_file_name(idx: u64) -> String {
+    format!("{SEG_PREFIX}{idx:06}{SEG_SUFFIX}")
+}
+
+/// Parse a segment index back out of a file name; `None` for foreign files
+/// (editor droppings, temp files), which listing ignores.
+pub fn parse_segment_idx(name: &str) -> Option<u64> {
+    name.strip_prefix(SEG_PREFIX)?
+        .strip_suffix(SEG_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// List a shard's segments, sorted by index ascending. A missing directory
+/// is an empty log, not an error (first boot).
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(segs),
+        Err(e) => return Err(Error::Io(e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(Error::Io)?;
+        if let Some(idx) = entry.file_name().to_str().and_then(parse_segment_idx) {
+            segs.push((idx, entry.path()));
+        }
+    }
+    segs.sort_unstable_by_key(|&(idx, _)| idx);
+    Ok(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort_lexically() {
+        assert_eq!(segment_file_name(0), "seg-000000.wal");
+        assert_eq!(segment_file_name(42), "seg-000042.wal");
+        assert_eq!(parse_segment_idx("seg-000042.wal"), Some(42));
+        assert_eq!(parse_segment_idx("seg-junk.wal"), None);
+        assert_eq!(parse_segment_idx("other.txt"), None);
+        assert!(segment_file_name(9) < segment_file_name(10));
+    }
+
+    #[test]
+    fn listing_ignores_foreign_files_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("bfly-wal-seg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["seg-000002.wal", "seg-000000.wal", "notes.txt"] {
+            std::fs::write(dir.join(name), b"").unwrap();
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.iter().map(|s| s.0).collect::<Vec<_>>(), vec![0, 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_log() {
+        let dir = std::env::temp_dir().join("bfly-wal-definitely-missing-dir");
+        assert!(list_segments(&dir).unwrap().is_empty());
+    }
+}

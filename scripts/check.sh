@@ -25,6 +25,9 @@ cargo test -q --release --test kernel_differential
 echo "==> incremental-vs-batch release engine differential tests"
 cargo test -q --release --test release_engine
 
+echo "==> crash-recovery differential (SIGKILL mid-stream, restart on the same --wal-dir, byte-identical catch-up at 1/2/8 threads)"
+cargo test -q --release --test wal_recovery
+
 echo "==> parbench --quick smoke (chunk telemetry + kernel column sanity)"
 PARBENCH_LOG=target/parbench.smoke.log
 cargo run -q --release -p bfly-bench --bin parbench -- --quick \
@@ -41,13 +44,15 @@ grep -q 'vertical(scalar)' "$PARBENCH_LOG" \
 grep -Eq 'chunks [0-9]+x[0-9]+ over [0-9]+ items on [0-9]+ workers' "$PARBENCH_LOG" \
   || { echo "parbench stages lost the chunk telemetry"; exit 1; }
 
-echo "==> serve smoke (reactor server, both frame modes, delta wire, mid-stream subscriber)"
+echo "==> serve smoke (reactor server, both frame modes, delta wire, mid-stream subscriber, WAL on)"
 cargo build -q --release
 PORT_FILE=target/serve.smoke.port
+WAL_DIR=target/serve.smoke.wal
 rm -f "$PORT_FILE"
+rm -rf "$WAL_DIR"
 target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
   --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 \
-  --snapshot-every 4 --io reactor &
+  --snapshot-every 4 --io reactor --wal-dir "$WAL_DIR" --wal-sync interval:64 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 for _ in $(seq 1 100); do
@@ -70,6 +75,24 @@ cargo run -q --release -p bfly-bench --bin loadgen -- --quick \
 grep -q 'watch t0 (binary): synced=true' "$WATCH_LOG" \
   || { echo "mid-stream watcher never reconstructed stream t0"; exit 1; }
 wait "$SERVE_PID"   # exits 0 only after a clean drain
+trap - EXIT
+# The drained log must replay: a restart on the same --wal-dir only comes
+# up if replay re-executes every logged publication byte-for-byte, and the
+# recovered server must take fresh load before draining clean again.
+rm -f "$PORT_FILE"
+target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
+  --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 \
+  --snapshot-every 4 --io reactor --wal-dir "$WAL_DIR" --wal-sync interval:64 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$PORT_FILE" ]] || { echo "server never recovered from its own wal"; exit 1; }
+cargo run -q --release -p bfly-bench --bin loadgen -- --quick --shutdown \
+  --addr "$(cat "$PORT_FILE")" --frame binary --out target/BENCH_serve.smoke.json
+wait "$SERVE_PID"
 trap - EXIT
 
 echo "==> cross-defense smoke (CLI + serve + matrix, each registered defense)"

@@ -22,7 +22,7 @@ use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::inference::find_intra_window_breaches;
 use butterfly_repro::mining::closed::closed_subset;
 use butterfly_repro::mining::{Apriori, BackendKind, Eclat, FpGrowth};
-use butterfly_repro::serve::{ServeConfig, Server};
+use butterfly_repro::serve::{ServeConfig, Server, WalConfig};
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
@@ -93,7 +93,8 @@ USAGE:
                     [--backend <...>] [--lambda <L>] [--gamma <G>] [--every <N>]
                     [--snapshot-every <N>] [--seed <S>] [--queue-cap <N>] [--out-queue-cap <N>]
                     [--io <blocking|reactor>] [--max-frame-bytes <N>] [--ingest-chunk <N>]
-                    [--port-file <path>] [--defense <...>] [--dp-budget <E>] [--dp-top-k <N>]
+                    [--port-file <path>] [--wal-dir <dir>] [--wal-sync <always|interval:N|never>]
+                    [--defense <...>] [--dp-budget <E>] [--dp-top-k <N>]
 
 `protect --incremental` runs the delta-maintained release engine (identical
 output, faster on overlapping windows; cache counters go to stderr).
@@ -108,6 +109,12 @@ one epoll event-loop thread) or blocking (two threads per connection).
 Clients negotiate NDJSON or binary framing per frame by leading byte;
 `--max-frame-bytes` caps both encodings and `--ingest-chunk` sets the
 batch size for shard submissions.
+
+`serve --wal-dir` turns on the per-shard write-ahead release log: every
+accepted ingest and every publication is logged (durability per --wal-sync,
+default interval:64), a restart on the same directory replays the log back
+to the exact pre-crash state, and subscribers may catch up from retained
+log history by adding from: earliest or from: window:<n> to subscribe.
 
 Every command also accepts --threads <N> to pin the worker-thread count of
 the parallel phases (default: BFLY_THREADS, else all hardware threads;
@@ -199,6 +206,8 @@ const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
             ("max-frame-bytes", true),
             ("ingest-chunk", true),
             ("port-file", true),
+            ("wal-dir", true),
+            ("wal-sync", true),
             ("defense", true),
             ("dp-budget", true),
             ("dp-top-k", true),
@@ -506,6 +515,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if let Some(v) = flags.get("ingest-chunk") {
         cfg.ingest_chunk = parse(v, "ingest-chunk")?;
     }
+    if let Some(dir) = flags.get("wal-dir") {
+        let mut wal = WalConfig::new(dir);
+        if let Some(v) = flags.get("wal-sync") {
+            wal.sync = v.parse()?;
+        }
+        cfg.wal = Some(wal);
+    } else if flags.get("wal-sync").is_some() {
+        return Err("--wal-sync requires --wal-dir".into());
+    }
     cfg.scheme = parse_scheme(flags)?;
     cfg.defense = parse_defense(flags)?;
     if let Some(v) = flags.get("backend") {
@@ -517,8 +535,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let server = Server::bind(addr, cfg.clone()).map_err(|e| e.to_string())?;
     let local = server.local_addr();
     // The port-file handshake lets scripts bind port 0 and still find us.
+    // Written atomically (temp + rename) so a polling reader never observes
+    // a partial line.
     if let Some(path) = flags.get("port-file") {
-        std::fs::write(path, format!("{local}\n")).map_err(|e| e.to_string())?;
+        write_port_file(path, local).map_err(|e| e.to_string())?;
     }
     eprintln!(
         "serving on {local}: {} shards, window {}, C={}, K={}, ε={}, δ={}, {}, backend {}, every {}, snapshot-every {}, io {}",
@@ -534,7 +554,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cfg.snapshot_every,
         cfg.io.name()
     );
+    if let Some(w) = &cfg.wal {
+        eprintln!("wal: dir {}, sync {}", w.dir.display(), w.sync);
+    }
     server.run_until_shutdown();
     eprintln!("drained and stopped");
     Ok(())
+}
+
+/// Atomic `--port-file` write: the address lands via rename, so a reader
+/// polling for the file never observes an empty or half-written line.
+fn write_port_file(path: &str, addr: std::net::SocketAddr) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    std::fs::rename(&tmp, path)
 }

@@ -62,6 +62,7 @@ fn network_releases_bit_identical_to_in_process() {
         .request(&Request::Subscribe {
             stream: "alpha".into(),
             frame: FrameMode::Json,
+            from: None,
         })
         .expect("subscribe ack");
     assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
@@ -158,6 +159,7 @@ fn mid_stream_subscriber_reconstructs_from_snapshot_and_deltas() {
         .request(&Request::Subscribe {
             stream: "alpha".into(),
             frame: FrameMode::Json,
+            from: None,
         })
         .expect("early subscribe");
 
@@ -192,6 +194,7 @@ fn mid_stream_subscriber_reconstructs_from_snapshot_and_deltas() {
     late.request(&Request::Subscribe {
         stream: "alpha".into(),
         frame: FrameMode::Json,
+        from: None,
     })
     .expect("late subscribe");
 
@@ -258,6 +261,7 @@ fn same_seed_reproduces_across_server_instances() {
         sub.request(&Request::Subscribe {
             stream: "s".into(),
             frame: FrameMode::Json,
+            from: None,
         })
         .expect("subscribe");
         let mut ingest = Client::connect(server.local_addr()).expect("connect");
@@ -297,6 +301,7 @@ fn subscriber_issuing_shutdown_still_receives_drain_events() {
         .request(&Request::Subscribe {
             stream: "s".into(),
             frame: FrameMode::Json,
+            from: None,
         })
         .expect("subscribe ack");
     let batch: Vec<ItemSet> = DatasetProfile::Pos
@@ -454,6 +459,7 @@ fn bind_overrides_one_streams_defense_before_first_ingest() {
         c.request(&Request::Subscribe {
             stream: key.into(),
             frame: FrameMode::Json,
+            from: None,
         })
         .expect("subscribe ack");
         c
@@ -562,6 +568,7 @@ fn binary_and_json_subscribers_see_identical_releases() {
         .request(&Request::Subscribe {
             stream: "alpha".into(),
             frame: FrameMode::Json,
+            from: None,
         })
         .expect("json subscribe ack");
     let mut sub_bin = Client::connect(addr).expect("binary subscriber");
@@ -569,6 +576,7 @@ fn binary_and_json_subscribers_see_identical_releases() {
         .request(&Request::Subscribe {
             stream: "alpha".into(),
             frame: FrameMode::Binary,
+            from: None,
         })
         .expect("binary subscribe ack");
     assert_eq!(ack.get("ok"), Some(&Json::Bool(true)), "got {ack}");
@@ -640,6 +648,7 @@ fn blocking_io_engine_is_byte_identical_to_default() {
         sub.request(&Request::Subscribe {
             stream: "s".into(),
             frame: FrameMode::Json,
+            from: None,
         })
         .expect("subscribe");
         let mut ingest = Client::connect(server.local_addr()).expect("connect");
@@ -775,6 +784,7 @@ fn protocol_edges() {
     late.request(&Request::Subscribe {
         stream: "idle".into(),
         frame: FrameMode::Json,
+        from: None,
     })
     .expect("subscribe ack");
     server.shutdown();
@@ -789,5 +799,186 @@ fn protocol_edges() {
         Some("shutting-down"),
         "got {reply}"
     );
+    server.join();
+}
+
+/// Log-served catch-up end to end: a subscriber that connects only after
+/// every publication already happened asks `from: earliest` and receives
+/// the logged releases — byte-identical to the full `release` events an
+/// in-process replay of the same records produces — even under
+/// `snapshot_every > 1`, where the live wire at those moments carried
+/// deltas. `window:<n>` trims the replay, binary framing converts to the
+/// identical event JSON, and `from` without a WAL is a refused subscribe.
+#[test]
+fn late_subscriber_catches_up_from_the_wal() {
+    use butterfly_repro::serve::protocol::CatchUp;
+    use butterfly_repro::serve::WalConfig;
+
+    let wal_dir = std::env::temp_dir().join(format!("bfly-serve-catchup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let cfg = ServeConfig {
+        every: 10,
+        snapshot_every: 4,
+        shards: 1,
+        wal: Some(WalConfig::new(&wal_dir)),
+        ..feasible_cfg()
+    };
+    // 205 records: publications at 120…200 on cadence, then one drain
+    // flush at 205. The 5 trailing records also guarantee the stats
+    // processed counter only reaches 205 after publication 200 fanned out.
+    let records: Vec<ItemSet> = DatasetProfile::WebView1
+        .source(11)
+        .take_vec(205)
+        .into_iter()
+        .map(|t| t.into_items())
+        .collect();
+
+    // In-process reference: the full release at every publication.
+    let mut pipe = cfg.pipeline_for("alpha");
+    let mut expected: Vec<String> = Vec::new();
+    for items in &records {
+        pipe.advance(butterfly_repro::common::Transaction::new(0, items.clone()));
+        if pipe.window().is_full() && pipe.since_publish() >= cfg.every {
+            let r = pipe.publish_now().expect("full window");
+            expected.push(release_event("alpha", r.stream_len, &r.release).to_string());
+        }
+    }
+    assert!(pipe.flush().is_some(), "5 pending records flush at drain");
+    assert_eq!(expected.len(), 9, "cadence publications at 120…200");
+
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut ingest = Client::connect(addr).expect("ingest connect");
+    ingest
+        .request(&Request::Ingest {
+            stream: "alpha".into(),
+            batch: records.clone(),
+        })
+        .expect("ingest reply");
+    loop {
+        let stats = ingest.request(&Request::Stats).expect("stats");
+        let processed: u64 = stats
+            .get("per_shard")
+            .and_then(Json::as_array)
+            .expect("per_shard")
+            .iter()
+            .map(|s| s.get("processed").and_then(Json::as_u64).unwrap_or(0))
+            .sum();
+        if processed >= 205 {
+            // The WAL stats block is present and counting.
+            let appended = stats
+                .get("wal")
+                .and_then(|w| w.get("records_appended"))
+                .and_then(Json::as_u64)
+                .expect("stats carries a wal block when the WAL is on");
+            assert!(appended > 0, "got {stats}");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Everything already happened; these subscribers saw none of it live.
+    let mut late = Client::connect(addr).expect("late connect");
+    let ack = late
+        .request(&Request::Subscribe {
+            stream: "alpha".into(),
+            frame: FrameMode::Json,
+            from: Some(CatchUp::Earliest),
+        })
+        .expect("subscribe ack");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    let mut caught_up: Vec<String> = Vec::new();
+    for _ in 0..expected.len() {
+        let line = late
+            .next_line()
+            .expect("catch-up read")
+            .expect("catch-up event before EOF");
+        caught_up.push(line.to_string());
+    }
+    assert_eq!(caught_up, expected, "catch-up diverged from in-process");
+
+    // window:200 trims the replay to positions >= 200.
+    let mut tail = Client::connect(addr).expect("tail connect");
+    tail.request(&Request::Subscribe {
+        stream: "alpha".into(),
+        frame: FrameMode::Json,
+        from: Some(CatchUp::Window(200)),
+    })
+    .expect("tail subscribe ack");
+    let line = tail
+        .next_line()
+        .expect("tail read")
+        .expect("one catch-up event");
+    assert_eq!(line.to_string(), expected[8]);
+
+    // Binary framing: the converted events are string-identical.
+    let mut bin = Client::connect(addr).expect("binary connect");
+    bin.request(&Request::Subscribe {
+        stream: "alpha".into(),
+        frame: FrameMode::Binary,
+        from: Some(CatchUp::Earliest),
+    })
+    .expect("binary subscribe ack");
+    for want in &expected {
+        let event = bin
+            .next_event()
+            .expect("binary catch-up read")
+            .expect("binary catch-up event");
+        assert_eq!(&event.to_string(), want);
+    }
+
+    // Drain: each subscriber then rides the live wire — the flush
+    // publication at 205 (a delta under snapshot_every = 4) and `closed`.
+    ingest.request(&Request::Shutdown).expect("shutdown reply");
+    for sub in [&mut late, &mut tail, &mut bin] {
+        let delta = sub
+            .next_event()
+            .expect("drain read")
+            .expect("flush delta before close");
+        assert_eq!(
+            delta.get("event").and_then(Json::as_str),
+            Some("release_delta"),
+            "got {delta}"
+        );
+        assert_eq!(delta.get("stream_len").and_then(Json::as_u64), Some(205));
+        let closed = sub.next_event().expect("close read").expect("closed event");
+        assert_eq!(closed.get("event").and_then(Json::as_str), Some("closed"));
+    }
+    server.join();
+    std::fs::remove_dir_all(&wal_dir).expect("wal dir cleanup");
+}
+
+/// `from` without `--wal-dir` is refused outright — there is no log to
+/// serve history from, and silently downgrading to live-only would hand
+/// the subscriber a gap it cannot detect.
+#[test]
+fn catchup_subscribe_without_a_wal_is_refused() {
+    use butterfly_repro::serve::protocol::CatchUp;
+
+    let server = Server::bind("127.0.0.1:0", feasible_cfg()).expect("bind");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let reply = c
+        .request(&Request::Subscribe {
+            stream: "alpha".into(),
+            frame: FrameMode::Json,
+            from: Some(CatchUp::Earliest),
+        })
+        .expect("subscribe reply");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    let err = reply
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("error text");
+    assert!(err.contains("--wal-dir"), "got {err}");
+    // The connection survives and was NOT registered as a subscriber: a
+    // live subscribe afterwards works from a clean slate.
+    let ack = c
+        .request(&Request::Subscribe {
+            stream: "alpha".into(),
+            frame: FrameMode::Json,
+            from: None,
+        })
+        .expect("plain subscribe");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
     server.join();
 }
