@@ -41,18 +41,25 @@
 //! (`never`, `interval:64`, `always`) per I/O engine — compare against the
 //! engine's no-WAL twin to read the cost of each durability level.
 //!
+//! Finally, in-process mode runs a **federation matrix**: the workload with
+//! a churning key population (`--churn`, default requests/8) driven direct
+//! at one node and then through a `--role router` tier over 1/2/4 nodes
+//! (2 in quick mode). `router/1-node ÷ direct` is the routing tax;
+//! `router/N ÷ router/1` is placement spread — which, like shard scaling,
+//! measures real speedup only when the host has cores to back the nodes.
+//!
 //! Run: `cargo run --release -p bfly-bench --bin loadgen`
 //!      `[--quick] [--clients <N>] [--requests <N>] [--batch <N>]`
 //!      `[--keys <N>] [--shards <N>] [--seed <S>] [--pace <tx/s>]`
 //!      `[--out <path.json>] [--addr <host:port>] [--frame <json|binary>]`
-//!      `[--watch <key>] [--shutdown] [--reconnect]`
+//!      `[--watch <key>] [--shutdown] [--reconnect] [--churn <N>]`
 
 use bfly_bench::{append_run, arg, epoch_seconds, quick_mode};
 use bfly_common::Json;
 use bfly_datagen::DatasetProfile;
 use bfly_serve::protocol::SubscriberState;
 use bfly_serve::{
-    Client, FrameMode, IoMode, Request, ServeConfig, Server, WalConfig, WalSyncPolicy,
+    Client, FrameMode, IoMode, Request, ServeConfig, ServeRole, Server, WalConfig, WalSyncPolicy,
     REACTOR_SUPPORTED,
 };
 use std::time::{Duration, Instant};
@@ -68,10 +75,34 @@ struct ClientResult {
     latencies: Vec<u64>,
 }
 
-/// Dial `addr`, retrying with doubling backoff (50 ms → 2 s, ~20 tries)
-/// when `retry` — the `--reconnect` behavior for a server that is
-/// restarting (e.g. crash-recovery smoke tests) or not yet up.
-fn connect_with_retry(addr: std::net::SocketAddr, mode: FrameMode, retry: bool) -> Client {
+/// Ceiling of the reconnect backoff schedule (before jitter).
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Spread `delay` (clamped to [`BACKOFF_CAP`]) into ±25% deterministic
+/// jitter via splitmix64 over `(salt, attempt)`. Without jitter every
+/// client that lost the same server re-dials on the same doubling
+/// schedule and stampedes the restart in lockstep — worst exactly at the
+/// cap, where the schedule stops spreading on its own.
+fn jittered_backoff(delay: Duration, salt: u64, attempt: u32) -> Duration {
+    let mut z = salt ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let base = delay.min(BACKOFF_CAP).as_micros() as u64;
+    let spread = base / 4;
+    Duration::from_micros(base - spread + z % (2 * spread + 1))
+}
+
+/// Dial `addr`, retrying with doubling backoff (50 ms → jittered 2 s cap,
+/// ~20 tries) when `retry` — the `--reconnect` behavior for a server that
+/// is restarting (e.g. crash-recovery smoke tests) or not yet up. `salt`
+/// decorrelates the jitter across clients.
+fn connect_with_retry(
+    addr: std::net::SocketAddr,
+    mode: FrameMode,
+    retry: bool,
+    salt: u64,
+) -> Client {
     let mut delay = Duration::from_millis(50);
     let mut attempts = 0;
     loop {
@@ -82,8 +113,8 @@ fn connect_with_retry(addr: std::net::SocketAddr, mode: FrameMode, retry: bool) 
             }
             Err(e) if retry && attempts < 20 => {
                 attempts += 1;
-                std::thread::sleep(delay);
-                delay = (delay * 2).min(Duration::from_secs(2));
+                std::thread::sleep(jittered_backoff(delay, salt, attempts));
+                delay = (delay * 2).min(BACKOFF_CAP);
                 let _ = e;
             }
             Err(e) => panic!("loadgen connect {addr}: {e}"),
@@ -144,6 +175,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+#[derive(Clone)]
 struct Workload {
     clients: usize,
     requests: usize,
@@ -153,6 +185,13 @@ struct Workload {
     /// Survive connection loss: re-dial with backoff and retry the failed
     /// request instead of dying.
     reconnect: bool,
+    /// `> 0` shifts the key population every `churn` requests: request `r`
+    /// of client `ci` targets `t{(r / churn) * keys + (ci + r) % keys}`,
+    /// so fresh stream keys keep appearing for the lifetime of the drive.
+    /// Exercises placement spread across a cluster (new keys land on
+    /// whichever node owns their slot, not wherever an old connection
+    /// happened to point). `0` keeps the fixed `keys`-sized population.
+    churn: usize,
 }
 
 /// Run `clients` concurrent ingest loops against `addr`; aggregate.
@@ -174,9 +213,9 @@ fn drive(
             let (requests, batch, keys) = (w.requests, w.batch, w.keys);
             let per_client_rate = pace_tx_s / w.clients as f64;
             let seed = w.seed + ci as u64;
-            let reconnect = w.reconnect;
+            let (reconnect, churn) = (w.reconnect, w.churn);
             std::thread::spawn(move || {
-                let mut client = connect_with_retry(addr, mode, reconnect);
+                let mut client = connect_with_retry(addr, mode, reconnect, seed);
                 let mut source = DatasetProfile::WebView1.source(seed);
                 let mut result = ClientResult {
                     accepted: 0,
@@ -193,7 +232,8 @@ fn drive(
                             std::thread::sleep(std::time::Duration::from_secs_f64(due - elapsed));
                         }
                     }
-                    let stream = format!("t{}", (ci + r) % keys);
+                    let era = r.checked_div(churn).unwrap_or(0) * keys;
+                    let stream = format!("t{}", era + (ci + r) % keys);
                     let batch: Vec<_> = (0..batch)
                         .map(|_| source.next_transaction().into_items())
                         .collect();
@@ -210,7 +250,7 @@ fn drive(
                                 // twice — at-least-once, like any retrying
                                 // producer without idempotence tokens.
                                 result.reconnects += 1;
-                                client = connect_with_retry(addr, mode, true);
+                                client = connect_with_retry(addr, mode, true, seed + r as u64);
                             }
                             Err(e) => panic!("ingest reply: {e}"),
                         }
@@ -309,6 +349,56 @@ fn in_process_phase(
     phase
 }
 
+/// One federation phase: boot `node_count` node servers on ephemeral ports
+/// plus a stateless router in front, and drive the churning workload
+/// through the router on the blocking/binary wire. `node_count == 0` is
+/// the direct baseline — the identical workload straight at one node, no
+/// router — so `router/1-node ÷ direct` reads the routing tax (one extra
+/// hop, decode + re-encode, pooled upstream round trip) and
+/// `router/N ÷ router/1` reads placement spread. Drains router-first so
+/// in-flight forwards finish before their nodes go down.
+fn cluster_phase(node_count: usize, cfg_base: &ServeConfig, w: &Workload) -> Phase {
+    let node_cfg = ServeConfig {
+        shards: 2,
+        io: IoMode::Blocking,
+        role: ServeRole::Node,
+        nodes: Vec::new(),
+        ..cfg_base.clone()
+    };
+    let start = Instant::now();
+    let nodes: Vec<Server> = (0..node_count.max(1))
+        .map(|_| Server::bind("127.0.0.1:0", node_cfg.clone()).expect("bind cluster node"))
+        .collect();
+    let router = (node_count > 0).then(|| {
+        let cfg = ServeConfig {
+            role: ServeRole::Router,
+            nodes: nodes.iter().map(Server::local_addr).collect(),
+            ..node_cfg.clone()
+        };
+        Server::bind("127.0.0.1:0", cfg).expect("bind cluster router")
+    });
+    let (addr, label) = match &router {
+        Some(r) => (r.local_addr(), format!("cluster/router/{node_count}-node")),
+        None => (nodes[0].local_addr(), "cluster/direct/1-node".to_string()),
+    };
+    let mut phase = drive(addr, &label, "blocking", FrameMode::Binary, 0.0, w);
+    if let Some(r) = router {
+        r.shutdown();
+        r.join();
+    }
+    for n in nodes {
+        n.shutdown();
+        n.join();
+    }
+    phase.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    phase.tx_per_sec = phase.accepted as f64 / (phase.wall_ms / 1e3).max(1e-9);
+    println!(
+        "{:<30} {:>9.0} tx/s end-to-end ({:.0} ms including drain)",
+        phase.label, phase.tx_per_sec, phase.wall_ms
+    );
+    phase
+}
+
 /// Subscribe to `key` (in `mode`) and reconstruct its sanitized state from
 /// the event feed until the stream closes (the server's drain). Returns the
 /// reconstruction counters as a JSON row for the run entry.
@@ -375,6 +465,7 @@ fn main() {
         .unwrap_or_default();
     let out = arg("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let reconnect = std::env::args().any(|a| a == "--reconnect");
+    let churn: usize = arg("--churn").and_then(|v| v.parse().ok()).unwrap_or(0);
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let w = Workload {
         clients,
@@ -383,6 +474,7 @@ fn main() {
         keys,
         seed,
         reconnect,
+        churn,
     };
     println!(
         "loadgen: {clients} clients × {requests} requests × {batch} tx, {keys} stream keys, {cores} core(s)"
@@ -390,6 +482,7 @@ fn main() {
 
     let mut phases: Vec<Phase> = Vec::new();
     let mut scaling: Option<f64> = None;
+    let mut federation: Option<Json> = None;
     let mut watch_stats: Option<Json> = None;
     if let Some(addr) = arg("--addr") {
         // External mode: measure the already-running server as-is; ask it
@@ -529,6 +622,53 @@ fn main() {
             }
         }
         let _ = std::fs::remove_dir_all(&wal_root);
+
+        // Federation matrix: the same workload with a churning key
+        // population, direct at one node and then through a router over
+        // 1/2/4 nodes (2 in quick mode). New keys keep arriving so the
+        // router's placement map keeps being consulted for streams it has
+        // never seen, not just re-hit from the connection pool.
+        let cluster_w = Workload {
+            churn: if churn > 0 {
+                churn
+            } else {
+                (requests / 8).max(1)
+            },
+            ..w.clone()
+        };
+        let node_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+        println!(
+            "federation phases: direct + router x {node_counts:?} nodes, churn every {} requests",
+            cluster_w.churn
+        );
+        let direct = cluster_phase(0, &cfg, &cluster_w);
+        let mut router_phases = Vec::new();
+        for &n in node_counts {
+            router_phases.push(cluster_phase(n, &cfg, &cluster_w));
+        }
+        let routing_tax = router_phases[0].tx_per_sec / direct.tx_per_sec.max(1e-9);
+        let router_scaling = router_phases.last().expect("router phase ran").tx_per_sec
+            / router_phases[0].tx_per_sec.max(1e-9);
+        println!(
+            "federation: router/1-node = {routing_tax:.2}x direct, router/{}-node = {router_scaling:.2}x router/1-node on {cores} core(s){}",
+            node_counts.last().expect("node counts"),
+            if cores == 1 {
+                " — node scaling needs cores; single-core measures forwarding overhead"
+            } else {
+                ""
+            }
+        );
+        federation = Some(Json::obj([
+            (
+                "node_counts",
+                Json::Arr(node_counts.iter().map(|&n| Json::from(n as u64)).collect()),
+            ),
+            ("churn", Json::from(cluster_w.churn as u64)),
+            ("routing_tax", Json::from(routing_tax)),
+            ("router_scaling", Json::from(router_scaling)),
+        ]));
+        phases.push(direct);
+        phases.extend(router_phases);
     }
 
     let mut entry = vec![
@@ -548,8 +688,39 @@ fn main() {
         entry.push(("scaling", Json::from(ratio)));
         entry.push(("scaling_shards", Json::from(shards as u64)));
     }
+    if let Some(fed) = federation {
+        entry.push(("federation", fed));
+    }
     if let Some(stats) = watch_stats {
         entry.push(("watch", stats));
     }
     append_run(&out, Json::obj(entry));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_spread() {
+        // Every jittered delay stays within ±25% of the (capped) schedule
+        // value, and distinct salts actually land on distinct delays — the
+        // whole point is that a fleet at the cap doesn't re-dial in sync.
+        let mut seen = std::collections::BTreeSet::new();
+        for salt in 0..32u64 {
+            for (attempt, delay_ms) in [(1u32, 50u64), (3, 200), (8, 2_000), (15, 2_000)] {
+                let d = jittered_backoff(Duration::from_millis(delay_ms), salt, attempt);
+                let base = Duration::from_millis(delay_ms).min(BACKOFF_CAP);
+                assert!(d >= base * 3 / 4 && d <= base * 5 / 4, "{d:?} vs {base:?}");
+                if delay_ms == 2_000 {
+                    seen.insert(d);
+                }
+            }
+        }
+        assert!(
+            seen.len() > 16,
+            "only {} distinct delays at the cap",
+            seen.len()
+        );
+    }
 }

@@ -1,0 +1,104 @@
+//! The workspace's one stable hash: 64-bit FNV-1a.
+//!
+//! Two distant layers hash content and require identical results across
+//! processes, platforms, and runs:
+//!
+//! * **serve key routing / placement** — `fnv1a(key)` maps a stream key to
+//!   a slot of the cluster map (degenerately, `% shards` in one process);
+//!   a router and the node it forwards to must agree on every key.
+//! * **PrivBasis itemset-content hashing** — each itemset's DP noise source
+//!   is seeded from the hash of its item ids, which is what makes PrivBasis
+//!   releases reproducible across processes.
+//!
+//! Both used to carry private copies of the same constants; they now share
+//! this module, and the test vectors below pin the function so neither an
+//! edit here nor a re-divergence can silently re-route keys or re-seed
+//! noise.
+
+/// FNV-1a offset basis (64-bit).
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over raw bytes — the primitive both call sites reduce to.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// FNV-1a of a string's UTF-8 bytes — the stream-key routing hash
+/// (`fnv1a(key) % slots` is the placement function). Stable across runs
+/// and platforms, so a key's owner never depends on process layout.
+pub fn fnv1a(key: &str) -> u64 {
+    fnv1a_bytes(key.as_bytes())
+}
+
+/// Incremental FNV-1a, for callers that hash a composite without
+/// materializing its byte encoding (PrivBasis feeds each item id's
+/// little-endian bytes). Feeding the same bytes in any split produces the
+/// same value as [`fnv1a_bytes`] over their concatenation.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pinned vectors: the canonical FNV-1a test values plus the workspace's
+    /// own routing keys. If any of these move, every WAL on disk and every
+    /// cross-process placement decision silently forks — treat a failure
+    /// here as a wire-format break, not a test to update.
+    #[test]
+    fn pinned_test_vectors() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+        // Workspace stream keys, as routed by serve and the cluster map.
+        assert_eq!(fnv1a("t0"), 0x08c8_0007_b56a_5fc9);
+        assert_eq!(fnv1a("tenant-7"), 0xc2ef_b728_e3eb_fabd);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_any_split() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        let want = fnv1a_bytes(&bytes);
+        for split in [0, 1, 7, 128, 255, 256] {
+            let mut h = Fnv1a::new();
+            h.write(&bytes[..split]);
+            h.write(&bytes[split..]);
+            assert_eq!(h.finish(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn str_hash_is_the_byte_hash_of_its_utf8() {
+        assert_eq!(fnv1a("stream-α"), fnv1a_bytes("stream-α".as_bytes()));
+    }
+}

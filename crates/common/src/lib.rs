@@ -17,6 +17,7 @@ pub mod database;
 pub mod error;
 pub mod fixtures;
 pub mod frame;
+pub mod hash;
 pub mod intern;
 pub mod io;
 pub mod item;
@@ -34,6 +35,7 @@ pub use bitset::DenseItemSet;
 pub use database::Database;
 pub use error::{Error, Result};
 pub use frame::{BinaryEntry, BinaryFrame, Frame, FrameCodec, FrameMode};
+pub use hash::fnv1a;
 pub use intern::ItemsetId;
 pub use item::Item;
 pub use itemset::ItemSet;

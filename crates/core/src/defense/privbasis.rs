@@ -97,16 +97,15 @@ impl PrivBasisDefense {
 
 /// FNV-1a over the itemset's item ids. [`ItemsetId`] is a process-local
 /// intern index and must never reach a seed; the content hash is what makes
-/// PrivBasis output reproducible across runs.
+/// PrivBasis output reproducible across runs. Shares the
+/// [`bfly_common::hash`] implementation with serve's key routing, so the
+/// pinned vectors there also pin these noise seeds.
 fn content_hash(itemset: &ItemSet) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = bfly_common::hash::Fnv1a::new();
     for item in itemset.items() {
-        for byte in item.id().to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        h.write(&item.id().to_le_bytes());
     }
-    h
+    h.finish()
 }
 
 impl PrivacyDefense for PrivBasisDefense {

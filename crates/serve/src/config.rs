@@ -154,6 +154,74 @@ impl WalConfig {
     }
 }
 
+/// What one `serve` process *is* in a deployment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeRole {
+    /// A mining node: owns shard workers, pipelines, the WAL, and stats —
+    /// the only role before federation, and still the whole service when a
+    /// deployment is one process.
+    #[default]
+    Node,
+    /// A stateless routing tier: terminates client connections, consults
+    /// the [`crate::placement::ClusterMap`] built from `--nodes`, and
+    /// forwards every stream-owning op to the owning node.
+    Router,
+}
+
+impl ServeRole {
+    /// Wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeRole::Node => "node",
+            ServeRole::Router => "router",
+        }
+    }
+}
+
+impl std::str::FromStr for ServeRole {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ServeRole, String> {
+        match s {
+            "node" => Ok(ServeRole::Node),
+            "router" => Ok(ServeRole::Router),
+            other => Err(format!("unknown role {other:?} (valid: node, router)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parse a `--nodes` address list (comma-separated `ip:port`). Rejects the
+/// shapes that would silently misroute: an empty list (a router with no
+/// owners), an unparsable address, and duplicates (the same node listed
+/// twice would own two slot ranges and double-count every forward).
+pub fn parse_node_list(s: &str) -> Result<Vec<std::net::SocketAddr>, String> {
+    let mut nodes = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!(
+                "empty entry in --nodes {s:?} (want a comma-separated list of ip:port addresses)"
+            ));
+        }
+        let addr: std::net::SocketAddr = part.parse().map_err(|_| {
+            format!("bad node address {part:?} in --nodes (want ip:port, e.g. 127.0.0.1:7878)")
+        })?;
+        if nodes.contains(&addr) {
+            return Err(format!("duplicate node address {addr} in --nodes"));
+        }
+        nodes.push(addr);
+    }
+    if nodes.is_empty() {
+        return Err("--nodes must list at least one ip:port address".into());
+    }
+    Ok(nodes)
+}
+
 /// Everything a [`crate::Server`] needs to know: the Butterfly deployment
 /// parameters applied to every tenant stream, and the service's own knobs
 /// (shard count, queue bounds).
@@ -216,6 +284,14 @@ pub struct ServeConfig {
     /// (the pre-WAL behaviour — a restart re-randomizes, which is exactly
     /// the averaging channel the WAL exists to close).
     pub wal: Option<WalConfig>,
+    /// What this process is: a mining [`ServeRole::Node`] (the default — the
+    /// whole pre-federation service) or a stateless [`ServeRole::Router`]
+    /// forwarding to `nodes`.
+    pub role: ServeRole,
+    /// Addresses of the mining nodes a router forwards to, in slot order
+    /// (the [`crate::placement::ClusterMap`] is built from this list, so its
+    /// order is part of the placement contract). Must be empty for a node.
+    pub nodes: Vec<std::net::SocketAddr>,
 }
 
 impl Default for ServeConfig {
@@ -242,6 +318,8 @@ impl Default for ServeConfig {
             ingest_chunk: 256,
             seed: 0,
             wal: None,
+            role: ServeRole::Node,
+            nodes: Vec::new(),
         }
     }
 }
@@ -265,6 +343,37 @@ impl ServeConfig {
         }
         if self.io == IoMode::Reactor && !REACTOR_SUPPORTED {
             return Err("io mode \"reactor\" is not supported on this platform".into());
+        }
+        match self.role {
+            ServeRole::Node => {
+                if !self.nodes.is_empty() {
+                    return Err("--nodes requires --role router (valid roles: node, router)".into());
+                }
+            }
+            ServeRole::Router => {
+                if self.nodes.is_empty() {
+                    return Err("--role router requires --nodes <addr,addr,...>".into());
+                }
+                for (i, a) in self.nodes.iter().enumerate() {
+                    if self.nodes[..i].contains(a) {
+                        return Err(format!("duplicate node address {a} in --nodes"));
+                    }
+                }
+                if self.wal.is_some() {
+                    return Err(
+                        "--wal-dir conflicts with --role router: the router is stateless; \
+                         durability lives on the nodes (start each node with its own --wal-dir)"
+                            .into(),
+                    );
+                }
+                if self.io == IoMode::Reactor {
+                    return Err(
+                        "io mode \"reactor\" is not supported for --role router (forwarding \
+                         is synchronous per connection; use --io blocking)"
+                            .into(),
+                    );
+                }
+            }
         }
         if let Some(wal) = &self.wal {
             if wal.dir.as_os_str().is_empty() {
@@ -327,17 +436,11 @@ impl ServeConfig {
 }
 
 /// FNV-1a hash of a stream key — the routing function mapping keys onto
-/// shards (`fnv1a(key) % shards`). Stable across runs and platforms, so a
-/// key's shard (and therefore its release order relative to its own records)
-/// never depends on process layout.
-pub fn fnv1a(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// cluster slots (degenerately, `fnv1a(key) % shards` in one process; see
+/// [`crate::placement::ClusterMap`]). Re-exported from [`bfly_common::hash`]
+/// so every process — node, router, or in-process test — provably hashes
+/// identically.
+pub use bfly_common::hash::fnv1a;
 
 /// Derive the publisher seed for one stream key from the server's base
 /// seed: splitmix64-finalized mix of the base with the key hash. Distinct
@@ -481,6 +584,103 @@ mod tests {
         ] {
             assert_eq!(p.name().parse::<WalSyncPolicy>().unwrap(), p);
         }
+    }
+
+    #[test]
+    fn serve_role_parses_and_rejects_unknown_with_valid_set() {
+        assert_eq!("node".parse::<ServeRole>().unwrap(), ServeRole::Node);
+        assert_eq!("router".parse::<ServeRole>().unwrap(), ServeRole::Router);
+        let err = "proxy".parse::<ServeRole>().unwrap_err();
+        assert!(err.contains("node") && err.contains("router"), "{err}");
+        for r in [ServeRole::Node, ServeRole::Router] {
+            assert_eq!(r.name().parse::<ServeRole>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn node_list_parses_and_rejects_malformed() {
+        let nodes = parse_node_list("127.0.0.1:7001, 127.0.0.1:7002 ,127.0.0.1:7003").unwrap();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[1], "127.0.0.1:7002".parse().unwrap());
+        for bad in [
+            "",
+            ",",
+            "127.0.0.1:7001,,127.0.0.1:7002",
+            "127.0.0.1:7001,",
+            "not-an-addr",
+            "127.0.0.1",
+            "127.0.0.1:notaport",
+            "127.0.0.1:7001,127.0.0.1:7001",
+        ] {
+            assert!(parse_node_list(bad).is_err(), "{bad:?} accepted");
+        }
+        let err = parse_node_list("bogus").unwrap_err();
+        assert!(err.contains("ip:port"), "error must name the shape: {err}");
+        let err = parse_node_list("127.0.0.1:7001,127.0.0.1:7001").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn role_validation_rules() {
+        let node_addrs = || vec!["127.0.0.1:7001".parse().unwrap()];
+        // A plain node must not carry a node list.
+        let cfg = ServeConfig {
+            nodes: node_addrs(),
+            ..ServeConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("--role router"), "{err}");
+        // A router needs a node list...
+        let cfg = ServeConfig {
+            role: ServeRole::Router,
+            io: IoMode::Blocking,
+            ..ServeConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("--nodes"), "{err}");
+        // ...rejects duplicates in one...
+        let cfg = ServeConfig {
+            role: ServeRole::Router,
+            io: IoMode::Blocking,
+            nodes: vec![
+                "127.0.0.1:7001".parse().unwrap(),
+                "127.0.0.1:7001".parse().unwrap(),
+            ],
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("duplicate"));
+        // ...is stateless (no WAL)...
+        let cfg = ServeConfig {
+            role: ServeRole::Router,
+            io: IoMode::Blocking,
+            nodes: node_addrs(),
+            wal: Some(WalConfig::new("/tmp/router-wal")),
+            ..ServeConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            err.contains("--wal-dir") && err.contains("stateless"),
+            "{err}"
+        );
+        // ...and is blocking-io only.
+        if REACTOR_SUPPORTED {
+            let cfg = ServeConfig {
+                role: ServeRole::Router,
+                io: IoMode::Reactor,
+                nodes: node_addrs(),
+                ..ServeConfig::default()
+            };
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("reactor"), "{err}");
+        }
+        // The valid router shape passes.
+        let cfg = ServeConfig {
+            role: ServeRole::Router,
+            io: IoMode::Blocking,
+            nodes: node_addrs(),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //!    with pending records are flushed, subscribers get `closed` events,
 //!    every thread is joined.
 //!
+//! The crate layers as placement → node → router: [`placement`] is the one
+//! key→owner mapping every process shares; the node layer wraps everything
+//! that owns streams (shards, WAL, bindings) behind a facade; the router
+//! layer is a stateless forwarding tier over N nodes speaking the same
+//! client protocol (`serve --role router --nodes <addrs>`). A
+//! single-process deployment is the degenerate one-node cluster,
+//! byte-identical to the pre-federation wire.
+//!
 //! Wire protocol reference: [`protocol`]. Entry points: [`Server::bind`]
 //! and [`Client::connect`].
 
@@ -32,8 +40,11 @@ mod binding;
 pub mod client;
 pub mod config;
 mod fanout;
+mod node;
+pub mod placement;
 pub mod protocol;
 mod reactor;
+mod router;
 pub mod server;
 mod shard;
 pub mod stats;
@@ -41,7 +52,10 @@ pub mod wal;
 
 pub use bfly_common::FrameMode;
 pub use client::Client;
-pub use config::{IoMode, ServeConfig, WalConfig, WalSyncPolicy, REACTOR_SUPPORTED};
+pub use config::{
+    parse_node_list, IoMode, ServeConfig, ServeRole, WalConfig, WalSyncPolicy, REACTOR_SUPPORTED,
+};
+pub use placement::{ClusterMap, Owner};
 pub use protocol::Request;
 pub use server::Server;
 pub use stats::{ReactorStats, ShardStats, WalStats};

@@ -1,0 +1,632 @@
+//! The router tier: a stateless serve process that terminates client
+//! connections and forwards every stream-owning op to the node that owns
+//! the key.
+//!
+//! A router speaks the exact client protocol on its listener — the same
+//! frames, the same reply order — and consults the federated
+//! [`ClusterMap`] built from `--nodes` to pick an owner per key. Three
+//! forwarding shapes cover the protocol:
+//!
+//! * **Request/reply ops** (`ingest`, `bind`): forwarded synchronously on a
+//!   pooled per-node connection, one in flight per node at a time. Ingest is
+//!   re-encoded as a *binary* frame regardless of how the client sent it
+//!   (the cheap encoding for the hot path); the node's reply line is
+//!   relayed to the client **verbatim** — raw bytes, never re-serialized —
+//!   so a client cannot distinguish a router from a node by reply bytes.
+//! * **`stats`**: forwarded to every node; the replies are merged under a
+//!   `nodes` array next to the router's own placement and forwarding
+//!   counters.
+//! * **`subscribe`**: proxied over a *dedicated* upstream connection per
+//!   subscription. After the ack, everything the node sends on it is event
+//!   traffic for that one stream, so a relay thread copies whole raw frames
+//!   (binary or NDJSON, sniffed by first byte) into the client's outbound
+//!   queue untouched — byte-identity for proxied releases is structural,
+//!   not re-encoded. WAL catch-up (`from:`) rides the same path: the node
+//!   serves it, the router just relays.
+//!
+//! **Failure semantics.** A dead node surfaces as explicit per-key
+//! unavailability: request forwards reply `{"ok":false,"error":"node
+//! <addr> unavailable..."}` and bump the key's counter in the router's
+//! `stats`; a proxied subscription emits a final
+//! `{"event":"unavailable","stream":...}` line and ends. The router itself
+//! holds no stream state, so a restarted node rejoins by replaying its own
+//! WAL and the router reconnects on the next forward — no rebalancing, no
+//! handoff.
+
+use crate::config::ServeConfig;
+use crate::fanout::{json_line, OutBytes, SubscriberRegistry, SubscriberSink};
+use crate::placement::ClusterMap;
+use crate::protocol::{error_reply, CatchUp, Request};
+use bfly_common::frame::BINARY_MAGIC;
+use bfly_common::{BinaryFrame, FrameMode, ItemSet, Json};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A node slower than this on a forwarded request is treated as dead for
+/// that request (the pooled connection is dropped and rebuilt next time).
+const FORWARD_TIMEOUT: Duration = Duration::from_secs(5);
+/// How often a subscription relay wakes from a blocked upstream read to
+/// poll its stop conditions.
+const RELAY_POLL: Duration = Duration::from_millis(100);
+
+/// `magic + op + payload_len` — the fixed prefix of a binary frame (the
+/// layout documented in [`bfly_common::frame`]).
+const BINARY_HEADER_LEN: usize = 6;
+
+/// Scans a byte stream into *whole raw frames* without decoding them: a
+/// frame starting with [`BINARY_MAGIC`] spans `6 + payload_len` bytes, any
+/// other first byte starts an NDJSON line ending at `\n`. This is what lets
+/// the router relay node traffic verbatim — the bytes that arrive are the
+/// bytes that leave.
+struct RawFrameScanner {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RawFrameScanner {
+    fn new(stream: TcpStream) -> RawFrameScanner {
+        RawFrameScanner {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The next whole frame's raw bytes; `Ok(None)` on clean EOF. A
+    /// `WouldBlock`/`TimedOut` read error is a poll tick — buffered partial
+    /// frame state is preserved across it.
+    fn next_raw(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        loop {
+            if let Some(frame) = self.take_frame() {
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(std::io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn take_frame(&mut self) -> Option<Vec<u8>> {
+        let first = *self.buf.first()?;
+        let end = if first == BINARY_MAGIC {
+            if self.buf.len() < BINARY_HEADER_LEN {
+                return None;
+            }
+            let len =
+                u32::from_le_bytes(self.buf[2..BINARY_HEADER_LEN].try_into().expect("4 bytes"))
+                    as usize;
+            let total = BINARY_HEADER_LEN + len;
+            if self.buf.len() < total {
+                return None;
+            }
+            total
+        } else {
+            self.buf.iter().position(|&b| b == b'\n')? + 1
+        };
+        Some(self.buf.drain(..end).collect())
+    }
+}
+
+/// One pooled request/reply connection to a node.
+struct Upstream {
+    scanner: RawFrameScanner,
+}
+
+impl Upstream {
+    fn connect(addr: SocketAddr) -> std::io::Result<Upstream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(FORWARD_TIMEOUT))?;
+        stream.set_write_timeout(Some(FORWARD_TIMEOUT))?;
+        Ok(Upstream {
+            scanner: RawFrameScanner::new(stream),
+        })
+    }
+
+    /// Write one request frame and read one raw reply frame. Every request
+    /// op replies with exactly one frame, so this is the whole per-node
+    /// protocol; a timeout is an error (the caller drops the connection).
+    fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        self.scanner.stream.write_all(request)?;
+        match self.scanner.next_raw() {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(std::io::ErrorKind::UnexpectedEof.into()),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                Err(std::io::ErrorKind::TimedOut.into())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// One node as the router sees it: its address, the pooled request
+/// connection, and per-node forwarding counters.
+struct NodeLink {
+    addr: SocketAddr,
+    /// `None` until first use and after any error; rebuilt on demand. The
+    /// mutex serializes requests per node — forwarding is synchronous per
+    /// client connection, and per-node ordering rides on it.
+    conn: Mutex<Option<Upstream>>,
+    /// Requests forwarded (including failed attempts).
+    forwarded: AtomicU64,
+    /// Transactions the node acknowledged, summed from its ingest replies —
+    /// the router's backpressure ledger per node.
+    accepted: AtomicU64,
+    /// Transactions the node shed (its ingress queue was full).
+    shed: AtomicU64,
+    /// Forwards that failed outright (connect/write/read error).
+    errors: AtomicU64,
+}
+
+/// The routing half of a serve process (see the module docs).
+pub(crate) struct RouterCore {
+    pub(crate) map: ClusterMap,
+    links: Vec<NodeLink>,
+    /// Set at shutdown; subscription relays poll it.
+    stop: Arc<AtomicBool>,
+    /// Set once nodes have been told to shut down: relays then drain to
+    /// upstream EOF (so final releases and `closed` events reach
+    /// subscribers) instead of exiting at the next poll tick.
+    drain_mode: Arc<AtomicBool>,
+    /// One guard so a pile-up of `shutdown` requests forwards once.
+    shutdown_forwarded: AtomicBool,
+    /// Live subscription relays, joined by [`crate::Server::join`].
+    relays: Mutex<Vec<Relay>>,
+    /// Per-key unavailability: how many times each stream key hit a dead
+    /// owner — the explicit failure surface the `stats` reply exposes.
+    unavailable: Arc<Mutex<BTreeMap<String, u64>>>,
+}
+
+struct Relay {
+    conn_id: u64,
+    stream: String,
+    /// Stops this one relay (a re-subscribe for the same `(conn, stream)`
+    /// replaces it).
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl RouterCore {
+    /// Build the routing core from a validated router config: the federated
+    /// map over `cfg.nodes`, `cfg.shards` shards per node.
+    pub(crate) fn new(cfg: &ServeConfig) -> RouterCore {
+        RouterCore {
+            map: ClusterMap::federated(1, cfg.nodes.clone(), cfg.shards),
+            links: cfg
+                .nodes
+                .iter()
+                .map(|&addr| NodeLink {
+                    addr,
+                    conn: Mutex::new(None),
+                    forwarded: AtomicU64::new(0),
+                    accepted: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                })
+                .collect(),
+            stop: Arc::new(AtomicBool::new(false)),
+            drain_mode: Arc::new(AtomicBool::new(false)),
+            shutdown_forwarded: AtomicBool::new(false),
+            relays: Mutex::new(Vec::new()),
+            unavailable: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Shutdown hook ([`crate::server::Shared::trigger_shutdown`]): wake the
+    /// relays' poll loops.
+    pub(crate) fn on_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Forward one raw request frame to node `idx` and return the raw reply,
+    /// retrying once on a fresh connection (the pooled one may have died
+    /// idle).
+    fn forward_raw(&self, idx: usize, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        let link = &self.links[idx];
+        link.forwarded.fetch_add(1, Ordering::Relaxed);
+        let mut conn = link.conn.lock().expect("node link poisoned");
+        for last_try in [false, true] {
+            if conn.is_none() {
+                *conn = Some(Upstream::connect(link.addr)?);
+            }
+            match conn.as_mut().expect("just connected").round_trip(request) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    *conn = None;
+                    if last_try {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("the retry loop always returns")
+    }
+
+    /// Record a failed forward for `stream` against node `idx` and build
+    /// the client-facing error reply.
+    fn note_unavailable(&self, idx: usize, stream: &str, err: &std::io::Error) -> Json {
+        self.links[idx].errors.fetch_add(1, Ordering::Relaxed);
+        *self
+            .unavailable
+            .lock()
+            .expect("unavailable poisoned")
+            .entry(stream.to_string())
+            .or_insert(0) += 1;
+        error_reply(&format!(
+            "node {} unavailable for stream {stream:?}: {err}",
+            self.links[idx].addr
+        ))
+    }
+
+    /// Forward an ingest to the owning node as a binary frame and relay the
+    /// node's reply line verbatim. The reply is also parsed (a copy — the
+    /// relayed bytes are untouched) to keep the per-node accepted/shed
+    /// ledger.
+    pub(crate) fn ingest(&self, stream: String, batch: Vec<ItemSet>) -> OutBytes {
+        let owner = self.map.owner_of(&stream).node;
+        let frame = BinaryFrame::Ingest {
+            stream: stream.clone(),
+            batch,
+        }
+        .encode();
+        match self.forward_raw(owner, &frame) {
+            Ok(reply) => {
+                let link = &self.links[owner];
+                if let Some(doc) = parse_line(&reply) {
+                    for (field, counter) in [("accepted", &link.accepted), ("shed", &link.shed)] {
+                        if let Some(n) = doc.get(field).and_then(Json::as_u64) {
+                            counter.fetch_add(n, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Arc::from(reply.into_boxed_slice())
+            }
+            Err(e) => json_line(&self.note_unavailable(owner, &stream, &e)),
+        }
+    }
+
+    /// Forward a bind to the owning node and relay its reply verbatim.
+    pub(crate) fn bind(&self, stream: String, defense: bfly_core::DefenseKind) -> OutBytes {
+        let owner = self.map.owner_of(&stream).node;
+        let req = json_line(
+            &Request::Bind {
+                stream: stream.clone(),
+                defense,
+            }
+            .to_json(),
+        );
+        match self.forward_raw(owner, &req) {
+            Ok(reply) => Arc::from(reply.into_boxed_slice()),
+            Err(e) => json_line(&self.note_unavailable(owner, &stream, &e)),
+        }
+    }
+
+    /// Forward `shutdown` to every node, once. Called *before* the router's
+    /// own drain begins so relays enter drain mode and ride each node's
+    /// final releases and `closed` events through to subscribers.
+    pub(crate) fn shutdown_nodes(&self) {
+        if self.shutdown_forwarded.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.drain_mode.store(true, Ordering::SeqCst);
+        let req = json_line(&Request::Shutdown.to_json());
+        for idx in 0..self.links.len() {
+            if let Err(e) = self.forward_raw(idx, &req) {
+                // A node that is already gone cannot drain; its subscribers
+                // saw `unavailable` when it died.
+                let _ = e;
+                self.links[idx].errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The merged `stats` reply: every node's own stats document under
+    /// `nodes`, plus the router's placement shape, per-node forwarding
+    /// ledger, and per-key unavailability counters.
+    pub(crate) fn stats_json(
+        &self,
+        draining: bool,
+        io_name: &str,
+        uptime_ms: u64,
+        subscribers: u64,
+    ) -> Json {
+        let req = json_line(&Request::Stats.to_json());
+        let nodes: Vec<Json> = (0..self.links.len())
+            .map(|idx| {
+                let addr = Json::Str(self.links[idx].addr.to_string());
+                match self
+                    .forward_raw(idx, &req)
+                    .ok()
+                    .as_deref()
+                    .and_then(parse_line)
+                {
+                    Some(doc) => {
+                        Json::obj([("addr", addr), ("ok", Json::Bool(true)), ("stats", doc)])
+                    }
+                    None => {
+                        self.links[idx].errors.fetch_add(1, Ordering::Relaxed);
+                        Json::obj([
+                            ("addr", addr),
+                            ("ok", Json::Bool(false)),
+                            ("error", Json::from("unavailable")),
+                        ])
+                    }
+                }
+            })
+            .collect();
+        let forward: Vec<Json> = self
+            .links
+            .iter()
+            .map(|l| {
+                Json::obj([
+                    ("addr", Json::Str(l.addr.to_string())),
+                    ("requests", Json::from(l.forwarded.load(Ordering::Relaxed))),
+                    ("accepted", Json::from(l.accepted.load(Ordering::Relaxed))),
+                    ("shed", Json::from(l.shed.load(Ordering::Relaxed))),
+                    ("errors", Json::from(l.errors.load(Ordering::Relaxed))),
+                ])
+            })
+            .collect();
+        let unavailable = Json::Obj(
+            self.unavailable
+                .lock()
+                .expect("unavailable poisoned")
+                .iter()
+                .map(|(k, &n)| (k.clone(), Json::from(n)))
+                .collect(),
+        );
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("role", Json::from("router")),
+            (
+                "cluster",
+                Json::obj([
+                    ("version", Json::from(self.map.version())),
+                    ("nodes", Json::from(self.map.node_count() as u64)),
+                    (
+                        "shards_per_node",
+                        Json::from(self.map.shards_per_node() as u64),
+                    ),
+                    ("slots", Json::from(self.map.slots() as u64)),
+                ]),
+            ),
+            ("nodes", Json::Arr(nodes)),
+            ("forward", Json::Arr(forward)),
+            ("unavailable", unavailable),
+            ("subscribers", Json::from(subscribers)),
+            ("draining", Json::Bool(draining)),
+            ("io", Json::from(io_name)),
+            ("uptime_ms", Json::from(uptime_ms)),
+        ])
+    }
+
+    /// Proxy a subscription: open a dedicated upstream connection to the
+    /// owner, forward the subscribe (including any `from:` catch-up), relay
+    /// the raw ack as this request's reply, and — on success — spawn a relay
+    /// thread that copies every subsequent raw frame into the client's
+    /// outbound queue. Returns `false` only when the *client* connection
+    /// died.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn subscribe(
+        &self,
+        conn_id: u64,
+        registry: &Arc<SubscriberRegistry>,
+        stream: String,
+        frame: FrameMode,
+        from: Option<CatchUp>,
+        reply: &mut dyn FnMut(OutBytes) -> bool,
+        make_sink: &mut dyn FnMut() -> SubscriberSink,
+    ) -> bool {
+        let owner = self.map.owner_of(&stream).node;
+        let addr = self
+            .map
+            .node_addr(owner)
+            .expect("router maps are federated");
+        let mut up = match Upstream::connect(addr) {
+            Ok(up) => up,
+            Err(e) => return reply(json_line(&self.note_unavailable(owner, &stream, &e))),
+        };
+        let req = Request::Subscribe {
+            stream: stream.clone(),
+            frame,
+            from,
+        };
+        let ack = match up.round_trip(&json_line(&req.to_json())) {
+            Ok(ack) => ack,
+            Err(e) => return reply(json_line(&self.note_unavailable(owner, &stream, &e))),
+        };
+        let acked = parse_line(&ack)
+            .and_then(|doc| doc.get("ok").and_then(Json::as_bool))
+            .unwrap_or(false);
+        if !acked {
+            // The node refused (e.g. catch-up without a WAL there): relay
+            // its error verbatim and keep nothing open.
+            return reply(Arc::from(ack.into_boxed_slice()));
+        }
+        let SubscriberSink::Channel(tx) = make_sink() else {
+            // Unreachable behind config validation (routers are blocking-io
+            // only), but a graceful reply beats a poisoned connection.
+            return reply(json_line(&error_reply(
+                "router subscriptions require blocking io",
+            )));
+        };
+        // Register for the connection-lifecycle bookkeeping the node path
+        // gets from fan-out: the shutdown linger in the connection handler
+        // and `unsubscribe_conn` cleanup both key on the registry. Nothing
+        // publishes through this entry — the relay owns event delivery.
+        registry.subscribe(&stream, conn_id, frame, SubscriberSink::Channel(tx.clone()));
+        // Relay the raw ack first so the reply precedes every event.
+        if !reply(Arc::from(ack.into_boxed_slice())) {
+            return false;
+        }
+        self.spawn_relay(conn_id, registry.clone(), stream, up, tx);
+        true
+    }
+
+    fn spawn_relay(
+        &self,
+        conn_id: u64,
+        registry: Arc<SubscriberRegistry>,
+        stream: String,
+        up: Upstream,
+        tx: std::sync::mpsc::SyncSender<OutBytes>,
+    ) {
+        let mut relays = self.relays.lock().expect("relays poisoned");
+        // A re-subscribe for the same (conn, stream) replaces the relay the
+        // way it replaces the registry sink; finished relays are pruned
+        // opportunistically.
+        for r in relays.iter() {
+            if r.conn_id == conn_id && r.stream == stream {
+                r.stop.store(true, Ordering::SeqCst);
+            }
+        }
+        relays.retain(|r| !r.handle.is_finished());
+        let relay_stop = Arc::new(AtomicBool::new(false));
+        let ctx = RelayCtx {
+            stop: relay_stop.clone(),
+            global_stop: self.stop.clone(),
+            drain_mode: self.drain_mode.clone(),
+            registry,
+            unavailable: self.unavailable.clone(),
+        };
+        let key = stream.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("bfly-relay-{conn_id}"))
+            .spawn(move || relay_loop(conn_id, &key, up, tx, ctx))
+            .expect("spawn subscription relay");
+        relays.push(Relay {
+            conn_id,
+            stream,
+            stop: relay_stop,
+            handle,
+        });
+    }
+
+    /// Join every relay thread (after [`RouterCore::on_shutdown`]).
+    pub(crate) fn join_relays(&self) {
+        let relays: Vec<Relay> = std::mem::take(&mut *self.relays.lock().expect("relays poisoned"));
+        for r in relays {
+            let _ = r.handle.join();
+        }
+    }
+}
+
+/// Everything a relay thread polls besides its upstream socket.
+struct RelayCtx {
+    stop: Arc<AtomicBool>,
+    global_stop: Arc<AtomicBool>,
+    drain_mode: Arc<AtomicBool>,
+    registry: Arc<SubscriberRegistry>,
+    unavailable: Arc<Mutex<BTreeMap<String, u64>>>,
+}
+
+/// Copy raw frames from the owning node into the client's outbound queue
+/// until the upstream closes (node drain), the client goes away, or the
+/// router stops. A node that dies mid-subscription gets the subscriber an
+/// explicit `unavailable` event — never a silent stall.
+fn relay_loop(
+    conn_id: u64,
+    stream_key: &str,
+    mut up: Upstream,
+    tx: std::sync::mpsc::SyncSender<OutBytes>,
+    ctx: RelayCtx,
+) {
+    let _ = up.scanner.stream.set_read_timeout(Some(RELAY_POLL));
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return; // replaced by a re-subscribe
+        }
+        if !ctx.registry.has_conn(conn_id) && !ctx.global_stop.load(Ordering::SeqCst) {
+            return; // the client connection is gone
+        }
+        if ctx.global_stop.load(Ordering::SeqCst) && !ctx.drain_mode.load(Ordering::SeqCst) {
+            // The router is stopping without a node drain (programmatic
+            // join): there are no final events to wait for.
+            return;
+        }
+        match up.scanner.next_raw() {
+            Ok(Some(frame)) => {
+                // SyncSender::send blocks when the client's pump is behind —
+                // per-subscription backpressure, same as a node's fan-out
+                // budget. A send error means the pump is gone.
+                if tx.send(Arc::from(frame.into_boxed_slice())).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // node drained and closed: relay complete
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick
+            }
+            Err(_) => {
+                // The owner died under the subscription: surface it as an
+                // explicit event, not a hang.
+                *ctx.unavailable
+                    .lock()
+                    .expect("unavailable poisoned")
+                    .entry(stream_key.to_string())
+                    .or_insert(0) += 1;
+                let _ = tx.send(json_line(&Json::obj([
+                    ("event", Json::from("unavailable")),
+                    ("stream", Json::from(stream_key)),
+                ])));
+                return;
+            }
+        }
+    }
+}
+
+/// Parse one raw NDJSON reply line (a copy for accounting — relayed bytes
+/// are never rebuilt from this).
+fn parse_line(raw: &[u8]) -> Option<Json> {
+    Json::parse(std::str::from_utf8(raw).ok()?.trim_end()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_scanner_splits_mixed_traffic() {
+        // Exercise the frame-splitting logic on a buffer directly: a JSON
+        // line, a binary frame, then a partial tail.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"{\"ok\":true}\n");
+        let bin = BinaryFrame::Ingest {
+            stream: "t0".into(),
+            batch: vec![ItemSet::from_ids([1, 2])],
+        }
+        .encode();
+        buf.extend_from_slice(&bin);
+        buf.extend_from_slice(&bin[..3]); // partial header
+        let mut sc = RawFrameScanner {
+            stream: match std::net::TcpListener::bind("127.0.0.1:0") {
+                Ok(l) => {
+                    let addr = l.local_addr().unwrap();
+                    let s = TcpStream::connect(addr).unwrap();
+                    let _ = l.accept().unwrap();
+                    s
+                }
+                Err(e) => panic!("bind: {e}"),
+            },
+            buf,
+        };
+        assert_eq!(sc.take_frame().unwrap(), b"{\"ok\":true}\n");
+        assert_eq!(sc.take_frame().unwrap(), bin);
+        assert_eq!(sc.take_frame(), None, "partial frame must wait for bytes");
+        assert_eq!(sc.buf, &bin[..3]);
+    }
+}

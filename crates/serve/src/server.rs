@@ -31,22 +31,19 @@
 //! 4. [`Server::join`] reaps every thread. No buffer anywhere is unbounded
 //!    at any point in this sequence.
 
-use crate::binding::DefenseBindings;
-use crate::config::{fnv1a, IoMode, ServeConfig};
+use crate::config::{IoMode, ServeConfig, ServeRole};
 use crate::fanout::{json_line, OutBytes, SubscriberRegistry, SubscriberSink};
-use crate::protocol::{
-    catchup_release_frame_bytes, error_reply, ingest_ok, ingest_overloaded, Request,
-};
+use crate::node::NodeCore;
+use crate::protocol::{error_reply, Request};
 use crate::reactor;
-use crate::shard::{spawn_shard, ShardIngress};
-use crate::stats::{ReactorStats, ShardStats, WalStats};
-use crate::wal;
-use bfly_common::{BinaryFrame, Error, Frame, FrameReader, ItemSet, Json, Result};
+use crate::router::RouterCore;
+use crate::stats::ReactorStats;
+use bfly_common::{BinaryFrame, Error, Frame, FrameReader, Json, Result};
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -56,25 +53,32 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// wedging shutdown.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// What this process *is*: the stream-owning core of a mining node, or the
+/// forwarding core of a router. Everything else in [`Shared`] — listener,
+/// connection plumbing, framing, shutdown — is role-agnostic; the io loops
+/// and [`dispatch_frame`] are generic over "what owns a stream" through
+/// this enum.
+pub(crate) enum RoleCore {
+    Node(NodeCore),
+    Router(RouterCore),
+}
+
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
     pub(crate) addr: SocketAddr,
     pub(crate) shutdown: AtomicBool,
-    /// `None` once shutdown began: dropping the senders is what tells the
-    /// shard workers to drain and exit.
-    pub(crate) ingress: RwLock<Option<Vec<ShardIngress>>>,
-    pub(crate) stats: Vec<Arc<ShardStats>>,
+    /// The role-specific half: shard workers + WAL on a node, forwarding
+    /// links + relays on a router.
+    pub(crate) role: RoleCore,
     pub(crate) registry: Arc<SubscriberRegistry>,
-    pub(crate) bindings: Arc<DefenseBindings>,
     pub(crate) conn_seq: AtomicU64,
     pub(crate) conns: Mutex<Vec<JoinHandle<()>>>,
     /// Reactor telemetry (zeros in blocking mode).
     pub(crate) reactor: Arc<ReactorStats>,
-    /// WAL telemetry, shared by every shard writer (zeros when the WAL is
-    /// off; the `stats` reply includes the block only when it is on).
-    pub(crate) wal_stats: Arc<WalStats>,
-    /// When this process bound the listener (feeds `uptime_ms`, which is
-    /// how the crash-recovery tests tell a restart from the original).
+    /// When this process bound the listener. Feeds `uptime_ms` from a
+    /// *monotonic* clock ([`Instant`], never wall time — a clock step must
+    /// not fake a restart), which is how the crash-recovery tests tell a
+    /// restart from the original.
     pub(crate) started: Instant,
 }
 
@@ -83,45 +87,41 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        *self.ingress.write().expect("ingress poisoned") = None;
+        match &self.role {
+            RoleCore::Node(node) => node.on_shutdown(),
+            RoleCore::Router(router) => router.on_shutdown(),
+        }
         // Wake whichever io loop is blocked on the listener so it observes
         // the flag (the reactor also polls it on its wait tick).
         let _ = TcpStream::connect(self.addr);
     }
 
     pub(crate) fn stats_json(&self) -> Json {
-        let mut fields = vec![
-            ("ok", Json::Bool(true)),
-            ("shards", Json::from(self.cfg.shards as u64)),
-            (
-                "per_shard",
-                Json::Arr(
-                    self.stats
-                        .iter()
-                        .enumerate()
-                        .map(|(i, s)| s.to_json(i))
-                        .collect(),
-                ),
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        let uptime_ms = self.started.elapsed().as_millis() as u64;
+        match &self.role {
+            RoleCore::Node(node) => {
+                let mut fields = vec![
+                    ("ok", Json::Bool(true)),
+                    ("role", Json::from(ServeRole::Node.name())),
+                    ("subscribers", Json::from(self.registry.len() as u64)),
+                    ("draining", Json::Bool(draining)),
+                    ("io", Json::from(self.cfg.io.name())),
+                    ("uptime_ms", Json::from(uptime_ms)),
+                ];
+                fields.extend(node.stats_fields(&self.cfg));
+                if self.cfg.io == IoMode::Reactor {
+                    fields.push(("reactor", self.reactor.to_json()));
+                }
+                Json::obj(fields)
+            }
+            RoleCore::Router(router) => router.stats_json(
+                draining,
+                self.cfg.io.name(),
+                uptime_ms,
+                self.registry.len() as u64,
             ),
-            ("subscribers", Json::from(self.registry.len() as u64)),
-            ("draining", Json::Bool(self.shutdown.load(Ordering::SeqCst))),
-            ("io", Json::from(self.cfg.io.name())),
-            (
-                "uptime_ms",
-                Json::from(self.started.elapsed().as_millis() as u64),
-            ),
-            (
-                "recovered_windows",
-                Json::from(self.wal_stats.recovered_windows.load(Ordering::Relaxed)),
-            ),
-        ];
-        if self.cfg.io == IoMode::Reactor {
-            fields.push(("reactor", self.reactor.to_json()));
         }
-        if self.cfg.wal.is_some() {
-            fields.push(("wal", self.wal_stats.to_json()));
-        }
-        Json::obj(fields)
     }
 }
 
@@ -151,52 +151,25 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(SubscriberRegistry::new());
-        let bindings = Arc::new(DefenseBindings::default());
-        let wal_stats = Arc::new(WalStats::default());
-        let stats: Vec<Arc<ShardStats>> = (0..cfg.shards)
-            .map(|_| Arc::new(ShardStats::default()))
-            .collect();
-        let mut ingress = Vec::with_capacity(cfg.shards);
-        let mut workers = Vec::with_capacity(cfg.shards);
-        for (i, shard_stats) in stats.iter().enumerate() {
-            // Recovery happens before the worker spawns, so a bind error or
-            // corrupt mid-log refuses startup instead of killing a thread.
-            let recovered = match &cfg.wal {
-                Some(w) => {
-                    let rec = wal::recover_shard(&cfg, w, i, &wal_stats)?;
-                    for key in rec.streams.keys() {
-                        // Recovered streams are live: seal their bind
-                        // windows so a post-restart `bind` is rejected the
-                        // same way it would have been without the crash.
-                        let _ = bindings.materialize(key);
-                    }
-                    Some(rec)
-                }
-                None => None,
-            };
-            let (handle, worker) = spawn_shard(
-                i,
-                cfg.clone(),
-                registry.clone(),
-                shard_stats.clone(),
-                bindings.clone(),
-                recovered,
-            );
-            ingress.push(handle);
-            workers.push(worker);
-        }
+        // The role core is the only part of startup that differs: a node
+        // recovers its WAL and spawns shard workers, a router builds its
+        // cluster map and node links (and owns no worker threads at all).
+        let (role, workers) = match cfg.role {
+            ServeRole::Node => {
+                let (core, workers) = NodeCore::start(&cfg, &registry)?;
+                (RoleCore::Node(core), workers)
+            }
+            ServeRole::Router => (RoleCore::Router(RouterCore::new(&cfg)), Vec::new()),
+        };
         let shared = Arc::new(Shared {
             cfg,
             addr,
             shutdown: AtomicBool::new(false),
-            ingress: RwLock::new(Some(ingress)),
-            stats,
+            role,
             registry,
-            bindings,
             conn_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             reactor: Arc::new(ReactorStats::default()),
-            wal_stats,
             started: Instant::now(),
         });
         let io = match shared.cfg.io {
@@ -253,6 +226,12 @@ impl Server {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // A router's subscription relays are its "workers": after a
+        // forwarded shutdown they drain each node's final events through to
+        // subscribers, then see EOF and exit.
+        if let RoleCore::Router(router) = &self.shared.role {
+            router.join_relays();
         }
         // Workers closed the streams they owned; drop whatever subscribers
         // remain (streams that never ingested a record).
@@ -401,6 +380,20 @@ pub(crate) fn dispatch_frame(
             frame,
             from,
         } => {
+            let node = match &shared.role {
+                RoleCore::Node(node) => node,
+                RoleCore::Router(router) => {
+                    return router.subscribe(
+                        conn_id,
+                        &shared.registry,
+                        stream,
+                        frame,
+                        from,
+                        reply,
+                        make_sink,
+                    );
+                }
+            };
             let Some(wal_dir) = shared.cfg.wal.as_ref().map(|w| w.dir.clone()) else {
                 if from.is_some() {
                     return send(error_reply(
@@ -430,76 +423,31 @@ pub(crate) fn dispatch_frame(
             if !ok {
                 return false;
             }
-            if let Some(from) = from {
-                let shard = (fnv1a(&stream) % shared.cfg.shards as u64) as usize;
-                for (stream_len, entries) in
-                    wal::scan_catchup(&wal_dir, shard, &stream, from.min_len())
-                {
-                    if !reply(catchup_release_frame_bytes(
-                        frame, &stream, stream_len, &entries,
-                    )) {
-                        return false;
-                    }
-                }
+            match from {
+                Some(from) => node.catchup(&wal_dir, &stream, frame, from.min_len(), reply),
+                None => true,
             }
-            true
         }
-        Request::Bind { stream, defense } => {
-            // The defense name already parsed (unknown names were rejected
-            // with the valid list); what can still fail is the timing — the
-            // stream's pipeline must not exist yet.
-            let reply = match shared.bindings.bind(&stream, defense) {
-                Ok(()) => Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("stream", Json::from(stream.as_str())),
-                    ("defense", Json::from(defense.name())),
-                ]),
-                Err(e) => error_reply(&e),
-            };
-            send(reply)
-        }
-        Request::Ingest { stream, batch } => {
-            let reply = {
-                let guard = shared.ingress.read().expect("ingress poisoned");
-                match guard.as_ref() {
-                    None => error_reply("shutting-down"),
-                    Some(shards) => {
-                        let shard = &shards[(fnv1a(&stream) % shards.len() as u64) as usize];
-                        let key: Arc<str> = Arc::from(stream.as_str());
-                        // Coarse submission: one queue operation per chunk,
-                        // not per transaction. Shedding is all-or-nothing
-                        // per chunk, still counted in transactions.
-                        let chunk_size = shared.cfg.effective_ingest_chunk();
-                        let mut it = batch.into_iter();
-                        let mut accepted = 0;
-                        let mut shed = 0;
-                        loop {
-                            let chunk: Vec<ItemSet> = it.by_ref().take(chunk_size).collect();
-                            if chunk.is_empty() {
-                                break;
-                            }
-                            let n = chunk.len();
-                            if shard.offer(&key, chunk) {
-                                accepted += n;
-                            } else {
-                                shed += n;
-                            }
-                        }
-                        if shed == 0 {
-                            ingest_ok(accepted)
-                        } else {
-                            ingest_overloaded(accepted, shed)
-                        }
-                    }
-                }
-            };
-            send(reply)
-        }
+        Request::Bind { stream, defense } => match &shared.role {
+            RoleCore::Node(node) => send(node.bind(&stream, defense)),
+            RoleCore::Router(router) => reply(router.bind(stream, defense)),
+        },
+        Request::Ingest { stream, batch } => match &shared.role {
+            RoleCore::Node(node) => send(node.ingest(&shared.cfg, &stream, batch)),
+            RoleCore::Router(router) => reply(router.ingest(stream, batch)),
+        },
         Request::Shutdown => {
             let sent = send(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("draining", Json::Bool(true)),
             ]));
+            // A router propagates the drain to its nodes *before* stopping
+            // itself, so its subscription relays (already in drain mode)
+            // ride every node's final releases and `closed` events through
+            // to subscribers before exiting at upstream EOF.
+            if let RoleCore::Router(router) = &shared.role {
+                router.shutdown_nodes();
+            }
             shared.trigger_shutdown();
             // Keep the connection alive: in blocking mode the handler's loop
             // condition closes a plain connection at the next poll tick but

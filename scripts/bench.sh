@@ -20,9 +20,12 @@
 #    4 shards for the scaling ratio, then the durability-tax matrix — the
 #    unpaced 1-shard drive with the write-ahead log on at each sync policy
 #    (never, interval:64, always) per engine, against the no-WAL rows as
-#    baselines; throughput + latency percentiles + shed rates APPEND to
-#    BENCH_serve.json (entries record the host's core count — shard
-#    scaling is only meaningful with >1 core).
+#    baselines — then the federation matrix: a churning key population
+#    driven direct at one node vs through a --role router over 1/2/4
+#    nodes (router/1-node ÷ direct = routing tax, router/N ÷ router/1 =
+#    placement spread); throughput + latency percentiles + shed rates
+#    APPEND to BENCH_serve.json (entries record the host's core count —
+#    shard and node scaling are only meaningful with >1 core).
 # 3. defbench: the cross-defense evaluation matrix — every registered
 #    PrivacyDefense published over the same mined stream and attacked by
 #    the same inference engine; prig/pred/utility/attack-MSE plus publish
@@ -45,7 +48,7 @@ cargo run -q --release -p bfly-bench --bin parbench -- --reps "${REPS}" \
   --out BENCH_parallel.json --support-out BENCH_support.json \
   --release-out BENCH_release.json
 
-echo "==> loadgen (io-engine × frame matrix + 4-shard scaling + WAL durability tax, appends to BENCH_serve.json)"
+echo "==> loadgen (io-engine × frame matrix + 4-shard scaling + WAL durability tax + router-vs-direct federation matrix, appends to BENCH_serve.json)"
 cargo run -q --release -p bfly-bench --bin loadgen -- --out BENCH_serve.json
 
 echo "==> defbench (cross-defense matrix, appends to BENCH_defense.json)"

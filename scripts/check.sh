@@ -28,6 +28,9 @@ cargo test -q --release --test release_engine
 echo "==> crash-recovery differential (SIGKILL mid-stream, restart on the same --wal-dir, byte-identical catch-up at 1/2/8 threads)"
 cargo test -q --release --test wal_recovery
 
+echo "==> federation differential (router over 2 nodes, kill one, survivor + WAL-rejoin byte-identity)"
+cargo test -q --release --test federation
+
 echo "==> parbench --quick smoke (chunk telemetry + kernel column sanity)"
 PARBENCH_LOG=target/parbench.smoke.log
 cargo run -q --release -p bfly-bench --bin parbench -- --quick \
@@ -94,6 +97,69 @@ cargo run -q --release -p bfly-bench --bin loadgen -- --quick --shutdown \
   --addr "$(cat "$PORT_FILE")" --frame binary --out target/BENCH_serve.smoke.json
 wait "$SERVE_PID"
 trap - EXIT
+
+echo "==> federation smoke (router over 2 WAL nodes, kill one mid-run, survivor WAL differential, clean drain)"
+FED_DIR=target/federation.smoke
+rm -rf "$FED_DIR"
+mkdir -p "$FED_DIR"
+# Two identical cluster runs — one undisturbed, one with node B SIGKILLed
+# mid-run — driven by the same paced single-client load through a router.
+# Placement hashes keys, not connections, so node A owns the same streams
+# in both runs; with nothing shed (asserted below) its write-ahead log must
+# come out byte-identical: the survivor never notices the kill. Every child
+# is waited on (or reaped by the trap on failure) — no leaked processes.
+for RUN in undisturbed kill; do
+  for N in a b; do
+    rm -f "$FED_DIR/$N.port"
+    target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$FED_DIR/$N.port" \
+      --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 \
+      --shards 2 --wal-dir "$FED_DIR/$RUN-wal-$N" --wal-sync interval:64 &
+    if [[ "$N" == a ]]; then NODE_A=$!; else NODE_B=$!; fi
+  done
+  trap 'kill -9 "$NODE_A" "$NODE_B" 2>/dev/null || true' EXIT
+  for _ in $(seq 1 100); do
+    [[ -s "$FED_DIR/a.port" && -s "$FED_DIR/b.port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$FED_DIR/a.port" && -s "$FED_DIR/b.port" ]] \
+    || { echo "federation nodes never came up"; exit 1; }
+  rm -f "$FED_DIR/r.port"
+  target/release/butterfly serve --addr 127.0.0.1:0 --port-file "$FED_DIR/r.port" \
+    --window 200 --min-support 8 --vulnerable 3 --epsilon 0.05 --every 40 \
+    --shards 2 --role router \
+    --nodes "$(cat "$FED_DIR/a.port"),$(cat "$FED_DIR/b.port")" &
+  ROUTER_PID=$!
+  trap 'kill -9 "$NODE_A" "$NODE_B" "$ROUTER_PID" 2>/dev/null || true' EXIT
+  for _ in $(seq 1 100); do
+    [[ -s "$FED_DIR/r.port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$FED_DIR/r.port" ]] || { echo "federation router never came up"; exit 1; }
+  # Paced so the drive outlives the kill below; the pacing only adds client
+  # sleeps, so both runs offer the identical record sequence.
+  cargo run -q --release -p bfly-bench --bin loadgen -- \
+    --clients 1 --requests 120 --batch 16 --pace 500 \
+    --addr "$(cat "$FED_DIR/r.port")" --frame binary --shutdown \
+    --out "$FED_DIR/bench.$RUN.json" &
+  LOADGEN_PID=$!
+  if [[ "$RUN" == kill ]]; then
+    sleep 1.2
+    kill -9 "$NODE_B" 2>/dev/null || true
+  fi
+  wait "$LOADGEN_PID" || { echo "loadgen through the router failed ($RUN)"; exit 1; }
+  wait "$ROUTER_PID"    # exits 0 only after a clean drain
+  wait "$NODE_A"        # drained by the shutdown the router forwarded
+  if [[ "$RUN" == kill ]]; then
+    wait "$NODE_B" 2>/dev/null || true   # SIGKILLed; reap the zombie
+  else
+    wait "$NODE_B"
+  fi
+  trap - EXIT
+  grep -q '"shed":0' "$FED_DIR/bench.$RUN.json" \
+    || { echo "federation smoke shed records ($RUN); differential would be vacuous"; exit 1; }
+done
+diff -rq "$FED_DIR/undisturbed-wal-a" "$FED_DIR/kill-wal-a" \
+  || { echo "survivor node's release log diverged after the kill"; exit 1; }
 
 echo "==> cross-defense smoke (CLI + serve + matrix, each registered defense)"
 SMOKE_DIR=target/defense.smoke

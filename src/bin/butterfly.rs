@@ -22,7 +22,7 @@ use butterfly_repro::datagen::DatasetProfile;
 use butterfly_repro::inference::find_intra_window_breaches;
 use butterfly_repro::mining::closed::closed_subset;
 use butterfly_repro::mining::{Apriori, BackendKind, Eclat, FpGrowth};
-use butterfly_repro::serve::{ServeConfig, Server, WalConfig};
+use butterfly_repro::serve::{parse_node_list, IoMode, ServeConfig, ServeRole, Server, WalConfig};
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
@@ -95,6 +95,7 @@ USAGE:
                     [--io <blocking|reactor>] [--max-frame-bytes <N>] [--ingest-chunk <N>]
                     [--port-file <path>] [--wal-dir <dir>] [--wal-sync <always|interval:N|never>]
                     [--defense <...>] [--dp-budget <E>] [--dp-top-k <N>]
+                    [--role <node|router>] [--nodes <ip:port,ip:port,...>]
 
 `protect --incremental` runs the delta-maintained release engine (identical
 output, faster on overlapping windows; cache counters go to stderr).
@@ -115,6 +116,14 @@ accepted ingest and every publication is logged (durability per --wal-sync,
 default interval:64), a restart on the same directory replays the log back
 to the exact pre-crash state, and subscribers may catch up from retained
 log history by adding from: earliest or from: window:<n> to subscribe.
+
+`serve --role router --nodes a:p,b:p,...` starts a stateless routing tier
+instead of a mining node: clients speak the identical protocol to the
+router, which maps each stream key onto the node that owns it (fnv1a(key)
+mod N*shards slots) and forwards ingest/bind, merges stats, and proxies
+subscriptions (including WAL catch-up served by the owning node). Every
+node should run with the same --shards and pipeline knobs; durability
+stays on the nodes (--wal-dir conflicts with --role router).
 
 Every command also accepts --threads <N> to pin the worker-thread count of
 the parallel phases (default: BFLY_THREADS, else all hardware threads;
@@ -211,6 +220,8 @@ const FLAG_TABLE: &[(&str, &[(&str, bool)])] = &[
             ("defense", true),
             ("dp-budget", true),
             ("dp-top-k", true),
+            ("role", true),
+            ("nodes", true),
         ],
     ),
 ];
@@ -524,6 +535,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     } else if flags.get("wal-sync").is_some() {
         return Err("--wal-sync requires --wal-dir".into());
     }
+    if let Some(v) = flags.get("role") {
+        cfg.role = v.parse()?;
+    }
+    if let Some(v) = flags.get("nodes") {
+        cfg.nodes = parse_node_list(v)?;
+    }
+    if cfg.role == ServeRole::Router && flags.get("io").is_none() {
+        // Router forwarding is synchronous per connection; the reactor
+        // default only applies to nodes (validate() rejects the combination
+        // when asked for explicitly).
+        cfg.io = IoMode::Blocking;
+    }
     cfg.scheme = parse_scheme(flags)?;
     cfg.defense = parse_defense(flags)?;
     if let Some(v) = flags.get("backend") {
@@ -556,6 +579,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     );
     if let Some(w) = &cfg.wal {
         eprintln!("wal: dir {}, sync {}", w.dir.display(), w.sync);
+    }
+    if cfg.role == ServeRole::Router {
+        let nodes: Vec<String> = cfg.nodes.iter().map(|a| a.to_string()).collect();
+        eprintln!(
+            "role router: {} nodes [{}], {} slots",
+            cfg.nodes.len(),
+            nodes.join(", "),
+            cfg.nodes.len() * cfg.shards
+        );
     }
     server.run_until_shutdown();
     eprintln!("drained and stopped");

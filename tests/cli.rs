@@ -249,6 +249,100 @@ fn unknown_flags_rejected_with_valid_set() {
 }
 
 #[test]
+fn serve_federation_flags_rejected_with_valid_sets() {
+    // Each malformed serve flag must die at startup with a message naming
+    // the valid set — never a silently misconfigured cluster.
+    let cases: &[(&[&str], &[&str])] = &[
+        // --wal-sync edges (requires --wal-dir; interval must be a positive int).
+        (
+            &["--wal-sync", "always"],
+            &["--wal-sync requires --wal-dir"],
+        ),
+        (
+            &["--wal-dir", "/tmp/w", "--wal-sync", "interval:0"],
+            &["interval", "positive"],
+        ),
+        (
+            &["--wal-dir", "/tmp/w", "--wal-sync", "interval:x"],
+            &["interval", "positive integer"],
+        ),
+        (
+            &["--wal-dir", "/tmp/w", "--wal-sync", "sometimes"],
+            &["always", "interval:<n>", "never"],
+        ),
+        // --role edges.
+        (&["--role", "proxy"], &["node", "router"]),
+        (&["--role", "router"], &["--nodes"]),
+        // --nodes edges: empty entry, unparsable, duplicate, node role.
+        (
+            &[
+                "--role",
+                "router",
+                "--nodes",
+                "127.0.0.1:7001,,127.0.0.1:7002",
+            ],
+            &["empty entry", "ip:port"],
+        ),
+        (
+            &["--role", "router", "--nodes", "not-an-addr"],
+            &["bad node address", "ip:port"],
+        ),
+        (
+            &[
+                "--role",
+                "router",
+                "--nodes",
+                "127.0.0.1:7001,127.0.0.1:7001",
+            ],
+            &["duplicate node address"],
+        ),
+        (
+            &["--nodes", "127.0.0.1:7001"],
+            &["--nodes requires --role router"],
+        ),
+        // Conflicting --role/--wal-dir: the router is stateless.
+        (
+            &[
+                "--role",
+                "router",
+                "--nodes",
+                "127.0.0.1:7001",
+                "--wal-dir",
+                "/tmp/w",
+            ],
+            &["--wal-dir", "stateless"],
+        ),
+        // Router + reactor io conflict.
+        (
+            &[
+                "--role",
+                "router",
+                "--nodes",
+                "127.0.0.1:7001",
+                "--io",
+                "reactor",
+            ],
+            &["reactor", "blocking"],
+        ),
+    ];
+    for (args, wants) in cases {
+        let out = bin()
+            .arg("serve")
+            .args(*args)
+            .output()
+            .expect("run serve with bad flags");
+        assert!(!out.status.success(), "serve {args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        for want in *wants {
+            assert!(
+                err.contains(want),
+                "serve {args:?}: {err:?} missing {want:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn deterministic_generation() {
     let a = temp_path("det_a.dat");
     let b = temp_path("det_b.dat");
